@@ -1,0 +1,213 @@
+//! # cmap-bench — figure regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (§5), each printing
+//! the measured series next to the paper's reported numbers:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `calib_single_link` | §4.2 single-link calibration |
+//! | `fig12_exposed` | Fig 12 — exposed terminals |
+//! | `fig13_in_range` | Fig 13 — two senders in range |
+//! | `fig14_hidden_interferers` | Fig 14 — hidden-interferer scatter |
+//! | `fig15_hidden_terminals` | Fig 15 — hidden terminals |
+//! | `fig16_header_trailer` | Fig 16 — header/trailer reception |
+//! | `fig17_ap_aggregate` | Fig 17 — AP aggregate throughput |
+//! | `fig18_ap_per_sender` | Fig 18 — AP per-sender CDF |
+//! | `fig19_hdr_vs_senders` | Fig 19 — reception vs concurrency |
+//! | `fig20_bitrates` | Fig 20 — exposed terminals at 6/12/18 Mbit/s |
+//! | `mesh_dissemination` | §5.7 — two-hop mesh |
+//! | `testbed_stats` | §5.1 — link population |
+//! | `repro_all` | everything above, written to EXPERIMENTS-style text |
+//!
+//! All binaries accept `--quick` (shorter runs, fewer configurations),
+//! `--full` (the paper's 100-second runs and full configuration counts),
+//! `--seed N` (testbed seed) and `--runs N` (configuration count).
+//! Criterion micro-benchmarks (`cargo bench`) live in `benches/`.
+
+use cmap_experiments::exposed::Curve;
+use cmap_experiments::Spec;
+use cmap_sim::time::secs;
+use cmap_stats::{Cdf, Series, Table};
+
+/// Effort level selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Smoke-test scale.
+    Quick,
+    /// Default: statistically useful, minutes of wall-clock.
+    Standard,
+    /// The paper's scale (100 s runs, full configuration counts).
+    Full,
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Effort level.
+    pub effort: Effort,
+    /// Testbed seed.
+    pub seed: u64,
+    /// Override for the number of configurations, if given.
+    pub runs: Option<usize>,
+}
+
+impl Cli {
+    /// Parse `std::env::args`; exits with usage on unknown flags.
+    pub fn parse() -> Cli {
+        let mut cli = Cli {
+            effort: Effort::Standard,
+            seed: 42,
+            runs: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => cli.effort = Effort::Quick,
+                "--full" => cli.effort = Effort::Full,
+                "--seed" => {
+                    cli.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"))
+                }
+                "--runs" => {
+                    cli.runs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--runs needs a number")),
+                    )
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        cli
+    }
+
+    /// Build the experiment spec for this CLI at a given default
+    /// configuration count.
+    pub fn spec(&self, default_configs: usize) -> Spec {
+        let (duration, configs) = match self.effort {
+            Effort::Quick => (secs(10), (default_configs / 4).max(3)),
+            Effort::Standard => (secs(30), default_configs),
+            Effort::Full => (secs(100), default_configs),
+        };
+        Spec {
+            testbed_seed: self.seed,
+            duration,
+            configs: self.runs.unwrap_or(configs),
+            ..Spec::default()
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--quick|--full] [--seed N] [--runs N]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// Render labelled sample sets as a CDF table over `[lo, hi]`.
+pub fn render_cdfs(x_label: &str, curves: &[Curve], lo: f64, hi: f64, bins: usize) -> String {
+    let mut table = Table::new(x_label);
+    for c in curves {
+        let cdf = Cdf::new(c.samples.clone());
+        table.push(Series::new(c.label.clone(), cdf.points()));
+    }
+    // A CDF is a step function: interpolation on the grid is fine for a
+    // textual rendering.
+    table.render_grid(lo, hi, bins)
+}
+
+/// One line of per-curve medians.
+pub fn medians_line(curves: &[Curve]) -> String {
+    curves
+        .iter()
+        .map(|c| format!("{} median {:.2}", c.label, Cdf::new(c.samples.clone()).median()))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Median of one labelled curve.
+pub fn median_of(curves: &[Curve], label: &str) -> f64 {
+    let c = curves
+        .iter()
+        .find(|c| c.label == label)
+        .unwrap_or_else(|| panic!("missing curve {label}"));
+    Cdf::new(c.samples.clone()).median()
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    cmap_stats::mean(xs)
+}
+
+/// Standard figure preamble.
+pub fn banner(figure: &str, paper_claim: &str, spec: &Spec) {
+    println!("==================================================================");
+    println!("{figure}");
+    println!("paper: {paper_claim}");
+    println!(
+        "spec: testbed seed {}, {} configurations, {:.0}s runs (measuring the last {:.0}s)",
+        spec.testbed_seed,
+        spec.configs,
+        spec.duration as f64 / 1e9,
+        (spec.duration - spec.measure_from()) as f64 / 1e9,
+    );
+    println!("------------------------------------------------------------------");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_scales_with_effort() {
+        let quick = Cli {
+            effort: Effort::Quick,
+            seed: 1,
+            runs: None,
+        }
+        .spec(50);
+        let full = Cli {
+            effort: Effort::Full,
+            seed: 1,
+            runs: None,
+        }
+        .spec(50);
+        assert!(quick.duration < full.duration);
+        assert!(quick.configs < full.configs);
+        assert_eq!(full.duration, secs(100));
+    }
+
+    #[test]
+    fn runs_override_wins() {
+        let cli = Cli {
+            effort: Effort::Standard,
+            seed: 1,
+            runs: Some(7),
+        };
+        assert_eq!(cli.spec(50).configs, 7);
+    }
+
+    #[test]
+    fn render_cdfs_produces_rows() {
+        let curves = vec![
+            Curve {
+                label: "a".into(),
+                samples: vec![1.0, 2.0, 3.0],
+            },
+            Curve {
+                label: "b".into(),
+                samples: vec![2.0, 4.0],
+            },
+        ];
+        let text = render_cdfs("Mbit/s", &curves, 0.0, 5.0, 6);
+        assert_eq!(text.lines().count(), 7);
+        assert!(text.contains('a') && text.contains('b'));
+        assert!(medians_line(&curves).contains("median 2.00"));
+        assert_eq!(median_of(&curves, "a"), 2.0);
+    }
+}

@@ -1,0 +1,1222 @@
+//! The CMAP MAC: channel access, windowed retransmission, loss-rate backoff.
+//!
+//! Sender path (pseudocode of Fig 6):
+//!
+//! ```text
+//! while data to send and N_outstanding < N_window {
+//!     while defer table does not permit {
+//!         wait until end of current transmission + t_deferwait
+//!     }
+//!     transmit virtual packet (header, N_vpkt data packets, trailer)
+//!     wait up to t_ackwait for an ACK
+//!     wait for a backoff duration in [0, CW]
+//! }
+//! // window full: time out U(τ_min, τ_max), repack unACKed packets, retransmit
+//! ```
+//!
+//! Receiver path: deliver data, track per-virtual-packet bitmaps, and after
+//! each trailer send a cumulative ACK carrying the bitmap and the observed
+//! loss rate (Fig 7's input). Losses are attributed to overheard concurrent
+//! transmitters to build the interferer list (§3.1), which is broadcast
+//! periodically so conflicting senders can populate their defer tables.
+//!
+//! Every node also runs the promiscuous bookkeeping: the ongoing list from
+//! headers/trailers/data, and activity windows for interference attribution.
+
+use rand::Rng;
+
+use cmap_sim::time::{micros, millis, Time};
+use cmap_sim::{Mac, NodeCtx, RxInfo};
+use cmap_wire::cmap::{self, HeaderTrailer};
+use cmap_wire::{Frame, MacAddr};
+
+use crate::config::CmapConfig;
+use crate::defer_table::DeferTable;
+use crate::rate_control::{FixedRate, RateController};
+use crate::interferer::InterfererTracker;
+use crate::ongoing::OngoingList;
+use crate::vpkt::{DataPkt, PeerRx, SendWindow, SentVpkt};
+
+const CLASS_ACKWAIT: u64 = 1;
+const CLASS_BACKOFF: u64 = 2;
+const CLASS_DEFER: u64 = 3;
+const CLASS_RTX: u64 = 4;
+const CLASS_BCAST: u64 = 5;
+const CLASS_ACKSEND: u64 = 6;
+const CLASS_VPKTEND: u64 = 7;
+
+const GEN_MASK: u64 = (1 << 56) - 1;
+
+fn token(class: u64, gen: u64) -> u64 {
+    (class << 56) | (gen & GEN_MASK)
+}
+
+fn untoken(token: u64) -> (u64, u64) {
+    (token >> 56, token & GEN_MASK)
+}
+
+/// Sender-path state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SState {
+    /// Nothing in flight; may start a virtual packet.
+    Idle,
+    /// Conflict found; waiting for the conflicting transmission's end plus
+    /// `t_deferwait` before re-checking.
+    Deferring,
+    /// Virtual packet going out (header / data burst / trailer).
+    TxVpkt,
+    /// Trailer sent; waiting up to `t_ackwait` for the ACK.
+    AckWait,
+    /// Waiting the `[0, CW]` backoff between virtual packets.
+    Backoff,
+    /// Send window full; waiting `U(τ_min, τ_max)` before repacking.
+    RtxWait,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InFlight {
+    Header,
+    Data { idx: usize },
+    Trailer,
+    Ack,
+    Broadcast,
+}
+
+/// The virtual packet currently being placed on the air (or deferred).
+struct CurVpkt {
+    dst: MacAddr,
+    seq: u32,
+    pkts: Vec<DataPkt>,
+    is_rtx: bool,
+    rate: cmap_phy::Rate,
+}
+
+/// Per-sender receive state.
+#[derive(Default)]
+struct PeerState {
+    rx: PeerRx,
+}
+
+/// The CMAP link layer (see crate docs).
+pub struct CmapMac {
+    cfg: CmapConfig,
+    state: SState,
+    cur: Option<CurVpkt>,
+    window: SendWindow,
+    defer: DeferTable,
+    ongoing: OngoingList,
+    tracker: InterfererTracker,
+    peers: std::collections::HashMap<MacAddr, PeerState>,
+    /// Contention window (ns); 0 means "transmit immediately" (§3.4).
+    cw: Time,
+    sender_gen: u64,
+    rx_gen: u64,
+    pending_acks: std::collections::VecDeque<cmap::Ack>,
+    /// Virtual packets awaiting timer-based finalisation when trailers are
+    /// disabled: (sender, seq, count, data rate, data-burst start).
+    pending_finalize: std::collections::VecDeque<(MacAddr, u32, u8, cmap_phy::Rate, Time)>,
+    in_flight: Option<InFlight>,
+    rate_ctl: Box<dyn RateController>,
+}
+
+impl CmapMac {
+    /// Create a CMAP MAC with the given configuration (fixed bit-rate, the
+    /// paper's evaluation setting).
+    pub fn new(cfg: CmapConfig) -> CmapMac {
+        let rate = cfg.data_rate;
+        CmapMac::with_rate_controller(cfg, Box::new(FixedRate(rate)))
+    }
+
+    /// Create a CMAP MAC with a custom bit-rate policy (§3.5 extension).
+    /// Pair with `CmapConfig::rate_aware` to also match defer entries per
+    /// rate.
+    pub fn with_rate_controller(cfg: CmapConfig, rate_ctl: Box<dyn RateController>) -> CmapMac {
+        CmapMac {
+            cfg,
+            state: SState::Idle,
+            cur: None,
+            window: SendWindow::new(),
+            defer: DeferTable::new(),
+            ongoing: OngoingList::new(),
+            tracker: InterfererTracker::new(),
+            peers: std::collections::HashMap::new(),
+            cw: 0,
+            sender_gen: 0,
+            rx_gen: 0,
+            pending_acks: std::collections::VecDeque::new(),
+            pending_finalize: std::collections::VecDeque::new(),
+            in_flight: None,
+            rate_ctl,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CmapConfig {
+        &self.cfg
+    }
+
+    /// The defer table (introspection for tests/harnesses).
+    pub fn defer_table(&self) -> &DeferTable {
+        &self.defer
+    }
+
+    /// The ongoing-transmission list.
+    pub fn ongoing_list(&self) -> &OngoingList {
+        &self.ongoing
+    }
+
+    /// The receiver-side interference tracker.
+    pub fn interferer_tracker(&self) -> &InterfererTracker {
+        &self.tracker
+    }
+
+    /// Current contention window in nanoseconds.
+    pub fn contention_window(&self) -> Time {
+        self.cw
+    }
+
+    /// Outstanding (unacknowledged) virtual packets in the send window.
+    pub fn outstanding_vpkts(&self) -> usize {
+        self.window.outstanding()
+    }
+
+    // ---- timing helpers -------------------------------------------------
+
+    fn data_airtime(&self, payload_len: usize, rate: cmap_phy::Rate) -> Time {
+        rate.frame_airtime_ns(cmap::Data::OVERHEAD + payload_len)
+    }
+
+    fn hdr_airtime(&self) -> Time {
+        self.cfg
+            .control_rate
+            .frame_airtime_ns(HeaderTrailer::WIRE_LEN)
+    }
+
+    fn burst_airtime(&self, pkts: &[DataPkt], rate: cmap_phy::Rate) -> Time {
+        pkts.iter()
+            .map(|p| self.data_airtime(p.payload_len, rate))
+            .sum()
+    }
+
+    // ---- sender path -----------------------------------------------------
+
+    fn try_send(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.state != SState::Idle || self.in_flight.is_some() {
+            return;
+        }
+        if self.cur.is_none() {
+            // Window full and nothing repacked yet: arm the retransmission
+            // timeout (Fig 6's blocking point).
+            let window_pkts = self.cfg.n_window * self.cfg.n_vpkt;
+            if self.window.is_full(window_pkts) && !self.window.has_rtx() {
+                ctx.stats().bump("cmap.rtx_stall");
+                self.state = SState::RtxWait;
+                self.sender_gen += 1;
+                let payload = 1400; // τ is defined on nominal packets (§3.3)
+                let lo = self.cfg.tau_min(payload);
+                let hi = self.cfg.tau_max(payload).max(lo + 1);
+                let wait = ctx.rng().gen_range(lo..hi);
+                ctx.set_timer(wait, token(CLASS_RTX, self.sender_gen));
+                return;
+            }
+            self.cur = if let Some((dst, pkts)) = self.window.pop_rtx() {
+                let seq = self.window.alloc_seq(dst);
+                ctx.stats().add("cmap.rtx_vpkt", 1);
+                let rate = self.rate_ctl.choose(dst, ctx.now(), ctx.rng());
+                Some(CurVpkt {
+                    dst,
+                    seq,
+                    pkts,
+                    is_rtx: true,
+                    rate,
+                })
+            } else if self.window.is_full(self.cfg.n_window * self.cfg.n_vpkt) {
+                return; // full window, rtx already queued elsewhere
+            } else {
+                let Some(first) = ctx.app_pop() else {
+                    return; // no data; woken by on_packet_queued
+                };
+                let dst_node = first.dst;
+                let dst = first.dst_mac;
+                let mut pkts = vec![DataPkt {
+                    flow: first.flow,
+                    flow_seq: first.flow_seq,
+                    payload_len: first.payload_len,
+                }];
+                while pkts.len() < self.cfg.n_vpkt {
+                    match ctx.app_pop_to(dst_node) {
+                        Some(p) => pkts.push(DataPkt {
+                            flow: p.flow,
+                            flow_seq: p.flow_seq,
+                            payload_len: p.payload_len,
+                        }),
+                        None => break,
+                    }
+                }
+                let seq = self.window.alloc_seq(dst);
+                let rate = self.rate_ctl.choose(dst, ctx.now(), ctx.rng());
+                Some(CurVpkt {
+                    dst,
+                    seq,
+                    pkts,
+                    is_rtx: false,
+                    rate,
+                })
+            };
+            if self.cur.is_none() {
+                return;
+            }
+        }
+
+        // Transmission decision process (§3.2).
+        let dst = self.cur.as_ref().expect("set above").dst;
+        match self.check_defer(ctx, dst) {
+            Some(until) => {
+                ctx.stats().bump("cmap.defer");
+                self.state = SState::Deferring;
+                self.sender_gen += 1;
+                let now = ctx.now();
+                // Jitter the re-check around t_deferwait (the prototype's
+                // software-MAC latency was 0.5-2 ms and effectively random):
+                // without it, a deferring sender whose rival's inter-vpkt
+                // gap is shorter than a fixed t_deferwait loses every race
+                // and starves.
+                let jitter =
+                    ctx.rng().gen_range(self.cfg.t_deferwait / 2..=3 * self.cfg.t_deferwait / 2);
+                let wait = until.saturating_sub(now) + jitter;
+                ctx.set_timer(wait, token(CLASS_DEFER, self.sender_gen));
+            }
+            None => self.begin_vpkt(ctx),
+        }
+    }
+
+    /// Returns the latest end time among conflicting ongoing transmissions,
+    /// or `None` when transmission to `dst` may proceed now.
+    fn check_defer(&self, ctx: &NodeCtx<'_>, dst: MacAddr) -> Option<Time> {
+        self.check_defer_at(ctx.mac_addr(), dst, ctx.now())
+    }
+
+    /// §3.6: channel-access decision for a broadcast to the target set `v`:
+    /// the transmission may proceed only if `me → v` is conflict-free for
+    /// *every* intended receiver ("treated as a collection of unicast
+    /// transmissions"). Returns the time to defer until, or `None` to send.
+    ///
+    /// The opportunistic-routing refinement (transmit if at least one
+    /// forwarder is likely to receive, weighted by reception rates) is
+    /// future work in the paper and is not implemented.
+    pub fn check_defer_broadcast(
+        &self,
+        me: MacAddr,
+        targets: &[MacAddr],
+        now: Time,
+    ) -> Option<Time> {
+        targets
+            .iter()
+            .filter_map(|&v| self.check_defer_at(me, v, now))
+            .max()
+    }
+
+    /// The §3.2 transmission decision against the conflict map, for a
+    /// transmission `me → dst` contemplated at `now`.
+    fn check_defer_at(&self, me: MacAddr, dst: MacAddr, now: Time) -> Option<Time> {
+        let mut worst: Option<Time> = None;
+        for e in self.ongoing.iter_at(now) {
+            if e.src == me {
+                continue;
+            }
+            let rate_filter = self.cfg.rate_aware.then_some(e.rate);
+            let conflict =
+                // v must be neither sending nor receiving (§3.2)...
+                e.src == dst || e.dst == dst
+                // ...nor may we blow away a reception addressed to us
+                // (half-duplex radio).
+                || e.dst == me
+                // Defer patterns 1 and 2 against the conflict map.
+                || self.defer.must_defer(dst, e.src, e.dst, now, rate_filter);
+            if conflict {
+                worst = Some(worst.map_or(e.until, |w: Time| w.max(e.until)));
+            }
+        }
+        worst
+    }
+
+    fn begin_vpkt(&mut self, ctx: &mut NodeCtx<'_>) {
+        let (dst, seq, count, burst_ns, rate) = {
+            let cur = self.cur.as_ref().expect("begin_vpkt without vpkt");
+            (
+                cur.dst,
+                cur.seq,
+                cur.pkts.len() as u8,
+                self.burst_airtime(&cur.pkts, cur.rate),
+                cur.rate,
+            )
+        };
+        let remaining = burst_ns + self.hdr_airtime(); // data + trailer
+        let header = Frame::CmapHeader(HeaderTrailer {
+            src: ctx.mac_addr(),
+            dst,
+            tx_time_us: remaining.div_ceil(1000) as u32,
+            vpkt_seq: seq,
+            pkt_count: count,
+            data_rate: rate,
+        });
+        if ctx.transmit(header, self.cfg.control_rate) {
+            self.in_flight = Some(InFlight::Header);
+            self.state = SState::TxVpkt;
+            ctx.stats().bump("cmap.tx_vpkt");
+            if let Some(dst_node) = dst.node_index() {
+                let me = ctx.node();
+                ctx.stats().vpkt_sent(me, dst_node as usize);
+            }
+        } else {
+            // Radio race (e.g. our own ACK just started): retry shortly.
+            ctx.stats().bump("cmap.tx_blocked");
+            self.state = SState::Deferring;
+            self.sender_gen += 1;
+            ctx.set_timer(millis(1), token(CLASS_DEFER, self.sender_gen));
+        }
+    }
+
+    fn send_data(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
+        let (frame, rate) = {
+            let cur = self.cur.as_ref().expect("send_data without vpkt");
+            let p = cur.pkts[idx];
+            (
+                Frame::CmapData(cmap::Data {
+                    src: ctx.mac_addr(),
+                    dst: cur.dst,
+                    vpkt_seq: cur.seq,
+                    index: idx as u8,
+                    flow: p.flow,
+                    flow_seq: p.flow_seq,
+                    payload: vec![0xC5; p.payload_len],
+                }),
+                cur.rate,
+            )
+        };
+        if ctx.transmit(frame, rate) {
+            self.in_flight = Some(InFlight::Data { idx });
+        } else {
+            self.abort_vpkt(ctx);
+        }
+    }
+
+    fn send_trailer(&mut self, ctx: &mut NodeCtx<'_>) {
+        let frame = {
+            let cur = self.cur.as_ref().expect("send_trailer without vpkt");
+            let total =
+                2 * self.hdr_airtime() + self.burst_airtime(&cur.pkts, cur.rate);
+            Frame::CmapTrailer(HeaderTrailer {
+                src: ctx.mac_addr(),
+                dst: cur.dst,
+                tx_time_us: total.div_ceil(1000) as u32,
+                vpkt_seq: cur.seq,
+                pkt_count: cur.pkts.len() as u8,
+                data_rate: cur.rate,
+            })
+        };
+        if ctx.transmit(frame, self.cfg.control_rate) {
+            self.in_flight = Some(InFlight::Trailer);
+        } else {
+            self.abort_vpkt(ctx);
+        }
+    }
+
+    /// Mid-virtual-packet transmit failure (should not happen; kept
+    /// graceful): packets go back through the retransmission queue.
+    fn abort_vpkt(&mut self, ctx: &mut NodeCtx<'_>) {
+        ctx.stats().bump("cmap.vpkt_abort");
+        if let Some(cur) = self.cur.take() {
+            self.window.push_sent(SentVpkt {
+                dst: cur.dst,
+                seq: cur.seq,
+                pkts: cur.pkts,
+                acked: 0,
+                sent_at: ctx.now(),
+                rate: cur.rate,
+            });
+        }
+        self.state = SState::Idle;
+        self.try_send(ctx);
+    }
+
+    fn vpkt_complete(&mut self, ctx: &mut NodeCtx<'_>) {
+        let cur = self.cur.take().expect("trailer done without vpkt");
+        if cur.is_rtx {
+            ctx.stats().bump("cmap.rtx_vpkt_done");
+        }
+        self.window.push_sent(SentVpkt {
+            dst: cur.dst,
+            seq: cur.seq,
+            pkts: cur.pkts,
+            acked: 0,
+            sent_at: ctx.now(),
+            rate: cur.rate,
+        });
+        self.state = SState::AckWait;
+        self.sender_gen += 1;
+        ctx.set_timer(self.cfg.t_ackwait, token(CLASS_ACKWAIT, self.sender_gen));
+    }
+
+    fn enter_backoff(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Even with CW = 0 the prototype's software path added jittery
+        // latency before the next virtual packet; this dither is what keeps
+        // saturated senders from phase-locking (see `CmapConfig::sw_jitter`).
+        let upper = if self.cw == 0 { self.cfg.sw_jitter } else { self.cw };
+        if upper == 0 {
+            self.state = SState::Idle;
+            self.try_send(ctx);
+            return;
+        }
+        self.state = SState::Backoff;
+        self.sender_gen += 1;
+        let wait = ctx.rng().gen_range(0..=upper);
+        ctx.set_timer(wait, token(CLASS_BACKOFF, self.sender_gen));
+    }
+
+    /// Feed per-rate delivery outcomes to the rate controller (§3.5).
+    fn drain_rate_feedback(&mut self, ctx: &mut NodeCtx<'_>) {
+        for (dst, rate, acked, lost) in self.window.take_feedback() {
+            self.rate_ctl.feedback(dst, rate, acked, lost, ctx.now());
+        }
+    }
+
+    /// Fig 7: CW update from the loss rate reported in an ACK.
+    fn update_cw(&mut self, ctx: &mut NodeCtx<'_>, loss: f64) {
+        if !self.cfg.backoff_enabled {
+            self.cw = 0;
+            return;
+        }
+        if loss > self.cfg.l_backoff {
+            self.cw = if self.cw == 0 {
+                self.cfg.cw_start
+            } else {
+                (self.cw * 2).min(self.cfg.cw_max)
+            };
+            ctx.stats().bump("cmap.cw_increase");
+        } else {
+            self.cw = 0;
+        }
+    }
+
+    fn handle_ack(&mut self, ctx: &mut NodeCtx<'_>, ack: &cmap::Ack) {
+        ctx.stats().bump("cmap.ack_rx");
+        let newly = self.window.on_ack(ack.src, ack.base_vpkt_seq, &ack.bitmaps);
+        ctx.stats().add("cmap.pkts_acked", newly as u64);
+        self.drain_rate_feedback(ctx);
+        self.update_cw(ctx, ack.loss_rate_fraction());
+        match self.state {
+            SState::AckWait => {
+                self.sender_gen += 1;
+                self.enter_backoff(ctx);
+            }
+            SState::RtxWait if !self.window.is_full(self.cfg.n_window * self.cfg.n_vpkt) => {
+                // The window opened up: abandon the timeout and keep going.
+                self.sender_gen += 1;
+                self.state = SState::Idle;
+                self.try_send(ctx);
+            }
+            SState::Idle => self.try_send(ctx),
+            _ => {}
+        }
+    }
+
+    // ---- receiver path ---------------------------------------------------
+
+    fn on_cmap_header(&mut self, ctx: &mut NodeCtx<'_>, h: &HeaderTrailer, info: RxInfo) {
+        let until = info.end + micros(h.tx_time_us as u64);
+        self.ongoing.note_header(h.src, h.dst, until, h.data_rate);
+        self.tracker.note_activity(h.src, info.start, until);
+        if h.dst == ctx.mac_addr() {
+            self.peers
+                .entry(h.src)
+                .or_default()
+                .rx
+                .on_header(h.vpkt_seq, h.pkt_count, info.end);
+            if let Some(src_node) = h.src.node_index() {
+                let me = ctx.node();
+                ctx.stats()
+                    .vpkt_received(src_node as usize, me, h.vpkt_seq, false);
+            }
+            if !self.cfg.send_trailers {
+                // No trailer will come: finalise off the header's schedule.
+                let data_air = self.data_airtime(1400, h.data_rate).max(1);
+                let wait = h.pkt_count as Time * data_air + millis(1) / 2;
+                self.pending_finalize.push_back((
+                    h.src,
+                    h.vpkt_seq,
+                    h.pkt_count,
+                    h.data_rate,
+                    info.end,
+                ));
+                ctx.set_timer(wait, token(CLASS_VPKTEND, 0));
+            }
+        }
+    }
+
+    fn on_cmap_trailer(&mut self, ctx: &mut NodeCtx<'_>, t: &HeaderTrailer, info: RxInfo) {
+        let now = ctx.now();
+        self.ongoing.note_trailer(t.src, now);
+        let span = micros(t.tx_time_us as u64);
+        self.tracker
+            .note_activity(t.src, info.end.saturating_sub(span), info.end);
+        if t.dst != ctx.mac_addr() {
+            return;
+        }
+        if let Some(src_node) = t.src.node_index() {
+            let me = ctx.node();
+            ctx.stats()
+                .vpkt_received(src_node as usize, me, t.vpkt_seq, true);
+        }
+        let data_air = self.data_airtime(1400, t.data_rate).max(1);
+        self.peers
+            .entry(t.src)
+            .or_default()
+            .rx
+            .on_trailer(t.vpkt_seq, t.pkt_count);
+        let fallback_t0 = info
+            .start
+            .saturating_sub(t.pkt_count as Time * data_air);
+        self.finalize_and_ack(ctx, t.src, t.vpkt_seq, t.pkt_count, t.data_rate, fallback_t0);
+    }
+
+    /// Complete a virtual packet at the receiver: attribute per-packet
+    /// losses to overheard concurrent transmitters (§3.1) and queue the
+    /// cumulative ACK (§3.3). Triggered by the trailer, or by a timer when
+    /// trailers are disabled.
+    fn finalize_and_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        src: MacAddr,
+        vpkt_seq: u32,
+        pkt_count: u8,
+        data_rate: cmap_phy::Rate,
+        fallback_t0: Time,
+    ) {
+        let now = ctx.now();
+        let data_air = self.data_airtime(1400, data_rate).max(1);
+        let (bits, t0) = {
+            let peer = self.peers.entry(src).or_default();
+            let rec = peer.rx.record(vpkt_seq).copied().unwrap_or_default();
+            (rec.bits, rec.data_start.unwrap_or(fallback_t0))
+        };
+        // Judge concurrency over the whole virtual-packet span (not packet
+        // by packet): activity knowledge is biased toward gaps, and biased
+        // per-packet samples fabricate conflicts (see
+        // InterfererTracker::concurrent_sources).
+        let span_end = t0 + pkt_count as Time * data_air;
+        let concurrent = self.tracker.concurrent_sources(t0, span_end, 0.5, src);
+        for x in concurrent {
+            for i in 0..pkt_count {
+                let lost = bits & (1 << i) == 0;
+                self.tracker.record_pair(
+                    src,
+                    x,
+                    lost,
+                    data_rate,
+                    now,
+                    self.cfg.l_interf,
+                    self.cfg.interferer_min_samples,
+                    self.cfg.interferer_timeout,
+                );
+            }
+        }
+        let (base, bitmaps, loss) = {
+            let peer = self.peers.get_mut(&src).expect("created above");
+            peer.rx
+                .build_ack(vpkt_seq, self.cfg.n_window, self.cfg.n_vpkt as u8)
+        };
+        let il_entries = if self.cfg.il_in_acks {
+            self.tracker
+                .entries_at(now)
+                .into_iter()
+                .take(cmap::Ack::MAX_IL_ENTRIES)
+                .map(|(source, interferer, source_rate)| cmap::InterfererEntry {
+                    source,
+                    interferer,
+                    source_rate,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.pending_acks.push_back(cmap::Ack {
+            src: ctx.mac_addr(),
+            dst: src,
+            base_vpkt_seq: base,
+            bitmaps,
+            loss_rate: cmap::Ack::scale_loss_rate(loss),
+            il_entries,
+        });
+        self.rx_gen += 1;
+        let turnaround = self.jittered_turnaround(ctx);
+        ctx.set_timer(turnaround, token(CLASS_ACKSEND, self.rx_gen));
+    }
+
+    /// ACK turnaround with the prototype's software jitter: uniform in
+    /// `ack_turnaround ± sw_jitter/2`, floored at 100 µs.
+    fn jittered_turnaround(&mut self, ctx: &mut NodeCtx<'_>) -> Time {
+        let half = self.cfg.sw_jitter / 2;
+        let lo = self.cfg.ack_turnaround.saturating_sub(half).max(micros(100));
+        let hi = self.cfg.ack_turnaround + half;
+        ctx.rng().gen_range(lo..=hi)
+    }
+
+    fn send_pending_ack(&mut self, ctx: &mut NodeCtx<'_>) {
+        let Some(ack) = self.pending_acks.pop_front() else {
+            return;
+        };
+        if self.in_flight.is_some() {
+            ctx.stats().bump("cmap.ack_blocked");
+            return;
+        }
+        if ctx.transmit(Frame::CmapAck(ack), self.cfg.control_rate) {
+            self.in_flight = Some(InFlight::Ack);
+            ctx.stats().bump("cmap.ack_tx");
+        } else {
+            ctx.stats().bump("cmap.ack_blocked");
+        }
+    }
+
+    fn on_interferer_list(&mut self, ctx: &mut NodeCtx<'_>, il: &cmap::InterfererList) {
+        self.apply_il_entries(ctx, il.src, &il.entries);
+    }
+
+    /// Apply update rules 1 and 2 (§3.1) to entries advertised by
+    /// receiver `r` — whether they arrived in a standalone broadcast or
+    /// piggybacked on an (overheard) ACK.
+    fn apply_il_entries(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        r: MacAddr,
+        entries: &[cmap::InterfererEntry],
+    ) {
+        let me = ctx.mac_addr();
+        let expires = ctx.now() + self.cfg.defer_entry_timeout;
+        for e in entries {
+            if e.source == me {
+                // Update rule 1: (r : q -> *).
+                self.defer.apply_rule1(r, e.interferer, e.source_rate, expires);
+            }
+            if e.interferer == me {
+                // Update rule 2: (* : q -> r).
+                self.defer.apply_rule2(r, e.source, e.source_rate, expires);
+            }
+        }
+    }
+
+    fn broadcast_tick(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        self.tracker.decay();
+        self.tracker.prune(now, self.cfg.broadcast_period * 2);
+        self.defer.prune(now);
+        self.ongoing.prune(now);
+        let entries: Vec<_> = self
+            .tracker
+            .entries_at(now)
+            .into_iter()
+            .take(cmap::InterfererList::MAX_ENTRIES)
+            .map(|(source, interferer, source_rate)| cmap::InterfererEntry {
+                source,
+                interferer,
+                source_rate,
+            })
+            .collect();
+        if !entries.is_empty() && self.in_flight.is_none() {
+            let frame = Frame::CmapInterfererList(cmap::InterfererList {
+                src: ctx.mac_addr(),
+                entries,
+            });
+            if ctx.transmit(frame, self.cfg.control_rate) {
+                self.in_flight = Some(InFlight::Broadcast);
+                ctx.stats().bump("cmap.il_broadcast");
+            } else {
+                ctx.stats().bump("cmap.il_blocked");
+            }
+        }
+        // Re-arm with jitter to avoid network-wide phase lock.
+        let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period / 4);
+        ctx.set_timer(
+            self.cfg.broadcast_period + jitter,
+            token(CLASS_BCAST, 0),
+        );
+    }
+}
+
+impl Mac for CmapMac {
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+        let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period);
+        ctx.set_timer(jitter, token(CLASS_BCAST, 0));
+        self.try_send(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tok: u64) {
+        let (class, gen) = untoken(tok);
+        match class {
+            CLASS_BCAST => self.broadcast_tick(ctx),
+            CLASS_ACKSEND => {
+                if gen == self.rx_gen {
+                    self.send_pending_ack(ctx);
+                } else if !self.pending_acks.is_empty() {
+                    // Superseded timer; newest timer will cover the queue.
+                }
+            }
+            CLASS_VPKTEND => {
+                if let Some((src, seq, count, rate, t0)) = self.pending_finalize.pop_front() {
+                    self.finalize_and_ack(ctx, src, seq, count, rate, t0);
+                }
+            }
+            CLASS_ACKWAIT if gen == self.sender_gen && self.state == SState::AckWait => {
+                // No ACK within t_ackwait; CW unchanged (§3.4: no backoff
+                // update on mere ACK absence).
+                self.enter_backoff(ctx);
+            }
+            CLASS_BACKOFF if gen == self.sender_gen && self.state == SState::Backoff => {
+                self.state = SState::Idle;
+                self.try_send(ctx);
+            }
+            CLASS_DEFER if gen == self.sender_gen && self.state == SState::Deferring => {
+                self.state = SState::Idle;
+                self.try_send(ctx);
+            }
+            CLASS_RTX if gen == self.sender_gen && self.state == SState::RtxWait => {
+                let n = self.window.repack_for_rtx(self.cfg.n_vpkt);
+                ctx.stats().add("cmap.rtx_pkt", n as u64);
+                self.drain_rate_feedback(ctx);
+                self.state = SState::Idle;
+                self.try_send(ctx);
+            }
+            _ => {} // stale token
+        }
+    }
+
+    fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, info: RxInfo) {
+        match frame {
+            Frame::CmapHeader(h) => self.on_cmap_header(ctx, h, info),
+            Frame::CmapTrailer(t) => self.on_cmap_trailer(ctx, t, info),
+            Frame::CmapData(d) => {
+                self.tracker.note_activity(d.src, info.start, info.end);
+                if d.dst == ctx.mac_addr() {
+                    self.peers
+                        .entry(d.src)
+                        .or_default()
+                        .rx
+                        .on_data(d.vpkt_seq, d.index);
+                    ctx.deliver(d.flow, d.flow_seq);
+                } else {
+                    // Missed the header? Keep the ongoing entry alive long
+                    // enough to cover a couple more packets.
+                    let guard = 2 * self.data_airtime(d.payload.len(), info.rate);
+                    self.ongoing
+                        .note_data(d.src, d.dst, ctx.now(), guard, info.rate);
+                }
+            }
+            Frame::CmapAck(a) => {
+                self.tracker.note_activity(a.src, info.start, info.end);
+                if !a.il_entries.is_empty() {
+                    self.apply_il_entries(ctx, a.src, &a.il_entries);
+                }
+                if a.dst == ctx.mac_addr() {
+                    self.handle_ack(ctx, a);
+                }
+            }
+            Frame::CmapInterfererList(il) => {
+                self.tracker.note_activity(il.src, info.start, info.end);
+                self.on_interferer_list(ctx, il);
+            }
+            Frame::Dot11Data(_) | Frame::Dot11Ack(_) => {
+                // Foreign MAC's frames: energy was already modelled; CMAP
+                // cannot decode their semantics (paper note 1).
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut NodeCtx<'_>) {
+        match self.in_flight.take() {
+            Some(InFlight::Header) => self.send_data(ctx, 0),
+            Some(InFlight::Data { idx }) => {
+                let count = self.cur.as_ref().map_or(0, |c| c.pkts.len());
+                if idx + 1 < count {
+                    self.send_data(ctx, idx + 1);
+                } else if self.cfg.send_trailers {
+                    self.send_trailer(ctx);
+                } else {
+                    self.vpkt_complete(ctx);
+                }
+            }
+            Some(InFlight::Trailer) => self.vpkt_complete(ctx),
+            Some(InFlight::Ack) => {
+                if !self.pending_acks.is_empty() {
+                    self.rx_gen += 1;
+                    let turnaround = self.jittered_turnaround(ctx);
+                    ctx.set_timer(turnaround, token(CLASS_ACKSEND, self.rx_gen));
+                }
+                // The sender path may have been blocked by this ACK.
+                if self.state == SState::Idle {
+                    self.try_send(ctx);
+                }
+            }
+            Some(InFlight::Broadcast) => {
+                if self.state == SState::Idle {
+                    self.try_send(ctx);
+                }
+            }
+            None => {
+                ctx.stats().bump("cmap.unexpected_tx_done");
+            }
+        }
+    }
+
+    fn on_packet_queued(&mut self, ctx: &mut NodeCtx<'_>) {
+        if self.state == SState::Idle {
+            self.try_send(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmap_mac80211::{DcfConfig, DcfMac};
+    use cmap_sim::time::secs;
+    use cmap_sim::{Medium, PhyConfig, World};
+
+    fn world_from_rss(n: usize, rss: &[(usize, usize, f64)], seed: u64) -> World {
+        let phy = PhyConfig::default();
+        let mut gains = vec![f64::NEG_INFINITY; n * n];
+        for &(a, b, rss_dbm) in rss {
+            gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
+        }
+        let delays = vec![100u64; n * n];
+        let medium = Medium::from_gains_db(n, &gains, &delays, &phy);
+        World::new(medium, phy, seed)
+    }
+
+    fn sym(a: usize, b: usize, rss: f64) -> [(usize, usize, f64); 2] {
+        [(a, b, rss), (b, a, rss)]
+    }
+
+    fn tput(w: &World, flow: u16, from: u64, to: u64) -> f64 {
+        w.stats()
+            .flow_throughput_mbps(flow, w.flow(flow).payload_len, from, to)
+    }
+
+    fn cmap_all(w: &mut World, n: usize, cfg: &CmapConfig) {
+        for node in 0..n {
+            w.set_mac(node, Box::new(CmapMac::new(cfg.clone())));
+        }
+    }
+
+    #[test]
+    fn single_link_throughput_comparable_to_dcf() {
+        // §4.2 calibration: CMAP 5.04 vs 802.11 5.07 Mbit/s on one link.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+
+        let mut w = world_from_rss(2, &rss, 1);
+        let f = w.add_flow(0, 1, 1400);
+        cmap_all(&mut w, 2, &CmapConfig::default());
+        w.run_until(secs(10));
+        let cmap = tput(&w, f, secs(2), secs(10));
+
+        let mut w2 = world_from_rss(2, &rss, 2);
+        let f2 = w2.add_flow(0, 1, 1400);
+        w2.set_mac(0, Box::new(DcfMac::new(DcfConfig::status_quo())));
+        w2.set_mac(1, Box::new(DcfMac::new(DcfConfig::status_quo())));
+        w2.run_until(secs(10));
+        let dcf = tput(&w2, f2, secs(2), secs(10));
+
+        assert!((4.6..6.0).contains(&cmap), "CMAP single link {cmap}");
+        assert!(
+            (cmap - dcf).abs() < 0.6,
+            "CMAP {cmap} vs DCF {dcf}: not a fair comparison"
+        );
+    }
+
+    #[test]
+    fn exposed_terminals_run_concurrently() {
+        // Fig 12's headline: exposed configuration, CMAP ~2x the status quo.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        rss.extend(sym(2, 3, -60.0));
+        rss.extend(sym(0, 2, -75.0)); // senders hear each other
+        rss.extend(sym(0, 3, -93.0)); // receivers barely hear the other tx
+        rss.extend(sym(2, 1, -93.0));
+        rss.extend(sym(1, 3, -95.0));
+
+        let mut w = world_from_rss(4, &rss, 3);
+        let f1 = w.add_flow(0, 1, 1400);
+        let f2 = w.add_flow(2, 3, 1400);
+        cmap_all(&mut w, 4, &CmapConfig::default());
+        w.run_until(secs(10));
+        let agg = tput(&w, f1, secs(2), secs(10)) + tput(&w, f2, secs(2), secs(10));
+        assert!(agg > 8.0, "CMAP exposed aggregate only {agg} Mbit/s");
+        // Senders should essentially never defer to each other here.
+        let defers = w.stats().counter("cmap.defer");
+        let vpkts = w.stats().counter("cmap.tx_vpkt");
+        assert!(defers < vpkts / 4, "{defers} defers for {vpkts} vpkts");
+    }
+
+    #[test]
+    fn conflicting_pairs_learn_to_defer() {
+        // Both receivers are blasted by the other sender: concurrent
+        // transmission loses. CMAP must converge to sequential operation
+        // comparable to carrier sense.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        rss.extend(sym(2, 3, -60.0));
+        rss.extend(sym(0, 2, -65.0));
+        rss.extend(sym(0, 3, -63.0)); // strong cross-interference
+        rss.extend(sym(2, 1, -63.0));
+        rss.extend(sym(1, 3, -80.0));
+
+        let mut w = world_from_rss(4, &rss, 4);
+        let f1 = w.add_flow(0, 1, 1400);
+        let f2 = w.add_flow(2, 3, 1400);
+        cmap_all(&mut w, 4, &CmapConfig::default());
+        w.run_until(secs(20));
+        // Measure after convergence.
+        let agg = tput(&w, f1, secs(8), secs(20)) + tput(&w, f2, secs(8), secs(20));
+        assert!(
+            (3.2..6.4).contains(&agg),
+            "CMAP conflicting aggregate {agg} (want about the single-link rate)"
+        );
+        // The defer machinery must actually be engaging.
+        assert!(
+            w.stats().counter("cmap.defer") > 20,
+            "defers: {}",
+            w.stats().counter("cmap.defer")
+        );
+        assert!(w.stats().counter("cmap.il_broadcast") > 0);
+        // Senders' defer tables hold entries.
+        let d0 = w
+            .mac_ref(0)
+            .as_any()
+            .downcast_ref::<CmapMac>()
+            .unwrap()
+            .defer_table()
+            .len_at(w.now());
+        let d2 = w
+            .mac_ref(2)
+            .as_any()
+            .downcast_ref::<CmapMac>()
+            .unwrap()
+            .defer_table()
+            .len_at(w.now());
+        assert!(d0 + d2 > 0, "no defer entries learned");
+    }
+
+    #[test]
+    fn hidden_terminals_survive_via_backoff() {
+        // Senders out of range of each other; both receivers hear both
+        // senders (Fig 11(c)). The defer machinery cannot engage at the
+        // senders, so the loss-rate backoff must prevent collapse (§5.5).
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        rss.extend(sym(2, 3, -60.0));
+        rss.extend(sym(0, 3, -62.0));
+        rss.extend(sym(2, 1, -62.0));
+        rss.extend(sym(1, 3, -70.0));
+
+        let mut w = world_from_rss(4, &rss, 5);
+        let f1 = w.add_flow(0, 1, 1400);
+        let f2 = w.add_flow(2, 3, 1400);
+        cmap_all(&mut w, 4, &CmapConfig::default());
+        w.run_until(secs(20));
+        let agg = tput(&w, f1, secs(8), secs(20)) + tput(&w, f2, secs(8), secs(20));
+        // The paper's hidden-terminal result: comparable to the status quo,
+        // i.e. a meaningful fraction of the single-pair rate rather than
+        // zero.
+        assert!(agg > 1.5, "hidden-terminal aggregate collapsed: {agg}");
+        assert!(
+            w.stats().counter("cmap.cw_increase") > 0,
+            "backoff never engaged"
+        );
+    }
+
+    #[test]
+    fn stop_and_wait_window_is_no_better() {
+        // Fig 12's ablation: windowed ACKs matter in exposed configurations
+        // because ACKs collide at the senders. win=1 must not beat win=8.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        rss.extend(sym(2, 3, -60.0));
+        rss.extend(sym(0, 2, -75.0));
+        rss.extend(sym(0, 3, -90.0)); // some cross-noise to threaten ACKs
+        rss.extend(sym(2, 1, -90.0));
+        rss.extend(sym(1, 3, -95.0));
+
+        let run = |cfg: CmapConfig, seed| {
+            let mut w = world_from_rss(4, &rss, seed);
+            let f1 = w.add_flow(0, 1, 1400);
+            let f2 = w.add_flow(2, 3, 1400);
+            cmap_all(&mut w, 4, &cfg);
+            w.run_until(secs(10));
+            tput(&w, f1, secs(2), secs(10)) + tput(&w, f2, secs(2), secs(10))
+        };
+        let win8 = run(CmapConfig::default(), 6);
+        let win1 = run(CmapConfig::default().stop_and_wait(), 7);
+        assert!(
+            win1 <= win8 + 0.5,
+            "stop-and-wait {win1} should not beat windowed {win8}"
+        );
+        assert!(win8 > 8.0, "windowed exposed aggregate {win8}");
+    }
+
+    #[test]
+    fn broadcast_decision_is_conjunction_over_targets() {
+        use cmap_wire::MacAddr;
+        let a = |i: u16| MacAddr::from_node_index(i);
+        let (me, v1, v2, x, y) = (a(0), a(1), a(2), a(3), a(4));
+        let mut mac = CmapMac::new(CmapConfig::default());
+        // Ongoing transmission x -> y until t=1000.
+        mac.ongoing
+            .note_header(x, y, 1000, cmap_phy::Rate::R6);
+        // Conflict known only for v2: (v2 : x -> *).
+        mac.defer.apply_rule1(v2, x, cmap_phy::Rate::R6, 10_000);
+
+        // Unicast-style checks via the broadcast API with one target.
+        assert_eq!(mac.check_defer_broadcast(me, &[v1], 0), None);
+        assert_eq!(mac.check_defer_broadcast(me, &[v2], 0), Some(1000));
+        // Broadcast to both: the v2 conflict forces deferral (section 3.6).
+        assert_eq!(mac.check_defer_broadcast(me, &[v1, v2], 0), Some(1000));
+        // Empty target set trivially proceeds.
+        assert_eq!(mac.check_defer_broadcast(me, &[], 0), None);
+        // After the ongoing transmission ends, all clear.
+        assert_eq!(mac.check_defer_broadcast(me, &[v1, v2], 1000), None);
+        // A target that is itself receiving is busy regardless of the map.
+        assert_eq!(mac.check_defer_broadcast(me, &[y], 0), Some(1000));
+    }
+
+    #[test]
+    fn rate_adaptation_finds_the_right_rate_per_link() {
+        use crate::rate_control::ThroughputRate;
+        // Strong link (-60 dBm: 34 dB SNR supports 54 Mbit/s) and a weak
+        // link (-86 dBm: 8 dB SNR supports ~12 but not 24): the adapter
+        // must climb on the first and hold low on the second.
+        let run = |rss_dbm: f64, seed| {
+            let mut rss = Vec::new();
+            rss.extend(sym(0, 1, rss_dbm));
+            let mut w = world_from_rss(2, &rss, seed);
+            let f = w.add_flow(0, 1, 1400);
+            let cfg = CmapConfig::default();
+            for node in 0..2 {
+                w.set_mac(
+                    node,
+                    Box::new(CmapMac::with_rate_controller(
+                        cfg.clone(),
+                        Box::new(ThroughputRate::full_ladder()),
+                    )),
+                );
+            }
+            w.run_until(secs(12));
+            tput(&w, f, secs(6), secs(12))
+        };
+        let strong = run(-60.0, 50);
+        let weak = run(-86.0, 51);
+        // 54 Mbit/s with per-vpkt overheads lands well above 20 Mbit/s.
+        assert!(strong > 15.0, "strong-link adapted throughput {strong}");
+        // The weak link must not collapse chasing high rates, and cannot
+        // exceed what ~12-18 Mbit/s delivers.
+        assert!((2.0..14.0).contains(&weak), "weak-link throughput {weak}");
+        assert!(strong > 2.0 * weak);
+    }
+
+    #[test]
+    fn multi_destination_sender_interleaves_flows() {
+        // One sender, two destinations (the mesh source pattern): both
+        // flows must make progress and the per-destination vpkt sequence
+        // spaces must not interfere.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        rss.extend(sym(0, 2, -60.0));
+        rss.extend(sym(1, 2, -70.0));
+        let mut w = world_from_rss(3, &rss, 40);
+        let f1 = w.add_flow(0, 1, 1400);
+        let f2 = w.add_flow(0, 2, 1400);
+        cmap_all(&mut w, 3, &CmapConfig::default());
+        w.run_until(secs(10));
+        let t1 = tput(&w, f1, secs(2), secs(10));
+        let t2 = tput(&w, f2, secs(2), secs(10));
+        // The two flows share one radio: each gets roughly half.
+        assert!(t1 > 1.5 && t2 > 1.5, "{t1} / {t2}");
+        assert!((t1 - t2).abs() < 1.5, "unfair: {t1} vs {t2}");
+        assert_eq!(w.stats().flow(f1).duplicates, 0);
+        assert_eq!(w.stats().flow(f2).duplicates, 0);
+    }
+
+    #[test]
+    fn no_trailer_variant_still_delivers() {
+        // Ablation: without trailers the receiver finalises off the header
+        // timer; on a clean link throughput must stay close to the default.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        let run = |cfg: CmapConfig, seed| {
+            let mut w = world_from_rss(2, &rss, seed);
+            let f = w.add_flow(0, 1, 1400);
+            cmap_all(&mut w, 2, &cfg);
+            w.run_until(secs(8));
+            let t = tput(&w, f, secs(2), secs(8));
+            let trailers = w
+                .stats()
+                .vpkt_stats(0, 1)
+                .map_or(0, |v| v.trailer_count());
+            (t, trailers)
+        };
+        let (t_def, trl_def) = run(CmapConfig::default(), 31);
+        let (t_no, trl_no) = run(CmapConfig::default().without_trailers(), 32);
+        assert!(trl_def > 50, "default run sent no trailers?");
+        assert_eq!(trl_no, 0, "no-trailer run still produced trailers");
+        assert!(
+            t_no > 0.85 * t_def,
+            "no-trailer throughput {t_no} vs default {t_def}"
+        );
+    }
+
+    #[test]
+    fn backoff_ablation_hurts_hidden_terminals() {
+        // Without the loss-rate backoff, hidden senders blast through each
+        // other; §5.5's mechanism should visibly help.
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        rss.extend(sym(2, 3, -60.0));
+        rss.extend(sym(0, 3, -62.0));
+        rss.extend(sym(2, 1, -62.0));
+        rss.extend(sym(1, 3, -70.0));
+        let run = |cfg: CmapConfig, seed| {
+            let mut w = world_from_rss(4, &rss, seed);
+            let f1 = w.add_flow(0, 1, 1400);
+            let f2 = w.add_flow(2, 3, 1400);
+            cmap_all(&mut w, 4, &cfg);
+            w.run_until(secs(15));
+            tput(&w, f1, secs(6), secs(15)) + tput(&w, f2, secs(6), secs(15))
+        };
+        let with = run(CmapConfig::default(), 33);
+        let without = run(CmapConfig::default().without_backoff(), 34);
+        assert!(
+            with > without * 0.9,
+            "backoff should not hurt: with {with}, without {without}"
+        );
+        // The ablated variant must show the pathology at least mildly.
+        assert!(without < 5.0, "hidden blast unexpectedly healthy: {without}");
+    }
+
+    #[test]
+    fn ack_contains_loss_feedback_and_dup_suppression_works() {
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        let mut w = world_from_rss(2, &rss, 8);
+        let f = w.add_flow(0, 1, 1400);
+        cmap_all(&mut w, 2, &CmapConfig::default());
+        w.run_until(secs(5));
+        // Clean link: essentially no retransmissions, no duplicates, CW 0.
+        assert_eq!(w.stats().flow(f).duplicates, 0);
+        let mac = w.mac_ref(0).as_any().downcast_ref::<CmapMac>().unwrap();
+        assert_eq!(mac.contention_window(), 0);
+        assert!(w.stats().counter("cmap.ack_tx") > 50);
+    }
+}

@@ -1,0 +1,77 @@
+//! Two senders in range of each other: Fig 13 (§5.3).
+//!
+//! Unlike the exposed-terminal selection, the cross-link signal strengths
+//! are unconstrained: some pairs conflict (carrier sense was right), some
+//! are exposed terminals (carrier sense was wasteful). The figure shows
+//! CMAP tracking whichever of CS-on / CS-off is better per pair — it
+//! *discriminates* instead of guessing.
+
+use cmap_sim::rng::{derive_seed, stream_rng};
+use cmap_topo::select;
+
+use crate::exposed::Curve;
+use crate::protocol::Protocol;
+use crate::runner::{parallel_map, run_links, testbed_ctx, Spec};
+
+/// The Fig 13 line-up over in-range sender pairs.
+pub fn fig13(spec: &Spec) -> Vec<Curve> {
+    let ctx = testbed_ctx(spec);
+    let mut rng = stream_rng(spec.run_seed, 0xF13);
+    let pairs = select::in_range_pairs(&ctx.lm, spec.configs, &mut rng);
+    assert!(!pairs.is_empty(), "no in-range pairs in testbed");
+    let protocols = [
+        Protocol::cs_on(),
+        Protocol::cs_off_acks(),
+        Protocol::cs_off_no_acks(),
+        Protocol::cmap(),
+    ];
+    protocols
+        .iter()
+        .enumerate()
+        .map(|(pi, proto)| {
+            let samples = parallel_map(&pairs, |pair| {
+                let links = [(pair.s1, pair.r1), (pair.s2, pair.r2)];
+                let stream = 0xF13_0000u64
+                    ^ ((pi as u64) << 20)
+                    ^ ((pair.s1 as u64) << 12)
+                    ^ ((pair.s2 as u64) << 4)
+                    ^ pair.r1 as u64;
+                run_links(&ctx, &links, proto, spec, derive_seed(spec.run_seed, stream))
+                    .aggregate_mbps()
+            });
+            Curve {
+                label: proto.label(),
+                samples,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmap_sim::time::secs;
+
+    #[test]
+    fn cmap_is_never_much_worse_than_the_best_baseline() {
+        let spec = Spec {
+            duration: secs(12),
+            configs: 3,
+            ..Spec::default()
+        };
+        let curves = fig13(&spec);
+        assert_eq!(curves.len(), 4);
+        let mean = |label: &str| {
+            let c = curves.iter().find(|c| c.label == label).expect(label);
+            c.samples.iter().sum::<f64>() / c.samples.len() as f64
+        };
+        let cs_on = mean("CS, acks");
+        let cmap = mean("CMAP");
+        // CMAP should at least roughly match carrier sense on mixed pairs
+        // (it converges to it when pairs conflict, §5.3).
+        assert!(
+            cmap > 0.7 * cs_on,
+            "CMAP {cmap:.2} collapsed vs CS {cs_on:.2}"
+        );
+    }
+}

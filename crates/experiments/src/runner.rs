@@ -1,0 +1,238 @@
+//! Shared run machinery: specs, world construction, measurement.
+
+use cmap_sim::time::{secs, Time};
+use cmap_sim::{Medium, PhyConfig, World};
+use cmap_topo::{LinkMeasurements, RadioEnv, Testbed};
+
+use crate::protocol::Protocol;
+
+/// Parameters every experiment takes.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Seed for testbed generation (the "building").
+    pub testbed_seed: u64,
+    /// Seed for run randomness (fading, backoff draws, selection).
+    pub run_seed: u64,
+    /// Simulated duration of each run.
+    pub duration: Time,
+    /// Fraction of the run discarded as warm-up; throughput is measured
+    /// over the rest (the paper measures the last 60 of 100 seconds).
+    pub warmup_frac: f64,
+    /// Application payload per packet (the paper uses 1400 bytes).
+    pub payload: usize,
+    /// Number of configurations (link pairs, topologies, ...) to evaluate.
+    pub configs: usize,
+}
+
+impl Default for Spec {
+    fn default() -> Spec {
+        Spec {
+            testbed_seed: 42,
+            run_seed: 1,
+            duration: secs(30),
+            warmup_frac: 0.4,
+            payload: 1400,
+            configs: 50,
+        }
+    }
+}
+
+impl Spec {
+    /// Short runs for unit/integration tests.
+    pub fn quick() -> Spec {
+        Spec {
+            duration: secs(10),
+            configs: 6,
+            ..Spec::default()
+        }
+    }
+
+    /// The paper's full method: 100-second runs measured over the last 60.
+    pub fn full() -> Spec {
+        Spec {
+            duration: secs(100),
+            warmup_frac: 0.4,
+            ..Spec::default()
+        }
+    }
+
+    /// Start of the measurement window.
+    pub fn measure_from(&self) -> Time {
+        (self.duration as f64 * self.warmup_frac) as Time
+    }
+}
+
+/// A generated testbed plus its pre-run link measurements.
+pub struct TestbedCtx {
+    /// The testbed.
+    pub tb: Testbed,
+    /// Analytic PRR/RSS measurements at the base rate.
+    pub lm: LinkMeasurements,
+    /// The PHY configuration all runs use.
+    pub phy: PhyConfig,
+}
+
+/// Translate the simulator's PHY config into the measurement environment.
+pub fn radio_env(phy: &PhyConfig) -> RadioEnv {
+    RadioEnv {
+        tx_power_dbm: phy.tx_power_dbm,
+        noise_floor_dbm: phy.noise_floor_dbm,
+        fading_sigma_db: phy.fading_sigma_db,
+        fading_boost_prob: phy.fading_boost_prob,
+        fading_boost_db: phy.fading_boost_db,
+        sensitivity_dbm: phy.sensitivity_dbm,
+    }
+}
+
+/// Generate the testbed for `spec` and measure its links (as the authors
+/// did "shortly before running the corresponding experiment", §5.1).
+pub fn testbed_ctx(spec: &Spec) -> TestbedCtx {
+    let phy = PhyConfig::default();
+    let tb = Testbed::office_floor(spec.testbed_seed);
+    let lm = LinkMeasurements::analyze(
+        &tb,
+        &radio_env(&phy),
+        cmap_phy::Rate::R6,
+        spec.payload,
+    );
+    TestbedCtx { tb, lm, phy }
+}
+
+/// Build a world over the testbed's medium.
+pub fn build_world(ctx: &TestbedCtx, seed: u64) -> World {
+    let medium = Medium::from_gains_db(ctx.tb.len(), &ctx.tb.gains_db, &ctx.tb.delay_ns, &ctx.phy);
+    World::new(medium, ctx.phy.clone(), seed)
+}
+
+/// What one run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Throughput of each flow in Mbit/s over the measurement window, in
+    /// the order the links were given.
+    pub per_flow_mbps: Vec<f64>,
+    /// Per intended link `(src, dst)`: virtual-packet header reception rate
+    /// and header-or-trailer reception rate (CMAP runs only).
+    pub hdr_rates: Vec<((usize, usize), f64, f64)>,
+    /// Selected run counters for diagnostics.
+    pub defers: u64,
+    /// Total transmissions.
+    pub txs: u64,
+}
+
+impl RunOutput {
+    /// Sum of flow throughputs.
+    pub fn aggregate_mbps(&self) -> f64 {
+        self.per_flow_mbps.iter().sum()
+    }
+}
+
+/// Run saturated flows over `links` under `protocol` and measure.
+pub fn run_links(
+    ctx: &TestbedCtx,
+    links: &[(usize, usize)],
+    protocol: &Protocol,
+    spec: &Spec,
+    run_seed: u64,
+) -> RunOutput {
+    let mut world = build_world(ctx, run_seed);
+    let flows: Vec<u16> = links
+        .iter()
+        .map(|&(s, r)| world.add_flow(s, r, spec.payload))
+        .collect();
+    protocol.install(&mut world);
+    world.run_until(spec.duration);
+
+    let from = spec.measure_from();
+    let to = spec.duration;
+    let per_flow_mbps = flows
+        .iter()
+        .map(|&f| world.stats().flow_throughput_mbps(f, spec.payload, from, to))
+        .collect();
+    let hdr_rates = links
+        .iter()
+        .filter_map(|&(s, r)| {
+            world
+                .stats()
+                .vpkt_stats(s, r)
+                .map(|v| ((s, r), v.header_rate(), v.either_rate()))
+        })
+        .collect();
+    RunOutput {
+        per_flow_mbps,
+        hdr_rates,
+        defers: world.stats().counter("cmap.defer"),
+        txs: world.stats().counter("sim.tx"),
+    }
+}
+
+/// Map `f` over `items`, using every available core (on a single-core host
+/// this degenerates to a serial map with identical results: outputs are
+/// ordered by input index, and `f` receives only the item).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.is_empty() {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_windows() {
+        let s = Spec::default();
+        assert_eq!(s.measure_from(), secs(12));
+        assert_eq!(Spec::full().duration, secs(100));
+        assert_eq!(Spec::full().measure_from(), secs(40));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_link_run_produces_throughput() {
+        let spec = Spec {
+            duration: secs(5),
+            ..Spec::quick()
+        };
+        let ctx = testbed_ctx(&spec);
+        // Find any potential transmission link.
+        let link = (0..ctx.tb.len())
+            .flat_map(|a| (0..ctx.tb.len()).map(move |b| (a, b)))
+            .find(|&(a, b)| a != b && ctx.lm.potential_link(a, b))
+            .expect("a potential link exists");
+        let out = run_links(&ctx, &[link], &Protocol::cs_on(), &spec, 7);
+        assert_eq!(out.per_flow_mbps.len(), 1);
+        assert!(
+            out.per_flow_mbps[0] > 3.0,
+            "potential link only reached {} Mbit/s",
+            out.per_flow_mbps[0]
+        );
+    }
+}

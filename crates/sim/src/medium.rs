@@ -1,0 +1,157 @@
+//! The shared wireless medium: who hears whom, and how loudly.
+//!
+//! A [`Medium`] is an `n × n` matrix of frozen large-scale channel gains
+//! (path loss + shadowing, computed by `cmap-topo` or built directly in
+//! tests) plus per-link propagation delays. It pre-computes, for every
+//! transmitter, the list of nodes whose received power would exceed the
+//! delivery floor — the only nodes for which frame events are generated.
+
+use crate::config::PhyConfig;
+use crate::world::NodeId;
+use cmap_phy::{dbm_to_mw, mw_to_dbm};
+
+/// Frozen large-scale channel state between every pair of nodes.
+#[derive(Debug, Clone)]
+pub struct Medium {
+    n: usize,
+    /// Linear power gain from tx to rx, row-major `[tx * n + rx]`.
+    gain: Vec<f64>,
+    /// Propagation delay in ns, same layout.
+    delay_ns: Vec<u64>,
+    /// Per-transmitter list of receivers above the delivery floor.
+    reachable: Vec<Vec<NodeId>>,
+    tx_power_mw: f64,
+}
+
+impl Medium {
+    /// Build a medium from a matrix of link gains in dB (negative = loss),
+    /// row-major `[tx * n + rx]`, and per-link delays in nanoseconds.
+    /// Diagonal entries are ignored.
+    pub fn from_gains_db(
+        n: usize,
+        gains_db: &[f64],
+        delay_ns: &[u64],
+        phy: &PhyConfig,
+    ) -> Medium {
+        assert_eq!(gains_db.len(), n * n, "gain matrix must be n*n");
+        assert_eq!(delay_ns.len(), n * n, "delay matrix must be n*n");
+        let gain: Vec<f64> = gains_db.iter().map(|&db| dbm_to_mw(db)).collect();
+        let tx_power_mw = dbm_to_mw(phy.tx_power_dbm);
+        let floor_mw = dbm_to_mw(phy.delivery_floor_dbm);
+        let mut reachable = vec![Vec::new(); n];
+        for tx in 0..n {
+            for rx in 0..n {
+                if tx != rx && tx_power_mw * gain[tx * n + rx] >= floor_mw {
+                    reachable[tx].push(rx);
+                }
+            }
+        }
+        Medium {
+            n,
+            gain,
+            delay_ns: delay_ns.to_vec(),
+            reachable,
+            tx_power_mw,
+        }
+    }
+
+    /// A medium where every pair of distinct nodes has the same gain and a
+    /// 100 ns delay. Handy in unit tests.
+    pub fn uniform(n: usize, gain_db: f64, phy: &PhyConfig) -> Medium {
+        let mut gains = vec![gain_db; n * n];
+        for i in 0..n {
+            gains[i * n + i] = f64::NEG_INFINITY;
+        }
+        let delays = vec![100u64; n * n];
+        Medium::from_gains_db(n, &gains, &delays, phy)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the medium has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Linear gain from `tx` to `rx`.
+    pub fn gain(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.gain[tx * self.n + rx]
+    }
+
+    /// Received power in linear mW at `rx` from a transmission by `tx`,
+    /// before fading.
+    pub fn rss_mw(&self, tx: NodeId, rx: NodeId) -> f64 {
+        self.tx_power_mw * self.gain(tx, rx)
+    }
+
+    /// Received power in dBm at `rx` from `tx`, before fading.
+    pub fn rss_dbm(&self, tx: NodeId, rx: NodeId) -> f64 {
+        mw_to_dbm(self.rss_mw(tx, rx))
+    }
+
+    /// Propagation delay from `tx` to `rx` in nanoseconds.
+    pub fn delay_ns(&self, tx: NodeId, rx: NodeId) -> u64 {
+        self.delay_ns[tx * self.n + rx]
+    }
+
+    /// Receivers that get events for transmissions from `tx`.
+    pub fn reachable(&self, tx: NodeId) -> &[NodeId] {
+        &self.reachable[tx]
+    }
+
+    /// Configured transmit power in linear mW.
+    pub fn tx_power_mw(&self) -> f64 {
+        self.tx_power_mw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_medium_reaches_everyone() {
+        let phy = PhyConfig::default();
+        let m = Medium::uniform(4, -80.0, &phy);
+        assert_eq!(m.len(), 4);
+        for tx in 0..4 {
+            let mut r = m.reachable(tx).to_vec();
+            r.sort_unstable();
+            let expect: Vec<NodeId> = (0..4).filter(|&x| x != tx).collect();
+            assert_eq!(r, expect);
+            // 15 dBm - 80 dB = -65 dBm at each receiver.
+            for rx in 0..4 {
+                if rx != tx {
+                    assert!((m.rss_dbm(tx, rx) + 65.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weak_links_fall_below_delivery_floor() {
+        let phy = PhyConfig::default();
+        // 15 dBm - 125 dB = -110 dBm, below the -105 dBm delivery floor.
+        let gains = vec![
+            f64::NEG_INFINITY,
+            -125.0,
+            -80.0,
+            f64::NEG_INFINITY,
+        ];
+        let m = Medium::from_gains_db(2, &gains, &[0, 10, 10, 0], &phy);
+        assert!(m.reachable(0).is_empty());
+        assert_eq!(m.reachable(1), &[0]);
+    }
+
+    #[test]
+    fn asymmetric_gains_are_respected() {
+        let phy = PhyConfig::default();
+        let gains = vec![f64::NEG_INFINITY, -70.0, -90.0, f64::NEG_INFINITY];
+        let m = Medium::from_gains_db(2, &gains, &[0, 33, 33, 0], &phy);
+        assert!(m.rss_dbm(0, 1) > m.rss_dbm(1, 0));
+        assert_eq!(m.delay_ns(0, 1), 33);
+    }
+}

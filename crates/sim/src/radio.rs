@@ -1,0 +1,476 @@
+//! Per-node radio: a half-duplex PHY state machine.
+//!
+//! The radio tracks every frame currently impinging on the node (for energy
+//! accounting), holds at most one *lock* (the frame actually being decoded),
+//! and implements preamble capture. It deliberately knows nothing about
+//! frame contents — the world layer attaches meanings; the radio only sees
+//! powers and times.
+//!
+//! Locking rules (modelled on commodity 802.11 hardware, cf. §2.1/§6 of the
+//! paper):
+//! * An **idle** radio attempts to lock every arriving frame; the attempt
+//!   succeeds with the preamble/SIGNAL decode probability at the SINR at
+//!   arrival time.
+//! * A **locked** radio treats later arrivals as interference, except that a
+//!   much stronger frame steals the lock: within the current lock's
+//!   preamble+SIGNAL window this is *preamble capture*
+//!   (`capture_margin_db`), after it *message-in-message capture*
+//!   (`mim_margin_db`) — the OFDM receiver restarting on a much louder
+//!   preamble, which Atheros-era hardware does and the paper's exposed
+//!   terminals rely on for ACK delivery.
+//! * A **transmitting** radio is deaf: arrivals are tracked for energy only.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::config::PhyConfig;
+use crate::event::TxId;
+use crate::time::Time;
+use cmap_phy::{dbm_to_mw, preamble_success_prob, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
+
+/// Coarse radio state exposed to MACs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioPhase {
+    /// Neither transmitting nor locked onto a frame.
+    Idle,
+    /// Locked onto an incoming frame.
+    Receiving,
+    /// Transmitting.
+    Transmitting,
+}
+
+/// One frame currently impinging on the node.
+#[derive(Debug, Clone, Copy)]
+struct Incoming {
+    tx_id: TxId,
+    power_mw: f64,
+}
+
+/// The frame currently being decoded.
+#[derive(Debug, Clone)]
+pub(crate) struct RxLock {
+    pub tx_id: TxId,
+    pub lock_time: Time,
+    pub signal_mw: f64,
+    /// Piecewise-constant interference (mW, excluding the locked signal)
+    /// as `(change_time, level_after)`, starting with the level at lock.
+    pub interference: Vec<(Time, f64)>,
+}
+
+/// What happened when a frame arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// Radio locked onto the new frame.
+    Locked,
+    /// New frame stole the lock from a weaker frame still in its preamble.
+    Captured { displaced: TxId },
+    /// Frame is interference only (no lock, or lock attempt failed).
+    Interference,
+}
+
+/// Completed reception of the locked frame, to be graded by the world.
+#[derive(Debug, Clone)]
+pub(crate) struct RxCompletion {
+    pub tx_id: TxId,
+    pub lock_time: Time,
+    pub signal_mw: f64,
+    /// Interference profile during the lock (see [`RxLock::interference`]).
+    pub interference: Vec<(Time, f64)>,
+}
+
+/// Per-node radio state.
+#[derive(Debug, Default)]
+pub(crate) struct Radio {
+    incoming: Vec<Incoming>,
+    lock: Option<RxLock>,
+    transmitting: Option<TxId>,
+    /// Cached busy flag for edge-triggered carrier notifications.
+    pub last_busy: bool,
+    /// Receptions aborted because the MAC started transmitting over them.
+    pub aborted_rx: u64,
+}
+
+impl Radio {
+    /// Current coarse phase.
+    pub fn phase(&self) -> RadioPhase {
+        if self.transmitting.is_some() {
+            RadioPhase::Transmitting
+        } else if self.lock.is_some() {
+            RadioPhase::Receiving
+        } else {
+            RadioPhase::Idle
+        }
+    }
+
+    /// Sum of impinging frame powers in mW, optionally excluding one frame.
+    pub fn energy_mw(&self, exclude: Option<TxId>) -> f64 {
+        self.incoming
+            .iter()
+            .filter(|f| Some(f.tx_id) != exclude)
+            .map(|f| f.power_mw)
+            .sum()
+    }
+
+    /// 802.11-style clear-channel assessment: busy while transmitting,
+    /// locked onto any frame, or when raw in-band energy exceeds the
+    /// preamble-detection threshold (which sits well below decode
+    /// sensitivity — carrier sense hears further than data carries).
+    pub fn busy(&self, phy: &PhyConfig) -> bool {
+        self.phase() != RadioPhase::Idle
+            || self.energy_mw(None)
+                >= dbm_to_mw(phy.cs_detect_dbm.min(phy.ed_threshold_dbm))
+    }
+
+    /// True if the radio is locked on the given transmission.
+    pub fn locked_on(&self, tx_id: TxId) -> bool {
+        self.lock.as_ref().is_some_and(|l| l.tx_id == tx_id)
+    }
+
+    /// A new frame's energy arrives. Returns whether it got the lock.
+    pub fn frame_start(
+        &mut self,
+        tx_id: TxId,
+        power_mw: f64,
+        now: Time,
+        phy: &PhyConfig,
+        rng: &mut SmallRng,
+    ) -> LockOutcome {
+        let noise = phy.noise_mw();
+        // Interference the new frame would see: everything already here.
+        let interference_for_new = self.energy_mw(None);
+        self.incoming.push(Incoming { tx_id, power_mw });
+
+        if self.transmitting.is_some() {
+            return LockOutcome::Interference;
+        }
+
+        let preamble_window = PLCP_PREAMBLE_NS + PLCP_SIG_NS;
+        let Some((lock_time, lock_signal, lock_tx_id)) = self
+            .lock
+            .as_ref()
+            .map(|l| (l.lock_time, l.signal_mw, l.tx_id))
+        else {
+            // Idle: attempt to lock the new frame.
+            if power_mw >= dbm_to_mw(phy.sensitivity_dbm) {
+                let sinr = power_mw / (noise + interference_for_new);
+                if rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
+                    self.lock = Some(RxLock {
+                        tx_id,
+                        lock_time: now,
+                        signal_mw: power_mw,
+                        interference: vec![(now, interference_for_new)],
+                    });
+                    return LockOutcome::Locked;
+                }
+            }
+            return LockOutcome::Interference;
+        };
+
+        let in_preamble = now < lock_time + preamble_window;
+        let capture_allowed = if in_preamble {
+            phy.preamble_capture
+                && power_mw > lock_signal * cmap_phy::units::db_to_ratio(phy.capture_margin_db)
+        } else {
+            phy.mim_capture
+                && power_mw > lock_signal * cmap_phy::units::db_to_ratio(phy.mim_margin_db)
+        };
+        if capture_allowed {
+            // The displaced frame keeps radiating: it is interference for
+            // the new lock.
+            let interference_for_new = self.energy_mw(Some(tx_id));
+            let sinr = power_mw / (noise + interference_for_new);
+            if rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
+                self.lock = Some(RxLock {
+                    tx_id,
+                    lock_time: now,
+                    signal_mw: power_mw,
+                    interference: vec![(now, interference_for_new)],
+                });
+                return LockOutcome::Captured {
+                    displaced: lock_tx_id,
+                };
+            }
+        }
+        // Plain interference for the existing lock.
+        let level = self.energy_mw(Some(lock_tx_id));
+        if let Some(lock) = &mut self.lock {
+            lock.interference.push((now, level));
+        }
+        LockOutcome::Interference
+    }
+
+    /// A frame's energy leaves the node. If it was the locked frame, the
+    /// completed reception is returned for grading.
+    pub fn frame_end(&mut self, tx_id: TxId, now: Time) -> Option<RxCompletion> {
+        if let Some(pos) = self.incoming.iter().position(|f| f.tx_id == tx_id) {
+            self.incoming.swap_remove(pos);
+        }
+        if self.locked_on(tx_id) {
+            let lock = self.lock.take().expect("checked");
+            return Some(RxCompletion {
+                tx_id: lock.tx_id,
+                lock_time: lock.lock_time,
+                signal_mw: lock.signal_mw,
+                interference: lock.interference,
+            });
+        }
+        // Interference level dropped for an ongoing lock.
+        if let Some(lock) = &mut self.lock {
+            let level = self
+                .incoming
+                .iter()
+                .filter(|f| f.tx_id != lock.tx_id)
+                .map(|f| f.power_mw)
+                .sum();
+            lock.interference.push((now, level));
+        }
+        None
+    }
+
+    /// The MAC starts transmitting. Any reception in progress is aborted
+    /// (MadWifi-with-CS-disabled behaviour); the caller has already checked
+    /// the abort policy.
+    pub fn begin_tx(&mut self, tx_id: TxId) {
+        if self.lock.take().is_some() {
+            self.aborted_rx += 1;
+        }
+        debug_assert!(self.transmitting.is_none(), "begin_tx while transmitting");
+        self.transmitting = Some(tx_id);
+    }
+
+    /// The transmission finished.
+    pub fn end_tx(&mut self) {
+        debug_assert!(self.transmitting.is_some(), "end_tx while not transmitting");
+        self.transmitting = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    fn phy() -> PhyConfig {
+        PhyConfig::default()
+    }
+
+    fn mw(dbm: f64) -> f64 {
+        dbm_to_mw(dbm)
+    }
+
+    #[test]
+    fn strong_lone_frame_locks() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 1);
+        let out = r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng);
+        assert_eq!(out, LockOutcome::Locked);
+        assert_eq!(r.phase(), RadioPhase::Receiving);
+        let done = r.frame_end(1, 1000).expect("completion");
+        assert_eq!(done.tx_id, 1);
+        assert_eq!(r.phase(), RadioPhase::Idle);
+    }
+
+    #[test]
+    fn frame_below_sensitivity_never_locks() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 2);
+        let out = r.frame_start(1, mw(-100.0), 0, &phy(), &mut rng);
+        assert_eq!(out, LockOutcome::Interference);
+        assert!(r.frame_end(1, 1000).is_none());
+    }
+
+    #[test]
+    fn second_frame_is_interference_and_profiled() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 3);
+        assert_eq!(
+            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        // Weak late frame: interference, logged in the profile.
+        assert_eq!(
+            r.frame_start(2, mw(-80.0), 50_000, &phy(), &mut rng),
+            LockOutcome::Interference
+        );
+        let _ = r.frame_end(2, 60_000);
+        let done = r.frame_end(1, 100_000).unwrap();
+        // Profile: lock-time level 0, rise at 50 us, fall at 60 us.
+        assert_eq!(done.interference.len(), 3);
+        assert_eq!(done.interference[0], (0, 0.0));
+        assert!((done.interference[1].1 - mw(-80.0)).abs() < 1e-12);
+        assert_eq!(done.interference[2].1, 0.0);
+    }
+
+    #[test]
+    fn preamble_capture_steals_lock() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 4);
+        assert_eq!(
+            r.frame_start(1, mw(-80.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        // 15 dB stronger frame inside the 20 us preamble window.
+        let out = r.frame_start(2, mw(-65.0), 10_000, &phy(), &mut rng);
+        assert_eq!(out, LockOutcome::Captured { displaced: 1 });
+        assert!(r.locked_on(2));
+        // Frame 1 ending is now mere interference relief.
+        assert!(r.frame_end(1, 20_000).is_none());
+        assert!(r.frame_end(2, 50_000).is_some());
+    }
+
+    #[test]
+    fn mim_capture_steals_lock_after_preamble() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 5);
+        assert_eq!(
+            r.frame_start(1, mw(-80.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        // 25 dB stronger frame arriving mid-payload restarts reception.
+        let out = r.frame_start(2, mw(-55.0), 30_000, &phy(), &mut rng);
+        assert_eq!(out, LockOutcome::Captured { displaced: 1 });
+        assert!(r.locked_on(2));
+    }
+
+    #[test]
+    fn no_mim_capture_when_disabled() {
+        let mut cfg = phy();
+        cfg.mim_capture = false;
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 5);
+        assert_eq!(
+            r.frame_start(1, mw(-80.0), 0, &cfg, &mut rng),
+            LockOutcome::Locked
+        );
+        let out = r.frame_start(2, mw(-55.0), 30_000, &cfg, &mut rng);
+        assert_eq!(out, LockOutcome::Interference);
+        assert!(r.locked_on(1));
+    }
+
+    #[test]
+    fn weak_latecomer_never_mim_captures() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 15);
+        assert_eq!(
+            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        // Only 5 dB stronger: below the 10 dB MIM margin.
+        let out = r.frame_start(2, mw(-55.0), 30_000, &phy(), &mut rng);
+        assert_eq!(out, LockOutcome::Interference);
+        assert!(r.locked_on(1));
+    }
+
+    #[test]
+    fn capture_disabled_by_config() {
+        let mut cfg = phy();
+        cfg.preamble_capture = false;
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 6);
+        assert_eq!(
+            r.frame_start(1, mw(-80.0), 0, &cfg, &mut rng),
+            LockOutcome::Locked
+        );
+        assert_eq!(
+            r.frame_start(2, mw(-50.0), 5_000, &cfg, &mut rng),
+            LockOutcome::Interference
+        );
+    }
+
+    #[test]
+    fn transmitting_radio_is_deaf() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 7);
+        r.begin_tx(99);
+        assert_eq!(r.phase(), RadioPhase::Transmitting);
+        assert_eq!(
+            r.frame_start(1, mw(-50.0), 0, &phy(), &mut rng),
+            LockOutcome::Interference
+        );
+        r.end_tx();
+        assert_eq!(r.phase(), RadioPhase::Idle);
+        // The mid-air frame is not locked retroactively.
+        assert!(r.frame_end(1, 1_000).is_none());
+    }
+
+    #[test]
+    fn begin_tx_aborts_reception() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 8);
+        assert_eq!(
+            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        r.begin_tx(50);
+        assert_eq!(r.aborted_rx, 1);
+        assert!(r.frame_end(1, 10_000).is_none());
+    }
+
+    #[test]
+    fn interference_profile_spans_capture() {
+        // After a MIM capture, the new lock's profile starts with the
+        // displaced frame's power as interference.
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 20);
+        assert_eq!(
+            r.frame_start(1, mw(-80.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        assert_eq!(
+            r.frame_start(2, mw(-55.0), 40_000, &phy(), &mut rng),
+            LockOutcome::Captured { displaced: 1 }
+        );
+        // Frame 1 ends mid-way through frame 2's reception.
+        assert!(r.frame_end(1, 60_000).is_none());
+        let done = r.frame_end(2, 100_000).expect("frame 2 completes");
+        assert_eq!(done.lock_time, 40_000);
+        // Profile: starts at -80 dBm interference, drops to 0 at 60 us.
+        assert_eq!(done.interference.len(), 2);
+        assert!((done.interference[0].1 - mw(-80.0)).abs() < 1e-12);
+        assert_eq!(done.interference[1], (60_000, 0.0));
+    }
+
+    #[test]
+    fn energy_sums_and_excludes() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 21);
+        r.frame_start(1, mw(-70.0), 0, &phy(), &mut rng);
+        r.frame_start(2, mw(-70.0), 10, &phy(), &mut rng);
+        let total = r.energy_mw(None);
+        assert!((total - 2.0 * mw(-70.0)).abs() < 1e-15);
+        assert!((r.energy_mw(Some(1)) - mw(-70.0)).abs() < 1e-15);
+        r.frame_end(1, 100);
+        r.frame_end(2, 100);
+        assert_eq!(r.energy_mw(None), 0.0);
+    }
+
+    #[test]
+    fn aborted_rx_counter_increments() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 22);
+        for tx in 0..3u64 {
+            r.frame_start(tx, mw(-60.0), tx, &phy(), &mut rng);
+            r.begin_tx(100 + tx);
+            r.end_tx();
+            r.frame_end(tx, 50);
+        }
+        assert_eq!(r.aborted_rx, 3);
+    }
+
+    #[test]
+    fn busy_tracks_phase_and_energy() {
+        let mut r = Radio::default();
+        let cfg = phy();
+        let mut rng = stream_rng(1, 9);
+        assert!(!r.busy(&cfg));
+        // A strong but unlockable situation: transmitting + loud frame.
+        r.begin_tx(1);
+        assert!(r.busy(&cfg));
+        r.frame_start(2, mw(-50.0), 0, &cfg, &mut rng);
+        r.end_tx();
+        // -50 dBm exceeds the -62 dBm ED threshold even without a lock.
+        assert!(r.busy(&cfg));
+        r.frame_end(2, 100);
+        assert!(!r.busy(&cfg));
+    }
+}

@@ -1,0 +1,245 @@
+//! Runtime statistics collection.
+//!
+//! Everything the evaluation section needs is recorded here during a run:
+//! per-flow non-duplicate deliveries with timestamps (for windowed
+//! throughput, §5.1 measures the last 60 of 100 seconds), per-link virtual-
+//! packet header/trailer reception (Figs 16 and 19), and free-form named
+//! counters that protocols bump for diagnosis and tests.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::time::Time;
+use crate::world::NodeId;
+
+/// Per-flow delivery record.
+#[derive(Debug, Default, Clone)]
+pub struct FlowStats {
+    /// Arrival time of each *first* (non-duplicate) delivery, in order.
+    pub arrivals: Vec<Time>,
+    /// Sequence numbers seen (for duplicate suppression).
+    seen: HashSet<u32>,
+    /// Duplicate deliveries discarded.
+    pub duplicates: u64,
+}
+
+impl FlowStats {
+    /// Count of non-duplicate deliveries with `from <= t < to`.
+    pub fn delivered_in(&self, from: Time, to: Time) -> u64 {
+        // Arrivals are pushed in nondecreasing time order.
+        let lo = self.arrivals.partition_point(|&t| t < from);
+        let hi = self.arrivals.partition_point(|&t| t < to);
+        (hi - lo) as u64
+    }
+}
+
+/// Per ordered link (sender, intended receiver): virtual-packet header and
+/// trailer reception bookkeeping.
+#[derive(Debug, Default, Clone)]
+pub struct VpktStats {
+    /// Virtual packets announced (header transmitted) by the sender.
+    pub sent: u64,
+    /// Flags per virtual-packet seq at the receiver: bit0 = header seen,
+    /// bit1 = trailer seen.
+    got: HashMap<u32, u8>,
+}
+
+impl VpktStats {
+    /// Virtual packets whose header was received.
+    pub fn header_count(&self) -> u64 {
+        self.got.values().filter(|&&f| f & 1 != 0).count() as u64
+    }
+
+    /// Virtual packets whose trailer was received.
+    pub fn trailer_count(&self) -> u64 {
+        self.got.values().filter(|&&f| f & 2 != 0).count() as u64
+    }
+
+    /// Virtual packets with header *or* trailer received.
+    pub fn either_count(&self) -> u64 {
+        self.got.len() as u64
+    }
+
+    /// Fraction of sent virtual packets whose header was received.
+    pub fn header_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.header_count() as f64 / self.sent as f64
+    }
+
+    /// Fraction of sent virtual packets with header or trailer received.
+    pub fn either_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        (self.either_count() as f64 / self.sent as f64).min(1.0)
+    }
+}
+
+/// All statistics for one simulation run.
+#[derive(Debug, Default)]
+pub struct Stats {
+    flows: Vec<FlowStats>,
+    vpkt: HashMap<(NodeId, NodeId), VpktStats>,
+    counters: HashMap<&'static str, u64>,
+}
+
+impl Stats {
+    pub(crate) fn ensure_flows(&mut self, n: usize) {
+        self.flows.resize(n.max(self.flows.len()), FlowStats::default());
+    }
+
+    /// Record a delivery; returns `true` if it was not a duplicate.
+    pub(crate) fn record_delivery(&mut self, flow: u16, seq: u32, now: Time) -> bool {
+        let f = &mut self.flows[flow as usize];
+        if f.seen.insert(seq) {
+            f.arrivals.push(now);
+            true
+        } else {
+            f.duplicates += 1;
+            false
+        }
+    }
+
+    /// Per-flow stats.
+    pub fn flow(&self, flow: u16) -> &FlowStats {
+        &self.flows[flow as usize]
+    }
+
+    /// Throughput of `flow` in Mbit/s of application payload over the
+    /// half-open window `[from, to)`.
+    pub fn flow_throughput_mbps(
+        &self,
+        flow: u16,
+        payload_len: usize,
+        from: Time,
+        to: Time,
+    ) -> f64 {
+        assert!(to > from);
+        let pkts = self.flow(flow).delivered_in(from, to);
+        let bits = pkts as f64 * payload_len as f64 * 8.0;
+        bits / crate::time::as_secs_f64(to - from) / 1e6
+    }
+
+    /// The sender announced (sent the header of) a virtual packet to `dst`.
+    pub fn vpkt_sent(&mut self, src: NodeId, dst: NodeId) {
+        self.vpkt.entry((src, dst)).or_default().sent += 1;
+    }
+
+    /// The intended receiver decoded the header (`is_trailer = false`) or
+    /// trailer (`true`) of virtual packet `seq` from `src`.
+    pub fn vpkt_received(&mut self, src: NodeId, dst: NodeId, seq: u32, is_trailer: bool) {
+        let flag = if is_trailer { 2 } else { 1 };
+        *self
+            .vpkt
+            .entry((src, dst))
+            .or_default()
+            .got
+            .entry(seq)
+            .or_insert(0) |= flag;
+    }
+
+    /// Header/trailer bookkeeping for one ordered link, if any.
+    pub fn vpkt_stats(&self, src: NodeId, dst: NodeId) -> Option<&VpktStats> {
+        self.vpkt.get(&(src, dst))
+    }
+
+    /// All links with virtual-packet bookkeeping.
+    pub fn vpkt_links(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &VpktStats)> {
+        self.vpkt.iter()
+    }
+
+    /// Bump a named counter.
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// Add to a named counter.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.counters.entry(name).or_insert(0) += v;
+    }
+
+    /// Read a named counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters, sorted by name (for debugging dumps).
+    pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_suppression() {
+        let mut s = Stats::default();
+        s.ensure_flows(1);
+        assert!(s.record_delivery(0, 1, 100));
+        assert!(s.record_delivery(0, 2, 200));
+        assert!(!s.record_delivery(0, 1, 300));
+        assert_eq!(s.flow(0).arrivals.len(), 2);
+        assert_eq!(s.flow(0).duplicates, 1);
+    }
+
+    #[test]
+    fn windowed_counts() {
+        let mut s = Stats::default();
+        s.ensure_flows(1);
+        for (seq, t) in [(0u32, 10u64), (1, 20), (2, 30), (3, 40)] {
+            s.record_delivery(0, seq, t);
+        }
+        assert_eq!(s.flow(0).delivered_in(0, 100), 4);
+        assert_eq!(s.flow(0).delivered_in(20, 40), 2);
+        assert_eq!(s.flow(0).delivered_in(41, 100), 0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let mut s = Stats::default();
+        s.ensure_flows(1);
+        // 1000 packets of 1400 bytes over 2 seconds = 5.6 Mbit/s.
+        for i in 0..1000u32 {
+            s.record_delivery(0, i, crate::time::secs(1) + i as u64);
+        }
+        let mbps = s.flow_throughput_mbps(0, 1400, crate::time::secs(1), crate::time::secs(3));
+        assert!((mbps - 5.6).abs() < 0.01, "{mbps}");
+    }
+
+    #[test]
+    fn vpkt_header_or_trailer_accounting() {
+        let mut s = Stats::default();
+        for _ in 0..4 {
+            s.vpkt_sent(1, 2);
+        }
+        s.vpkt_received(1, 2, 0, false); // header only
+        s.vpkt_received(1, 2, 1, true); // trailer only
+        s.vpkt_received(1, 2, 2, false); // both
+        s.vpkt_received(1, 2, 2, true);
+        let v = s.vpkt_stats(1, 2).unwrap();
+        assert_eq!(v.sent, 4);
+        assert_eq!(v.header_count(), 2);
+        assert_eq!(v.trailer_count(), 2);
+        assert_eq!(v.either_count(), 3);
+        assert!((v.header_rate() - 0.5).abs() < 1e-12);
+        assert!((v.either_rate() - 0.75).abs() < 1e-12);
+        assert!(s.vpkt_stats(2, 1).is_none());
+    }
+
+    #[test]
+    fn named_counters() {
+        let mut s = Stats::default();
+        s.bump("x");
+        s.bump("x");
+        s.add("y", 5);
+        assert_eq!(s.counter("x"), 2);
+        assert_eq!(s.counter("y"), 5);
+        assert_eq!(s.counter("z"), 0);
+        assert_eq!(s.counters_sorted(), vec![("x", 2), ("y", 5)]);
+    }
+}

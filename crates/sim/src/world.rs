@@ -1,0 +1,824 @@
+//! The world: nodes, medium, event loop, and MAC dispatch.
+//!
+//! A [`World`] wires together a [`Medium`], one radio + RNG + app state
+//! per node, and one [`Mac`] per node, then runs the event queue. All MAC
+//! side effects go through [`NodeCtx`] and are applied in order when the
+//! callback returns, so the engine never hands out two mutable views of the
+//! same state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::app::NodeApp;
+use crate::config::PhyConfig;
+use crate::event::{Event, Scheduler, TxId};
+use crate::mac::{Mac, NodeCtx, NullMac, Op, RxErrorInfo, RxInfo};
+use crate::medium::Medium;
+use crate::radio::{LockOutcome, Radio, RadioPhase, RxCompletion};
+use crate::rng::{normal, stream_rng};
+use crate::stats::Stats;
+use crate::time::Time;
+use cmap_phy::units::db_to_ratio;
+use cmap_phy::{mw_to_dbm, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
+use cmap_wire::{Frame, MacAddr};
+
+/// Index of a node in the world.
+pub type NodeId = usize;
+
+/// How a flow generates packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Always has the next packet ready (backlogged sender, §5.1).
+    Saturated,
+    /// Forwards packets delivered by `upstream` at this flow's source node
+    /// (two-hop mesh dissemination, §5.7).
+    Relay {
+        /// The flow whose deliveries feed this one.
+        upstream: u16,
+    },
+}
+
+/// One unidirectional application flow.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Flow index (== position in the world's flow table).
+    pub id: u16,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Application payload bytes per packet.
+    pub payload_len: usize,
+    /// Packet generation behaviour.
+    pub kind: FlowKind,
+    pub(crate) next_seq: u32,
+}
+
+struct TxRecord {
+    node: NodeId,
+    rate: Rate,
+    #[allow(dead_code)]
+    start: Time,
+    /// Parsed form shared by every receiver (the bytes are emitted once for
+    /// length/airtime and round-trip-checked in debug builds).
+    frame: Arc<Frame>,
+    wire_len: usize,
+    ends_remaining: u32,
+}
+
+/// A complete simulated network.
+pub struct World {
+    phy: PhyConfig,
+    time: Time,
+    sched: Scheduler,
+    medium: Medium,
+    radios: Vec<Radio>,
+    rngs: Vec<SmallRng>,
+    macs: Vec<Option<Box<dyn Mac>>>,
+    apps: Vec<NodeApp>,
+    flows: Vec<Flow>,
+    txs: HashMap<TxId, TxRecord>,
+    next_tx_id: TxId,
+    stats: Stats,
+    started: bool,
+    /// Recycled op buffers for MAC dispatch (dispatch can nest).
+    ops_pool: Vec<Vec<Op>>,
+}
+
+impl World {
+    /// Build a world over `medium`; every node starts with a [`NullMac`].
+    pub fn new(medium: Medium, phy: PhyConfig, seed: u64) -> World {
+        let n = medium.len();
+        World {
+            phy,
+            time: 0,
+            sched: Scheduler::new(),
+            radios: (0..n).map(|_| Radio::default()).collect(),
+            rngs: (0..n).map(|i| stream_rng(seed, i as u64 + 1)).collect(),
+            macs: (0..n).map(|_| Some(Box::new(NullMac) as Box<dyn Mac>)).collect(),
+            apps: (0..n).map(|_| NodeApp::default()).collect(),
+            flows: Vec::new(),
+            txs: HashMap::new(),
+            next_tx_id: 0,
+            stats: Stats::default(),
+            medium,
+            started: false,
+            ops_pool: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// Install the MAC protocol for `node`. Must be called before
+    /// [`World::start`].
+    pub fn set_mac(&mut self, node: NodeId, mac: Box<dyn Mac>) {
+        assert!(!self.started, "set_mac after start");
+        self.macs[node] = Some(mac);
+    }
+
+    /// Borrow a node's MAC for inspection (tests, experiment harnesses).
+    pub fn mac_ref(&self, node: NodeId) -> &dyn Mac {
+        self.macs[node].as_deref().expect("mac taken during callback")
+    }
+
+    /// Declare a saturated flow; returns its id.
+    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, payload_len: usize) -> u16 {
+        self.add_flow_kind(src, dst, payload_len, FlowKind::Saturated)
+    }
+
+    /// Declare a relay flow forwarding `upstream`'s deliveries from `src` on
+    /// to `dst`; returns its id.
+    pub fn add_relay_flow(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload_len: usize,
+        upstream: u16,
+    ) -> u16 {
+        assert_eq!(
+            self.flows[upstream as usize].dst, src,
+            "relay must start where the upstream flow ends"
+        );
+        self.add_flow_kind(src, dst, payload_len, FlowKind::Relay { upstream })
+    }
+
+    fn add_flow_kind(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload_len: usize,
+        kind: FlowKind,
+    ) -> u16 {
+        assert!(!self.started, "add_flow after start");
+        assert!(src < self.node_count() && dst < self.node_count());
+        assert_ne!(src, dst);
+        let id = u16::try_from(self.flows.len()).expect("too many flows");
+        self.flows.push(Flow {
+            id,
+            src,
+            dst,
+            payload_len,
+            kind,
+            next_seq: 0,
+        });
+        self.apps[src].add_source(id, &kind);
+        id
+    }
+
+    /// Flow descriptor by id.
+    pub fn flow(&self, id: u16) -> &Flow {
+        &self.flows[id as usize]
+    }
+
+    /// All flows.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// The medium (for RSS queries in experiment harnesses).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// The PHY configuration.
+    pub fn phy(&self) -> &PhyConfig {
+        &self.phy
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.sched.processed()
+    }
+
+    /// Call every MAC's `on_start`. Idempotent guard: panics on double start.
+    pub fn start(&mut self) {
+        assert!(!self.started, "world already started");
+        self.started = true;
+        self.stats.ensure_flows(self.flows.len());
+        for node in 0..self.node_count() {
+            self.dispatch(node, |mac, ctx| mac.on_start(ctx));
+            self.check_channel_edge(node);
+        }
+    }
+
+    /// Run the event loop until simulation time `t` (inclusive of events at
+    /// `t`). Starts the world if not yet started.
+    pub fn run_until(&mut self, t: Time) {
+        if !self.started {
+            self.start();
+        }
+        while let Some(at) = self.sched.peek_time() {
+            if at > t {
+                break;
+            }
+            let (at, ev) = self.sched.pop().expect("peeked");
+            debug_assert!(at >= self.time, "time went backwards");
+            self.time = at;
+            self.handle_event(ev);
+        }
+        self.time = t;
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::Timer { node, token } => {
+                self.dispatch(node, |mac, ctx| mac.on_timer(ctx, token));
+                self.check_channel_edge(node);
+            }
+            Event::TxEnd { node } => {
+                self.radios[node].end_tx();
+                self.dispatch(node, |mac, ctx| mac.on_tx_done(ctx));
+                self.check_channel_edge(node);
+            }
+            Event::FrameStart { rx, tx_id } => {
+                let src = self.txs[&tx_id].node;
+                let base_mw = self.medium.rss_mw(src, rx);
+                let boost = if self.phy.fading_boost_prob > 0.0
+                    && self.rngs[rx].gen_bool(self.phy.fading_boost_prob)
+                {
+                    self.phy.fading_boost_db
+                } else {
+                    0.0
+                };
+                let fading_db = normal(&mut self.rngs[rx], boost, self.phy.fading_sigma_db);
+                let power_mw = base_mw * db_to_ratio(fading_db);
+                let outcome = self.radios[rx].frame_start(
+                    tx_id,
+                    power_mw,
+                    self.time,
+                    &self.phy,
+                    &mut self.rngs[rx],
+                );
+                match outcome {
+                    LockOutcome::Locked => self.stats.bump("sim.lock"),
+                    LockOutcome::Captured { .. } => self.stats.bump("sim.capture"),
+                    LockOutcome::Interference => {}
+                }
+                self.check_channel_edge(rx);
+            }
+            Event::FrameEnd { rx, tx_id } => {
+                if let Some(completion) = self.radios[rx].frame_end(tx_id, self.time) {
+                    self.grade_and_deliver(rx, completion);
+                }
+                self.release_tx(tx_id);
+                self.check_channel_edge(rx);
+            }
+        }
+    }
+
+    fn grade_and_deliver(&mut self, rx: NodeId, c: RxCompletion) {
+        let rec = &self.txs[&c.tx_id];
+        let rate = rec.rate;
+        let frame = Arc::clone(&rec.frame);
+        let p_success = grade_reception(&c, self.time, rate, rec.wire_len, &self.phy);
+        let rss_dbm = mw_to_dbm(c.signal_mw);
+        if self.rngs[rx].gen_bool(p_success.clamp(0.0, 1.0)) {
+            self.stats.bump("sim.rx_ok");
+            let info = RxInfo {
+                rss_dbm,
+                start: c.lock_time,
+                end: self.time,
+                rate,
+            };
+            self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &frame, info));
+        } else {
+            self.stats.bump("sim.rx_fail");
+            let err = RxErrorInfo {
+                start: c.lock_time,
+                end: self.time,
+                rss_dbm,
+            };
+            self.dispatch(rx, |mac, ctx| mac.on_rx_error(ctx, err));
+        }
+    }
+
+    fn release_tx(&mut self, tx_id: TxId) {
+        let done = {
+            let rec = self.txs.get_mut(&tx_id).expect("tx record");
+            rec.ends_remaining -= 1;
+            rec.ends_remaining == 0
+        };
+        if done {
+            self.txs.remove(&tx_id);
+        }
+    }
+
+    /// Run `f` against `node`'s MAC with a fresh context, then apply the
+    /// operations it queued.
+    fn dispatch<F: FnOnce(&mut dyn Mac, &mut NodeCtx<'_>)>(&mut self, node: NodeId, f: F) {
+        let mut mac = self.macs[node].take().expect("mac reentrancy");
+        let mut ops: Vec<Op> = self.ops_pool.pop().unwrap_or_default();
+        {
+            let mut ctx = NodeCtx {
+                node,
+                now: self.time,
+                phase: self.radios[node].phase(),
+                busy: self.radios[node].busy(&self.phy),
+                mac_addr: MacAddr::from_node_index(node as u16),
+                abort_rx_on_tx: self.phy.abort_rx_on_tx,
+                tx_requested: false,
+                rng: &mut self.rngs[node],
+                app: &mut self.apps[node],
+                flows: &mut self.flows,
+                stats: &mut self.stats,
+                ops: &mut ops,
+            };
+            f(&mut *mac, &mut ctx);
+        }
+        self.macs[node] = Some(mac);
+        self.apply_ops(node, &mut ops);
+        ops.clear();
+        self.ops_pool.push(ops);
+    }
+
+    fn apply_ops(&mut self, node: NodeId, ops: &mut [Op]) {
+        // Transmissions first: a deliver below may recursively wake a relay
+        // MAC at this same node, and the radio must already reflect the
+        // transmission this callback requested (e.g. an ACK) so the relay's
+        // transmit attempt fails cleanly instead of double-transmitting.
+        for op in ops.iter() {
+            if let Op::Timer { at, token } = op {
+                self.sched.schedule(*at, Event::Timer { node, token: *token });
+            }
+        }
+        for op in ops.iter_mut() {
+            if let Op::StartTx { frame, rate } = op {
+                let frame = std::mem::replace(
+                    frame,
+                    Frame::Dot11Ack(cmap_wire::dot11::Ack {
+                        dst: MacAddr::BROADCAST,
+                    }),
+                );
+                let rate = *rate;
+                self.start_tx(node, frame, rate);
+            }
+        }
+        for op in ops.iter() {
+            if let Op::Deliver { flow, flow_seq } = op {
+                self.handle_deliver(node, *flow, *flow_seq);
+            }
+        }
+    }
+
+    fn start_tx(&mut self, node: NodeId, frame: Frame, rate: Rate) {
+        debug_assert!(
+            self.radios[node].phase() != RadioPhase::Transmitting,
+            "start_tx while transmitting"
+        );
+        let bytes = frame.emit();
+        debug_assert_eq!(
+            Frame::parse(&bytes).as_ref(),
+            Ok(&frame),
+            "wire round-trip mismatch"
+        );
+        debug_assert_eq!(bytes.len(), frame.wire_len());
+        let wire_len = bytes.len();
+        drop(bytes);
+        let airtime = rate.frame_airtime_ns(wire_len);
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        self.radios[node].begin_tx(tx_id);
+        // No notification for our own busy edge: the MAC knows it started
+        // transmitting. Keep the cached flag consistent so the TxEnd edge
+        // (busy -> idle) is seen.
+        self.radios[node].last_busy = self.radios[node].busy(&self.phy);
+
+        let end = self.time + airtime;
+        self.sched.schedule(end, Event::TxEnd { node });
+        let mut ends = 1;
+        let (sched, medium, now) = (&mut self.sched, &self.medium, self.time);
+        for &rx in medium.reachable(node) {
+            let d = medium.delay_ns(node, rx);
+            sched.schedule(now + d, Event::FrameStart { rx, tx_id });
+            sched.schedule(end + d, Event::FrameEnd { rx, tx_id });
+            ends += 1;
+        }
+        self.txs.insert(
+            tx_id,
+            TxRecord {
+                node,
+                rate,
+                start: self.time,
+                frame: Arc::new(frame),
+                wire_len,
+                ends_remaining: ends,
+            },
+        );
+        self.stats.bump("sim.tx");
+    }
+
+    fn handle_deliver(&mut self, node: NodeId, flow: u16, seq: u32) {
+        if flow as usize >= self.flows.len() {
+            self.stats.bump("sim.unknown_flow");
+            return;
+        }
+        if self.flows[flow as usize].dst != node {
+            self.stats.bump("sim.misdelivered");
+            return;
+        }
+        if !self.stats.record_delivery(flow, seq, self.time) {
+            return; // duplicate: don't re-feed relays
+        }
+        let relay_ids: Vec<u16> = self
+            .flows
+            .iter()
+            .filter(|g| {
+                g.src == node && matches!(g.kind, FlowKind::Relay { upstream } if upstream == flow)
+            })
+            .map(|g| g.id)
+            .collect();
+        let mut wake = false;
+        for rid in relay_ids {
+            if self.apps[node].push_relay(rid, seq) {
+                wake = true;
+            }
+        }
+        if wake {
+            self.dispatch(node, |mac, ctx| mac.on_packet_queued(ctx));
+            self.check_channel_edge(node);
+        }
+    }
+
+    /// Fire `on_channel_state` edges until the node's CCA stabilises.
+    fn check_channel_edge(&mut self, node: NodeId) {
+        for _ in 0..4 {
+            let busy = self.radios[node].busy(&self.phy);
+            if busy == self.radios[node].last_busy {
+                break;
+            }
+            self.radios[node].last_busy = busy;
+            self.dispatch(node, |mac, ctx| mac.on_channel_state(ctx, busy));
+        }
+    }
+}
+
+/// Probability that the payload of a locked frame decodes, given the
+/// interference profile recorded during reception.
+///
+/// The frame's information bits are spread uniformly over the payload span
+/// (lock + preamble/SIGNAL to frame end); each piecewise-constant
+/// interference segment contributes its share of bits at its own SINR.
+fn grade_reception(
+    c: &RxCompletion,
+    frame_end: Time,
+    rate: Rate,
+    psdu_len: usize,
+    phy: &PhyConfig,
+) -> f64 {
+    let payload_start = c.lock_time + PLCP_PREAMBLE_NS + PLCP_SIG_NS;
+    if frame_end <= payload_start {
+        return 1.0; // degenerate: nothing beyond the already-decoded SIGNAL
+    }
+    let span = (frame_end - payload_start) as f64;
+    let total_bits = (cmap_phy::rate::SERVICE_BITS + 8 * psdu_len as u64
+        + cmap_phy::rate::TAIL_BITS) as f64;
+    let noise = phy.noise_mw();
+
+    let mut ln_p = 0.0_f64;
+    let profile = &c.interference;
+    for (i, &(seg_start, level)) in profile.iter().enumerate() {
+        let seg_end = profile.get(i + 1).map_or(frame_end, |&(t, _)| t);
+        let lo = seg_start.max(payload_start);
+        let hi = seg_end.min(frame_end);
+        if hi <= lo {
+            continue;
+        }
+        let bits = total_bits * (hi - lo) as f64 / span;
+        let sinr = c.signal_mw / (noise + level);
+        let ber = cmap_phy::ber(sinr, rate).min(0.5);
+        ln_p += bits * (-ber).ln_1p();
+    }
+    ln_p.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{micros, millis};
+
+    /// A MAC that transmits one Dot11 data frame per timer tick, forever.
+    struct Blaster {
+        dst: MacAddr,
+        period: Time,
+        payload: usize,
+        sent: u64,
+    }
+
+    impl Mac for Blaster {
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
+            let frame = Frame::Dot11Data(cmap_wire::dot11::Data {
+                src: ctx.mac_addr(),
+                dst: self.dst,
+                seq: self.sent as u16,
+                retry: false,
+                duration_ns: 0,
+                flow: 0,
+                flow_seq: self.sent as u32,
+                payload: vec![0xC5; self.payload],
+            });
+            if ctx.transmit(frame, Rate::R6) {
+                self.sent += 1;
+            }
+            ctx.set_timer(self.period, 0);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    /// A MAC that counts every frame and error it sees.
+    #[derive(Default)]
+    struct Sniffer {
+        frames: u64,
+        errors: u64,
+        busy_edges: u64,
+    }
+
+    impl Mac for Sniffer {
+        fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+        fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, _info: RxInfo) {
+            self.frames += 1;
+            if let Frame::Dot11Data(d) = frame {
+                if d.dst == ctx.mac_addr() {
+                    ctx.deliver(d.flow, d.flow_seq);
+                }
+            }
+        }
+        fn on_rx_error(&mut self, _ctx: &mut NodeCtx<'_>, _err: RxErrorInfo) {
+            self.errors += 1;
+        }
+        fn on_channel_state(&mut self, _ctx: &mut NodeCtx<'_>, busy: bool) {
+            if busy {
+                self.busy_edges += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    fn strong_pair_world(seed: u64) -> World {
+        let phy = PhyConfig::default();
+        let medium = Medium::uniform(2, -70.0, &phy); // -55 dBm RSS: clean
+        World::new(medium, phy, seed)
+    }
+
+    #[test]
+    fn clean_link_delivers_everything() {
+        let mut w = strong_pair_world(1);
+        let flow = w.add_flow(0, 1, 100);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(1),
+                period: millis(2),
+                payload: 100,
+                sent: 0,
+            }),
+        );
+        w.set_mac(1, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        // ~500 frames sent; all should arrive on a -55 dBm link.
+        let sent = w.mac_ref(0).as_any().downcast_ref::<Blaster>().unwrap().sent;
+        assert!((450..=500).contains(&(sent as usize)), "{sent}");
+        let got = w.stats().flow(flow).arrivals.len() as u64;
+        // The final frame may still be in flight when the clock stops.
+        assert!(got >= sent - 1 && got <= sent, "{got} of {sent}");
+        assert_eq!(w.stats().counter("sim.rx_fail"), 0);
+    }
+
+    #[test]
+    fn colliding_transmissions_corrupt_each_other() {
+        // Three nodes: 0 and 1 blast at the same period and phase, 2 listens.
+        let phy = PhyConfig::default();
+        let medium = Medium::uniform(3, -70.0, &phy);
+        let mut w = World::new(medium, phy, 3);
+        w.add_flow(0, 2, 1000);
+        w.add_flow(1, 2, 1000);
+        for src in [0usize, 1] {
+            w.set_mac(
+                src,
+                Box::new(Blaster {
+                    dst: MacAddr::from_node_index(2),
+                    period: millis(2),
+                    payload: 1000,
+                    sent: 0,
+                }),
+            );
+        }
+        w.set_mac(2, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        // Equal-power full collisions at node 2: most frames die, but the
+        // capture effect (per-frame fading occasionally giving one frame
+        // enough SINR) lets a minority through — exactly the phenomenon the
+        // paper cites [18, 20].
+        let sn = w.mac_ref(2).as_any().downcast_ref::<Sniffer>().unwrap();
+        let sent: u64 = [0usize, 1]
+            .iter()
+            .map(|&n| w.mac_ref(n).as_any().downcast_ref::<Blaster>().unwrap().sent)
+            .sum();
+        assert!(
+            (sn.frames as f64) < 0.35 * sent as f64,
+            "expected mostly collision loss, got {} of {sent} frames",
+            sn.frames
+        );
+        assert!(w.stats().counter("sim.rx_fail") > sent / 5);
+    }
+
+    #[test]
+    fn staggered_transmissions_all_decode() {
+        // Same three nodes, but sender 1 offset by half a period: no overlap
+        // (frames are ~153 us long, spacing is 1 ms).
+        let phy = PhyConfig::default();
+        let medium = Medium::uniform(3, -70.0, &phy);
+        let mut w = World::new(medium, phy, 4);
+        w.add_flow(0, 2, 100);
+        w.add_flow(1, 2, 100);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(2),
+                period: millis(2),
+                payload: 100,
+                sent: 0,
+            }),
+        );
+        // Offset via a different period that avoids sustained overlap.
+        w.set_mac(
+            1,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(2),
+                period: millis(2) + micros(700),
+                payload: 100,
+                sent: 0,
+            }),
+        );
+        w.set_mac(2, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        let sn = w.mac_ref(2).as_any().downcast_ref::<Sniffer>().unwrap();
+        let sent0 = w.mac_ref(0).as_any().downcast_ref::<Blaster>().unwrap().sent;
+        let sent1 = w.mac_ref(1).as_any().downcast_ref::<Blaster>().unwrap().sent;
+        // Most frames decode; occasional collisions when phases align.
+        assert!(
+            sn.frames as f64 > 0.85 * (sent0 + sent1) as f64,
+            "{} of {}",
+            sn.frames,
+            sent0 + sent1
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed| {
+            let mut w = strong_pair_world(seed);
+            let flow = w.add_flow(0, 1, 64);
+            w.set_mac(
+                0,
+                Box::new(Blaster {
+                    dst: MacAddr::from_node_index(1),
+                    period: micros(500),
+                    payload: 64,
+                    sent: 0,
+                }),
+            );
+            w.set_mac(1, Box::new(Sniffer::default()));
+            w.run_until(crate::time::secs(1));
+            (
+                w.stats().flow(flow).arrivals.clone(),
+                w.events_processed(),
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b);
+        // Different seed: same frame count (timers are deterministic) but
+        // the run should not be bit-identical in general; we only check it
+        // doesn't crash and produces comparable volume.
+        assert!((c.1 as i64 - a.1 as i64).abs() < 100);
+    }
+
+    #[test]
+    fn relay_flow_forwards_deliveries() {
+        // 0 -> 1 (flow a), 1 relays to 2 (flow b). Use sniffer-like relay:
+        // node 1 runs a Mac that forwards on_packet_queued.
+        struct Relay {
+            fwd: u64,
+        }
+        impl Mac for Relay {
+            fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
+            fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, _info: RxInfo) {
+                if let Frame::Dot11Data(d) = frame {
+                    if d.dst == ctx.mac_addr() {
+                        ctx.deliver(d.flow, d.flow_seq);
+                    }
+                }
+            }
+            fn on_packet_queued(&mut self, ctx: &mut NodeCtx<'_>) {
+                // One packet per wake; chaining the rest would need
+                // on_tx_done plumbing this simple test MAC doesn't have.
+                if let Some(p) = ctx.app_pop() {
+                    let frame = Frame::Dot11Data(cmap_wire::dot11::Data {
+                        src: ctx.mac_addr(),
+                        dst: p.dst_mac,
+                        seq: 0,
+                        retry: false,
+                        duration_ns: 0,
+                        flow: p.flow,
+                        flow_seq: p.flow_seq,
+                        payload: vec![0; p.payload_len],
+                    });
+                    if ctx.transmit(frame, Rate::R6) {
+                        self.fwd += 1;
+                    }
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+
+        let phy = PhyConfig::default();
+        let medium = Medium::uniform(3, -70.0, &phy);
+        let mut w = World::new(medium, phy, 5);
+        let a = w.add_flow(0, 1, 64);
+        let b = w.add_relay_flow(1, 2, 64, a);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(1),
+                period: millis(5),
+                payload: 64,
+                sent: 0,
+            }),
+        );
+        w.set_mac(1, Box::new(Relay { fwd: 0 }));
+        w.set_mac(2, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        let a_count = w.stats().flow(a).arrivals.len();
+        let b_count = w.stats().flow(b).arrivals.len();
+        assert!(a_count > 150, "upstream {a_count}");
+        // The relay forwards most packets (some lost to half-duplex timing).
+        assert!(
+            b_count as f64 > 0.5 * a_count as f64,
+            "relay {b_count} of {a_count}"
+        );
+    }
+
+    #[test]
+    fn busy_edges_fire_at_listeners() {
+        let mut w = strong_pair_world(9);
+        w.add_flow(0, 1, 256);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(1),
+                period: millis(10),
+                payload: 256,
+                sent: 0,
+            }),
+        );
+        w.set_mac(1, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        let sn = w.mac_ref(1).as_any().downcast_ref::<Sniffer>().unwrap();
+        // One busy edge per frame (~100 frames).
+        assert!(sn.busy_edges >= 90, "{}", sn.busy_edges);
+    }
+
+    #[test]
+    fn misdelivery_is_counted_not_crashing() {
+        struct Bad;
+        impl Mac for Bad {
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
+                ctx.deliver(0, 1); // flow 0's dst is node 1, not node 0
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+        }
+        let mut w = strong_pair_world(11);
+        w.add_flow(0, 1, 64);
+        w.set_mac(0, Box::new(Bad));
+        w.run_until(millis(1));
+        assert_eq!(w.stats().counter("sim.misdelivered"), 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! CRC-32 (IEEE 802.3 polynomial) used by every frame trailer.
+//!
+//! The CMAP header and trailer each carry "a separate CRC covering the entire
+//! header or trailer" (§3) so that they can be validated independently of the
+//! (possibly corrupted) data packets around them. We use the standard
+//! reflected CRC-32 with polynomial `0xEDB88320`, table-driven.
+
+/// Lazily built 256-entry lookup table for the reflected IEEE polynomial.
+fn table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// Compute the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Verify that `frame` ends with the CRC-32 of everything before it.
+///
+/// Returns `false` for frames shorter than the 4-byte CRC itself.
+pub fn verify_trailing_crc(frame: &[u8]) -> bool {
+    if frame.len() < 4 {
+        return false;
+    }
+    let (body, tail) = frame.split_at(frame.len() - 4);
+    let stored = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    crc32(body) == stored
+}
+
+/// Append the CRC-32 of the current contents of `buf` to it.
+pub fn append_crc(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn append_then_verify() {
+        let mut buf = b"hello cmap".to_vec();
+        append_crc(&mut buf);
+        assert!(verify_trailing_crc(&buf));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = b"payload bytes".to_vec();
+        append_crc(&mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(!verify_trailing_crc(&bad), "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn short_frames_rejected() {
+        assert!(!verify_trailing_crc(&[]));
+        assert!(!verify_trailing_crc(&[1, 2, 3]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Bounds-checked read/write cursors shared by all frame codecs.
+//!
+//! Parsing never panics: every read is checked and surfaces
+//! [`WireError::Truncated`](crate::frame::WireError) on overrun.
+
+use crate::addr::MacAddr;
+use crate::frame::WireError;
+
+/// A reading cursor over a received frame's bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a single byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("length checked")))
+    }
+
+    /// Read a MAC address.
+    pub fn mac(&mut self) -> Result<MacAddr, WireError> {
+        Ok(MacAddr::from_bytes(self.take(MacAddr::LEN)?))
+    }
+}
+
+/// A writing cursor building up a frame.
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start a frame with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a MAC address.
+    pub fn mac(&mut self, addr: MacAddr) {
+        self.buf.extend_from_slice(addr.as_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append the CRC-32 of everything written so far and return the frame.
+    pub fn finish_with_crc(mut self) -> Vec<u8> {
+        crate::crc::append_crc(&mut self.buf);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = Writer::with_capacity(64);
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.mac(MacAddr::from_node_index(3));
+        w.bytes(&[9, 9, 9]);
+        let buf = w.finish_with_crc();
+
+        assert!(crate::crc::verify_trailing_crc(&buf));
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.mac().unwrap(), MacAddr::from_node_index(3));
+        assert_eq!(r.take(3).unwrap(), &[9, 9, 9]);
+        assert_eq!(r.remaining(), 4); // the CRC
+    }
+
+    #[test]
+    fn truncation_surfaces_as_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), Err(WireError::Truncated));
+        // Failed read consumes nothing.
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u8(), Err(WireError::Truncated));
+    }
+}

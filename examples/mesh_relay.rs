@@ -1,0 +1,77 @@
+//! Two-hop content dissemination over a mesh (§5.7): a source feeds three
+//! relays, which forward to three leaves. The relay legs are frequently
+//! exposed terminals with respect to each other — CMAP lets them run
+//! concurrently.
+//!
+//! ```text
+//! cargo run --release --example mesh_relay [seed]
+//! ```
+
+use cmap_experiments::runner::{build_world, radio_env, Spec, TestbedCtx};
+use cmap_phy::Rate;
+use cmap_suite::prelude::*;
+use cmap_topo::{select, LinkMeasurements};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let phy = PhyConfig::default();
+    let tb = Testbed::office_floor(seed);
+    let lm = LinkMeasurements::analyze(&tb, &radio_env(&phy), Rate::R6, 1400);
+    let ctx = TestbedCtx { tb, lm, phy };
+    let spec = Spec {
+        testbed_seed: seed,
+        duration: time::secs(25),
+        ..Spec::default()
+    };
+
+    let mut rng = cmap_sim::rng::stream_rng(seed, 0x3e5);
+    let topo = select::mesh_topologies(&ctx.lm, 3, 1, &mut rng)
+        .pop()
+        .expect("mesh topology exists on this seed");
+    println!(
+        "source {} -> relays {:?} -> leaves {:?}",
+        topo.source, topo.relays, topo.leaves
+    );
+
+    for (label, cmap) in [("802.11 (CS, acks)", false), ("CMAP", true)] {
+        let mut world = build_world(&ctx, seed ^ 0x3e5);
+        let mut leaf_flows = Vec::new();
+        for (k, &a) in topo.relays.iter().enumerate() {
+            let up = world.add_flow(topo.source, a, spec.payload);
+            let down = world.add_relay_flow(a, topo.leaves[k], spec.payload, up);
+            leaf_flows.push((k, up, down));
+        }
+        for n in 0..world.node_count() {
+            if cmap {
+                world.set_mac(n, Box::new(CmapMac::new(CmapConfig::default())));
+            } else {
+                world.set_mac(n, Box::new(DcfMac::new(DcfConfig::status_quo())));
+            }
+        }
+        world.run_until(spec.duration);
+
+        println!("\n{label}:");
+        let mut total = 0.0;
+        for &(k, up, down) in &leaf_flows {
+            let t_up = world.stats().flow_throughput_mbps(
+                up,
+                spec.payload,
+                spec.measure_from(),
+                spec.duration,
+            );
+            let t_down = world.stats().flow_throughput_mbps(
+                down,
+                spec.payload,
+                spec.measure_from(),
+                spec.duration,
+            );
+            total += t_down;
+            println!("  branch {k}: hop1 {t_up:5.2}  leaf {t_down:5.2} Mbit/s");
+        }
+        println!("  aggregate at leaves: {total:5.2} Mbit/s");
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the simulation engine's foundations.
+
+use proptest::prelude::*;
+
+use cmap_suite::sim::event::{Event, Scheduler};
+use cmap_suite::sim::rng::{derive_seed, normal, stream_rng};
+use cmap_suite::sim::time::bits_duration;
+
+proptest! {
+    /// Events pop in (time, insertion) order no matter the insert order.
+    #[test]
+    fn scheduler_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.schedule(t, Event::Timer { node: 0, token: i as u64 });
+        }
+        let mut last: Option<(u64, u64)> = None;
+        let mut popped = 0;
+        while let Some((t, ev)) = s.pop() {
+            let Event::Timer { token, .. } = ev else { unreachable!() };
+            prop_assert_eq!(t, times[token as usize]);
+            if let Some((lt, ltok)) = last {
+                prop_assert!(t > lt || (t == lt && token > ltok),
+                    "order violated: ({lt},{ltok}) then ({t},{token})");
+            }
+            last = Some((t, token));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Seed derivation: deterministic, and distinct streams disagree.
+    #[test]
+    fn seed_streams_are_deterministic(master in any::<u64>(), stream in 0u64..1000) {
+        prop_assert_eq!(derive_seed(master, stream), derive_seed(master, stream));
+        use rand::Rng;
+        let mut a = stream_rng(master, stream);
+        let mut b = stream_rng(master, stream);
+        for _ in 0..8 {
+            prop_assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    /// Airtime helper: monotone in bits, inversely related to rate, and
+    /// never rounds below the exact value.
+    #[test]
+    fn bits_duration_bounds(bits in 1u64..10_000_000, bps in 1_000_000u64..100_000_000) {
+        let d = bits_duration(bits, bps);
+        let exact = bits as f64 * 1e9 / bps as f64;
+        prop_assert!(d as f64 >= exact - 1e-6);
+        prop_assert!((d as f64) < exact + 1.0);
+        prop_assert!(bits_duration(bits + 1, bps) >= d);
+    }
+
+    /// Box–Muller output is finite and symmetric-ish around the mean.
+    #[test]
+    fn normal_draws_are_finite(seed in any::<u64>(), mean in -100.0f64..100.0, sigma in 0.0f64..20.0) {
+        let mut rng = stream_rng(seed, 0);
+        for _ in 0..16 {
+            let x = normal(&mut rng, mean, sigma);
+            prop_assert!(x.is_finite());
+            if sigma == 0.0 {
+                prop_assert_eq!(x, mean);
+            } else {
+                prop_assert!((x - mean).abs() < 10.0 * sigma);
+            }
+        }
+    }
+}

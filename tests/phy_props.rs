@@ -1,0 +1,69 @@
+//! Property-based tests for the PHY model: the orderings every experiment
+//! implicitly relies on.
+
+use proptest::prelude::*;
+
+use cmap_suite::phy::units::db_to_ratio;
+use cmap_suite::phy::{error_model, preamble, Rate};
+
+fn arb_rate() -> impl Strategy<Value = Rate> {
+    (0u8..8).prop_map(|v| Rate::from_u8(v).expect("rate"))
+}
+
+proptest! {
+    /// More SINR never hurts.
+    #[test]
+    fn per_monotone_in_sinr(rate in arb_rate(), db1 in -10.0f64..35.0, db2 in -10.0f64..35.0, len in 1usize..2000) {
+        let (lo, hi) = if db1 <= db2 { (db1, db2) } else { (db2, db1) };
+        let p_lo = error_model::per(db_to_ratio(lo), rate, len);
+        let p_hi = error_model::per(db_to_ratio(hi), rate, len);
+        prop_assert!(p_hi <= p_lo + 1e-12, "{rate}: PER({hi}) {p_hi} > PER({lo}) {p_lo}");
+    }
+
+    /// Longer frames never do better.
+    #[test]
+    fn per_monotone_in_length(rate in arb_rate(), db in -5.0f64..30.0, l1 in 1usize..2000, l2 in 1usize..2000) {
+        let (sm, lg) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let p_sm = error_model::per(db_to_ratio(db), rate, sm);
+        let p_lg = error_model::per(db_to_ratio(db), rate, lg);
+        prop_assert!(p_sm <= p_lg + 1e-12);
+    }
+
+    /// Probabilities are probabilities.
+    #[test]
+    fn all_outputs_are_probabilities(rate in arb_rate(), db in -40.0f64..60.0, len in 0usize..3000) {
+        let sinr = db_to_ratio(db);
+        for v in [
+            error_model::per(sinr, rate, len),
+            error_model::packet_success_prob(sinr, rate, len),
+            error_model::ber(sinr, rate),
+            preamble::preamble_success_prob(sinr),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{v} out of [0,1]");
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    /// The preamble (24 bits of BPSK-1/2) is always at least as robust as a
+    /// full frame at any payload rate.
+    #[test]
+    fn preamble_at_least_as_robust_as_payload(rate in arb_rate(), db in -5.0f64..30.0, len in 24usize..2000) {
+        let sinr = db_to_ratio(db);
+        let pre = preamble::preamble_success_prob(sinr);
+        let pay = error_model::packet_success_prob(sinr, rate, len);
+        prop_assert!(pre >= pay - 1e-9, "preamble {pre} < payload {pay}");
+    }
+
+    /// Airtime is consistent: frame = PLCP + whole symbols, and symbols
+    /// carry exactly n_dbps bits each.
+    #[test]
+    fn airtime_symbol_accounting(rate in arb_rate(), len in 0usize..3000) {
+        let t = rate.frame_airtime_ns(len);
+        let plcp = preamble::PLCP_PREAMBLE_NS + preamble::PLCP_SIG_NS;
+        let psdu = t - plcp;
+        prop_assert_eq!(psdu % 4_000, 0, "not whole OFDM symbols");
+        let symbols = psdu / 4_000;
+        let bits = 16 + 8 * len as u64 + 6;
+        prop_assert_eq!(symbols, bits.div_ceil(rate.n_dbps()));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the wire formats: every representable frame
+//! round-trips byte-exactly, and any single-byte corruption is rejected.
+
+use proptest::prelude::*;
+
+use cmap_suite::phy::Rate;
+use cmap_suite::wire::{cmap, dot11, Frame, MacAddr};
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_rate() -> impl Strategy<Value = Rate> {
+    (0u8..8).prop_map(|v| Rate::from_u8(v).expect("rate code"))
+}
+
+fn arb_entry() -> impl Strategy<Value = cmap::InterfererEntry> {
+    (arb_mac(), arb_mac(), arb_rate()).prop_map(|(source, interferer, source_rate)| {
+        cmap::InterfererEntry {
+            source,
+            interferer,
+            source_rate,
+        }
+    })
+}
+
+prop_compose! {
+    fn arb_header_trailer()(
+        src in arb_mac(),
+        dst in arb_mac(),
+        tx_time_us in any::<u32>(),
+        vpkt_seq in any::<u32>(),
+        pkt_count in 0u8..=32,
+        data_rate in arb_rate(),
+        is_trailer in any::<bool>(),
+    ) -> Frame {
+        let body = cmap::HeaderTrailer { src, dst, tx_time_us, vpkt_seq, pkt_count, data_rate };
+        if is_trailer { Frame::CmapTrailer(body) } else { Frame::CmapHeader(body) }
+    }
+}
+
+prop_compose! {
+    fn arb_data()(
+        src in arb_mac(),
+        dst in arb_mac(),
+        vpkt_seq in any::<u32>(),
+        index in 0u8..32,
+        flow in any::<u16>(),
+        flow_seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) -> Frame {
+        Frame::CmapData(cmap::Data { src, dst, vpkt_seq, index, flow, flow_seq, payload })
+    }
+}
+
+prop_compose! {
+    fn arb_ack()(
+        src in arb_mac(),
+        dst in arb_mac(),
+        base_vpkt_seq in any::<u32>(),
+        bitmaps in proptest::collection::vec(any::<u32>(), 0..=cmap::MAX_ACK_WINDOW),
+        loss_rate in any::<u8>(),
+        il_entries in proptest::collection::vec(arb_entry(), 0..=8),
+    ) -> Frame {
+        Frame::CmapAck(cmap::Ack { src, dst, base_vpkt_seq, bitmaps, loss_rate, il_entries })
+    }
+}
+
+prop_compose! {
+    fn arb_il()(
+        src in arb_mac(),
+        entries in proptest::collection::vec(arb_entry(), 0..=40),
+    ) -> Frame {
+        Frame::CmapInterfererList(cmap::InterfererList { src, entries })
+    }
+}
+
+prop_compose! {
+    fn arb_dot11_data()(
+        src in arb_mac(),
+        dst in arb_mac(),
+        seq in any::<u16>(),
+        retry in any::<bool>(),
+        duration_ns in any::<u32>(),
+        flow in any::<u16>(),
+        flow_seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) -> Frame {
+        Frame::Dot11Data(dot11::Data { src, dst, seq, retry, duration_ns, flow, flow_seq, payload })
+    }
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        arb_header_trailer(),
+        arb_data(),
+        arb_ack(),
+        arb_il(),
+        arb_dot11_data(),
+        arb_mac().prop_map(|dst| Frame::Dot11Ack(dot11::Ack { dst })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip(frame in arb_frame()) {
+        let bytes = frame.emit();
+        prop_assert_eq!(bytes.len(), frame.wire_len());
+        let parsed = Frame::parse(&bytes).expect("roundtrip parse");
+        prop_assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn corruption_detected(frame in arb_frame(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = frame.emit();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        // Either the CRC rejects it, or (vanishingly unlikely here, single
+        // bit flip) it parses to a *different* frame — it must never parse
+        // back to the original.
+        if let Ok(parsed) = Frame::parse(&bytes) {
+            prop_assert_ne!(parsed, frame);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(frame in arb_frame(), keep in any::<prop::sample::Index>()) {
+        let bytes = frame.emit();
+        let k = keep.index(bytes.len() + 1);
+        let _ = Frame::parse(&bytes[..k]); // must not panic
+    }
+}

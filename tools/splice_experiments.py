@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""Splice a repro_all report into EXPERIMENTS.md between the GENERATED markers.
+
+Usage: python3 tools/splice_experiments.py [report] [experiments]
+Defaults: repro_report.md, EXPERIMENTS.md
+"""
+import sys
+
+report_path = sys.argv[1] if len(sys.argv) > 1 else "repro_report.md"
+target_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+
+report = open(report_path).read().strip()
+target = open(target_path).read()
+
+begin = "<!-- BEGIN GENERATED RESULTS -->"
+end = "<!-- END GENERATED RESULTS -->"
+pre, rest = target.split(begin, 1)
+_, post = rest.split(end, 1)
+open(target_path, "w").write(pre + begin + "\n" + report + "\n" + end + post)
+print(f"spliced {len(report)} bytes of results into {target_path}")
