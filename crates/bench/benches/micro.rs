@@ -70,7 +70,7 @@ fn bench_per_model(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for db in 0..200 {
-                let sinr = 10f64.powf(db as f64 / 100.0);
+                let sinr = 10f64.powf(f64::from(db) / 100.0);
                 acc += error_model::packet_success_prob(black_box(sinr), Rate::R6, 1400);
             }
             black_box(acc)

@@ -43,13 +43,28 @@ fn scenarios() -> Vec<Scenario> {
     sym(&mut hidden, 2, 1, -62.0);
     sym(&mut hidden, 1, 3, -70.0);
     vec![
-        Scenario { name: "exposed", rss: exposed },
-        Scenario { name: "conflicting", rss: conflicting },
-        Scenario { name: "hidden", rss: hidden },
+        Scenario {
+            name: "exposed",
+            rss: exposed,
+        },
+        Scenario {
+            name: "conflicting",
+            rss: conflicting,
+        },
+        Scenario {
+            name: "hidden",
+            rss: hidden,
+        },
     ]
 }
 
-fn run(rss: &[(usize, usize, f64)], cfg: &CmapConfig, phy: PhyConfig, seed: u64, dur_s: u64) -> f64 {
+fn run(
+    rss: &[(usize, usize, f64)],
+    cfg: &CmapConfig,
+    phy: PhyConfig,
+    seed: u64,
+    dur_s: u64,
+) -> f64 {
     let n = 4;
     let mut gains = vec![f64::NEG_INFINITY; n * n];
     for &(a, b, rss_dbm) in rss {
@@ -77,9 +92,21 @@ fn main() {
     };
     let variants: Vec<(&str, CmapConfig, PhyConfig)> = vec![
         ("CMAP (full)", CmapConfig::default(), PhyConfig::default()),
-        ("win=1", CmapConfig::default().stop_and_wait(), PhyConfig::default()),
-        ("no trailers", CmapConfig::default().without_trailers(), PhyConfig::default()),
-        ("no backoff", CmapConfig::default().without_backoff(), PhyConfig::default()),
+        (
+            "win=1",
+            CmapConfig::default().stop_and_wait(),
+            PhyConfig::default(),
+        ),
+        (
+            "no trailers",
+            CmapConfig::default().without_trailers(),
+            PhyConfig::default(),
+        ),
+        (
+            "no backoff",
+            CmapConfig::default().without_backoff(),
+            PhyConfig::default(),
+        ),
         (
             "no IL-in-ACKs",
             CmapConfig {
@@ -113,7 +140,10 @@ fn main() {
             PhyConfig::default(),
         ),
     ];
-    println!("Aggregate Mbit/s over two saturated pairs ({dur}s runs, seed {}):\n", cli.seed);
+    println!(
+        "Aggregate Mbit/s over two saturated pairs ({dur}s runs, seed {}):\n",
+        cli.seed
+    );
     print!("{:<16}", "variant");
     for s in scenarios() {
         print!(" {:>12}", s.name);

@@ -27,7 +27,11 @@ fn main() {
             "{:>10} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
             s.period_ms,
             conv.len() as f64 / s.points.len() as f64,
-            if conv.is_empty() { f64::NAN } else { mean(&conv) },
+            if conv.is_empty() {
+                f64::NAN
+            } else {
+                mean(&conv)
+            },
             mean(&transient),
             mean(&steady),
         );

@@ -14,10 +14,22 @@ fn main() {
     );
     let out = header_trailer::fig16(&spec);
     let curves = vec![
-        Curve { label: "In-range, header".into(), samples: out.in_range_header },
-        Curve { label: "In-range, hdr/trl".into(), samples: out.in_range_either },
-        Curve { label: "OoR, header".into(), samples: out.out_of_range_header },
-        Curve { label: "OoR, hdr/trl".into(), samples: out.out_of_range_either },
+        Curve {
+            label: "In-range, header".into(),
+            samples: out.in_range_header,
+        },
+        Curve {
+            label: "In-range, hdr/trl".into(),
+            samples: out.in_range_either,
+        },
+        Curve {
+            label: "OoR, header".into(),
+            samples: out.out_of_range_header,
+        },
+        Curve {
+            label: "OoR, hdr/trl".into(),
+            samples: out.out_of_range_either,
+        },
     ];
     for c in &curves {
         println!("{}: mean {:.3}", c.label, cmap_bench::mean(&c.samples));

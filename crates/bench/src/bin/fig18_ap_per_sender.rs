@@ -21,15 +21,33 @@ fn main() {
     let curves: Vec<Curve> = out
         .per_sender
         .iter()
-        .map(|(l, s)| Curve { label: l.clone(), samples: s.clone() })
+        .map(|(l, s)| Curve {
+            label: l.clone(),
+            samples: s.clone(),
+        })
         .collect();
     for c in &curves {
-        println!("{}: median {:.2} Mbit/s", c.label, Cdf::new(c.samples.clone()).median());
+        println!(
+            "{}: median {:.2} Mbit/s",
+            c.label,
+            Cdf::new(c.samples.clone()).median()
+        );
     }
     let med = |l: &str| {
-        Cdf::new(curves.iter().find(|c| c.label == l).unwrap().samples.clone()).median()
+        Cdf::new(
+            curves
+                .iter()
+                .find(|c| c.label == l)
+                .unwrap()
+                .samples
+                .clone(),
+        )
+        .median()
     };
-    println!("CMAP/CS median ratio: {:.2}x (paper 1.8x)", med("CMAP") / med("CS, acks"));
+    println!(
+        "CMAP/CS median ratio: {:.2}x (paper 1.8x)",
+        med("CMAP") / med("CS, acks")
+    );
     println!();
     println!("{}", render_cdfs("Mbit/s", &curves, 0.0, 6.0, 25));
 }

@@ -47,6 +47,7 @@ fn main() {
     };
 
     let mut report = String::new();
+    // cmap-lint: allow(wall-clock) — progress timing of the harness itself; never feeds simulation state
     let t0 = std::time::Instant::now();
 
     // §4.2 calibration.
@@ -69,12 +70,18 @@ fn main() {
         let win1 = median_of(&curves, "CMAP, win=1");
         let blast = median_of(&curves, "CS off, no acks");
         section(&mut report, "Fig 12 — exposed terminals");
-        wl(&mut report, format!(
+        wl(
+            &mut report,
+            format!(
             "| median CMAP/CS gain | paper ~2x | measured {:.2}x (CS {:.2}, CMAP {:.2} Mbit/s) |",
-            cmap / cs, cs, cmap));
-        wl(&mut report, format!(
+            cmap / cs, cs, cmap),
+        );
+        wl(
+            &mut report,
+            format!(
             "| stop-and-wait ablation | paper: win=1 only ~1.5x | measured {:.2}x ({:.2} Mbit/s) |",
-            win1 / cs, win1));
+            win1 / cs, win1),
+        );
         wl(&mut report, format!(
             "| CS-off-no-acks envelope | paper: ~15% of pairs not truly exposed | measured median {blast:.2} Mbit/s |"));
         cdf_block(&mut report, "Mbit/s", &curves, 0.0, 12.5, 26);
@@ -103,12 +110,20 @@ fn main() {
         }
         let out = hidden::fig14(&spec);
         section(&mut report, "Fig 14 — hidden interferers");
-        wl(&mut report, format!(
-            "| hidden-interferer fraction | paper ~8% | measured {:.1}% |",
-            100.0 * out.hidden_fraction));
-        wl(&mut report, format!(
-            "| expected CMAP normalised throughput | paper 0.896 | measured {:.3} |",
-            out.expected_cmap));
+        wl(
+            &mut report,
+            format!(
+                "| hidden-interferer fraction | paper ~8% | measured {:.1}% |",
+                100.0 * out.hidden_fraction
+            ),
+        );
+        wl(
+            &mut report,
+            format!(
+                "| expected CMAP normalised throughput | paper 0.896 | measured {:.3} |",
+                out.expected_cmap
+            ),
+        );
         eprintln!("[{}s] fig14 done", t0.elapsed().as_secs());
     }
 
@@ -131,9 +146,14 @@ fn main() {
         let spec = cli.spec(25);
         let out = header_trailer::fig16(&spec);
         section(&mut report, "Fig 16 — header/trailer reception");
-        wl(&mut report, format!(
-            "| in-range either-rate | paper ~1 | measured mean {:.3} (header-only {:.3}) |",
-            mean(&out.in_range_either), mean(&out.in_range_header)));
+        wl(
+            &mut report,
+            format!(
+                "| in-range either-rate | paper ~1 | measured mean {:.3} (header-only {:.3}) |",
+                mean(&out.in_range_either),
+                mean(&out.in_range_header)
+            ),
+        );
         wl(&mut report, format!(
             "| out-of-range either-rate | paper: trailer benefit largest here | measured mean {:.3} (header-only {:.3}) |",
             mean(&out.out_of_range_either), mean(&out.out_of_range_header)));
@@ -173,7 +193,10 @@ fn main() {
         let curves: Vec<Curve> = out
             .per_sender
             .iter()
-            .map(|(l, s)| Curve { label: l.clone(), samples: s.clone() })
+            .map(|(l, s)| Curve {
+                label: l.clone(),
+                samples: s.clone(),
+            })
             .collect();
         cdf_block(&mut report, "Mbit/s", &curves, 0.0, 6.0, 25);
         eprintln!("[{}s] fig17/18 done", t0.elapsed().as_secs());
@@ -184,13 +207,23 @@ fn main() {
         let spec = cli.spec(10);
         let per_k = if cli.effort == Effort::Quick { 2 } else { 5 };
         let rows = header_trailer::fig19(&spec, per_k);
-        section(&mut report, "Fig 19 — header/trailer reception vs concurrency");
-        wl(&mut report, "| senders | mean | median | p10 | p90 | paper: median ~flat, p10 collapses |".into());
+        section(
+            &mut report,
+            "Fig 19 — header/trailer reception vs concurrency",
+        );
+        wl(
+            &mut report,
+            "| senders | mean | median | p10 | p90 | paper: median ~flat, p10 collapses |".into(),
+        );
         for r in &rows {
             let s = &r.summary;
-            wl(&mut report, format!(
-                "| {} | {:.3} | {:.3} | {:.3} | {:.3} | |",
-                r.senders, s.mean, s.median, s.p10, s.p90));
+            wl(
+                &mut report,
+                format!(
+                    "| {} | {:.3} | {:.3} | {:.3} | {:.3} | |",
+                    r.senders, s.mean, s.median, s.p10, s.p90
+                ),
+            );
         }
         eprintln!("[{}s] fig19 done", t0.elapsed().as_secs());
     }
@@ -207,7 +240,8 @@ fn main() {
                     .find(|c| c.label == l)
                     .map(|c| Cdf::new(c.samples.clone()).median())
             };
-            if let (Some(cs), Some(cmap)) = (med(format!("CS@{mbps}")), med(format!("CMAP@{mbps}"))) {
+            if let (Some(cs), Some(cmap)) = (med(format!("CS@{mbps}")), med(format!("CMAP@{mbps}")))
+            {
                 wl(&mut report, format!(
                     "| @{mbps} Mbit/s | paper: gains persist, opportunities shrink with rate | measured CS {:.2}, CMAP {:.2} ({:.2}x) |",
                     cs, cmap, cmap / cs));

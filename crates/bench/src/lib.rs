@@ -125,7 +125,13 @@ pub fn render_cdfs(x_label: &str, curves: &[Curve], lo: f64, hi: f64, bins: usiz
 pub fn medians_line(curves: &[Curve]) -> String {
     curves
         .iter()
-        .map(|c| format!("{} median {:.2}", c.label, Cdf::new(c.samples.clone()).median()))
+        .map(|c| {
+            format!(
+                "{} median {:.2}",
+                c.label,
+                Cdf::new(c.samples.clone()).median()
+            )
+        })
         .collect::<Vec<_>>()
         .join(" | ")
 }
@@ -208,6 +214,6 @@ mod tests {
         assert_eq!(text.lines().count(), 7);
         assert!(text.contains('a') && text.contains('b'));
         assert!(medians_line(&curves).contains("median 2.00"));
-        assert_eq!(median_of(&curves, "a"), 2.0);
+        assert!((median_of(&curves, "a") - 2.0).abs() < 1e-12);
     }
 }

@@ -16,14 +16,17 @@
 //! Entries carry an expiry (refreshed by each broadcast that re-asserts
 //! them) and, for the §3.5 extension, the bit-rate they were learned at.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cmap_phy::Rate;
 use cmap_sim::time::Time;
 use cmap_wire::MacAddr;
 
 /// One defer-table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` so the table can live in a `BTreeMap`: `entries_at` feeds
+/// diagnostics and tests, and its order must be seed-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DeferEntry {
     /// `(dest : src → ∗)`: defer transmissions to `dest` while `src` is
     /// transmitting to anyone (update rule 1 / defer pattern 2).
@@ -46,7 +49,7 @@ pub enum DeferEntry {
 /// A node's defer table with per-entry expiry and rate annotation.
 #[derive(Debug, Default)]
 pub struct DeferTable {
-    entries: HashMap<DeferEntry, EntryMeta>,
+    entries: BTreeMap<DeferEntry, EntryMeta>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -69,10 +72,10 @@ impl DeferTable {
     /// Insert or refresh an entry, valid until `expires`. `rate` is the
     /// bit-rate annotation of the conflict observation (§3.5).
     pub fn insert(&mut self, entry: DeferEntry, expires: Time, rate: Rate) {
-        let meta = self.entries.entry(entry).or_insert(EntryMeta {
-            expires,
-            rate,
-        });
+        let meta = self
+            .entries
+            .entry(entry)
+            .or_insert(EntryMeta { expires, rate });
         if expires > meta.expires {
             meta.expires = expires;
         }
@@ -81,25 +84,17 @@ impl DeferTable {
 
     /// Apply **update rule 1**: we (`me`) are the source in `(me, q)` of
     /// receiver `r`'s interferer list — add `(r : q → ∗)`.
-    pub fn apply_rule1(
-        &mut self,
-        r: MacAddr,
-        q: MacAddr,
-        rate: Rate,
-        expires: Time,
-    ) {
-        self.insert(DeferEntry::DestWhileSrcAny { dest: r, src: q }, expires, rate);
+    pub fn apply_rule1(&mut self, r: MacAddr, q: MacAddr, rate: Rate, expires: Time) {
+        self.insert(
+            DeferEntry::DestWhileSrcAny { dest: r, src: q },
+            expires,
+            rate,
+        );
     }
 
     /// Apply **update rule 2**: we are the interferer in `(q, me)` of `r`'s
     /// list — add `(∗ : q → r)`.
-    pub fn apply_rule2(
-        &mut self,
-        r: MacAddr,
-        q: MacAddr,
-        rate: Rate,
-        expires: Time,
-    ) {
+    pub fn apply_rule2(&mut self, r: MacAddr, q: MacAddr, rate: Rate, expires: Time) {
         self.insert(DeferEntry::AnyWhilePair { src: q, dst: r }, expires, rate);
     }
 

@@ -11,7 +11,10 @@
 //! not a single loss because concurrent transmission still wins whenever
 //! the loss rate stays below 0.5 (§3.1).
 
-use std::collections::{HashMap, VecDeque};
+// BTreeMap, not HashMap: `active_during`/`concurrent_sources` feed MAC
+// decisions and the promotions log, so their order must not vary with hash
+// seeds across runs.
+use std::collections::{BTreeMap, VecDeque};
 
 use cmap_phy::Rate;
 use cmap_sim::time::Time;
@@ -29,11 +32,11 @@ struct Counters {
 #[derive(Debug, Default)]
 pub struct InterfererTracker {
     /// Recent activity windows per overheard neighbour, newest at the back.
-    activity: HashMap<MacAddr, VecDeque<(Time, Time)>>,
-    counters: HashMap<(MacAddr, MacAddr), Counters>,
+    activity: BTreeMap<MacAddr, VecDeque<(Time, Time)>>,
+    counters: BTreeMap<(MacAddr, MacAddr), Counters>,
     /// Qualified interferer-list entries: `(source, interferer)` → (expiry,
     /// source bit-rate when observed).
-    entries: HashMap<(MacAddr, MacAddr), (Time, Rate)>,
+    entries: BTreeMap<(MacAddr, MacAddr), (Time, Rate)>,
     /// Diagnostic log of promotions: (time, source, interferer, overlapped,
     /// lost) at the moment the pair qualified.
     pub promotions: Vec<(Time, MacAddr, MacAddr, u64, u64)>,
@@ -118,9 +121,7 @@ impl InterfererTracker {
         self.activity
             .keys()
             .copied()
-            .filter(|&node| {
-                node != exclude && self.overlap_fraction(node, start, end) >= min_frac
-            })
+            .filter(|&node| node != exclude && self.overlap_fraction(node, start, end) >= min_frac)
             .collect()
     }
 
@@ -221,6 +222,9 @@ impl InterfererTracker {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -295,7 +299,17 @@ mod tests {
         let mut t = InterfererTracker::new();
         t.note_activity(x, 0, 1_000_000);
         for i in 0..10u64 {
-            t.record_packet(u, i * 1000, i * 1000 + 900, true, Rate::R6, 10_000, 0.5, 8, 5_000);
+            t.record_packet(
+                u,
+                i * 1000,
+                i * 1000 + 900,
+                true,
+                Rate::R6,
+                10_000,
+                0.5,
+                8,
+                5_000,
+            );
         }
         assert_eq!(t.entries_at(14_000).len(), 1);
         assert!(t.entries_at(15_000).is_empty());

@@ -25,16 +25,16 @@
 
 use rand::Rng;
 
-use cmap_sim::time::{micros, millis, Time};
+use cmap_sim::time::{micros, millis, ns_to_us_ceil, Time};
 use cmap_sim::{Mac, NodeCtx, RxInfo};
 use cmap_wire::cmap::{self, HeaderTrailer};
 use cmap_wire::{Frame, MacAddr};
 
 use crate::config::CmapConfig;
 use crate::defer_table::DeferTable;
-use crate::rate_control::{FixedRate, RateController};
 use crate::interferer::InterfererTracker;
 use crate::ongoing::OngoingList;
+use crate::rate_control::{FixedRate, RateController};
 use crate::vpkt::{DataPkt, PeerRx, SendWindow, SentVpkt};
 
 const CLASS_ACKWAIT: u64 = 1;
@@ -106,7 +106,7 @@ pub struct CmapMac {
     defer: DeferTable,
     ongoing: OngoingList,
     tracker: InterfererTracker,
-    peers: std::collections::HashMap<MacAddr, PeerState>,
+    peers: std::collections::BTreeMap<MacAddr, PeerState>,
     /// Contention window (ns); 0 means "transmit immediately" (§3.4).
     cw: Time,
     sender_gen: u64,
@@ -139,7 +139,7 @@ impl CmapMac {
             defer: DeferTable::new(),
             ongoing: OngoingList::new(),
             tracker: InterfererTracker::new(),
-            peers: std::collections::HashMap::new(),
+            peers: std::collections::BTreeMap::new(),
             cw: 0,
             sender_gen: 0,
             rx_gen: 0,
@@ -281,8 +281,9 @@ impl CmapMac {
                 // without it, a deferring sender whose rival's inter-vpkt
                 // gap is shorter than a fixed t_deferwait loses every race
                 // and starves.
-                let jitter =
-                    ctx.rng().gen_range(self.cfg.t_deferwait / 2..=3 * self.cfg.t_deferwait / 2);
+                let jitter = ctx
+                    .rng()
+                    .gen_range(self.cfg.t_deferwait / 2..=3 * self.cfg.t_deferwait / 2);
                 let wait = until.saturating_sub(now) + jitter;
                 ctx.set_timer(wait, token(CLASS_DEFER, self.sender_gen));
             }
@@ -355,7 +356,7 @@ impl CmapMac {
         let header = Frame::CmapHeader(HeaderTrailer {
             src: ctx.mac_addr(),
             dst,
-            tx_time_us: remaining.div_ceil(1000) as u32,
+            tx_time_us: ns_to_us_ceil(remaining),
             vpkt_seq: seq,
             pkt_count: count,
             data_rate: rate,
@@ -404,12 +405,11 @@ impl CmapMac {
     fn send_trailer(&mut self, ctx: &mut NodeCtx<'_>) {
         let frame = {
             let cur = self.cur.as_ref().expect("send_trailer without vpkt");
-            let total =
-                2 * self.hdr_airtime() + self.burst_airtime(&cur.pkts, cur.rate);
+            let total = 2 * self.hdr_airtime() + self.burst_airtime(&cur.pkts, cur.rate);
             Frame::CmapTrailer(HeaderTrailer {
                 src: ctx.mac_addr(),
                 dst: cur.dst,
-                tx_time_us: total.div_ceil(1000) as u32,
+                tx_time_us: ns_to_us_ceil(total),
                 vpkt_seq: cur.seq,
                 pkt_count: cur.pkts.len() as u8,
                 data_rate: cur.rate,
@@ -462,7 +462,11 @@ impl CmapMac {
         // Even with CW = 0 the prototype's software path added jittery
         // latency before the next virtual packet; this dither is what keeps
         // saturated senders from phase-locking (see `CmapConfig::sw_jitter`).
-        let upper = if self.cw == 0 { self.cfg.sw_jitter } else { self.cw };
+        let upper = if self.cw == 0 {
+            self.cfg.sw_jitter
+        } else {
+            self.cw
+        };
         if upper == 0 {
             self.state = SState::Idle;
             self.try_send(ctx);
@@ -524,7 +528,7 @@ impl CmapMac {
     // ---- receiver path ---------------------------------------------------
 
     fn on_cmap_header(&mut self, ctx: &mut NodeCtx<'_>, h: &HeaderTrailer, info: RxInfo) {
-        let until = info.end + micros(h.tx_time_us as u64);
+        let until = info.end + micros(u64::from(h.tx_time_us));
         self.ongoing.note_header(h.src, h.dst, until, h.data_rate);
         self.tracker.note_activity(h.src, info.start, until);
         if h.dst == ctx.mac_addr() {
@@ -541,7 +545,7 @@ impl CmapMac {
             if !self.cfg.send_trailers {
                 // No trailer will come: finalise off the header's schedule.
                 let data_air = self.data_airtime(1400, h.data_rate).max(1);
-                let wait = h.pkt_count as Time * data_air + millis(1) / 2;
+                let wait = Time::from(h.pkt_count) * data_air + millis(1) / 2;
                 self.pending_finalize.push_back((
                     h.src,
                     h.vpkt_seq,
@@ -557,7 +561,7 @@ impl CmapMac {
     fn on_cmap_trailer(&mut self, ctx: &mut NodeCtx<'_>, t: &HeaderTrailer, info: RxInfo) {
         let now = ctx.now();
         self.ongoing.note_trailer(t.src, now);
-        let span = micros(t.tx_time_us as u64);
+        let span = micros(u64::from(t.tx_time_us));
         self.tracker
             .note_activity(t.src, info.end.saturating_sub(span), info.end);
         if t.dst != ctx.mac_addr() {
@@ -576,8 +580,15 @@ impl CmapMac {
             .on_trailer(t.vpkt_seq, t.pkt_count);
         let fallback_t0 = info
             .start
-            .saturating_sub(t.pkt_count as Time * data_air);
-        self.finalize_and_ack(ctx, t.src, t.vpkt_seq, t.pkt_count, t.data_rate, fallback_t0);
+            .saturating_sub(Time::from(t.pkt_count) * data_air);
+        self.finalize_and_ack(
+            ctx,
+            t.src,
+            t.vpkt_seq,
+            t.pkt_count,
+            t.data_rate,
+            fallback_t0,
+        );
     }
 
     /// Complete a virtual packet at the receiver: attribute per-packet
@@ -604,7 +615,7 @@ impl CmapMac {
         // by packet): activity knowledge is biased toward gaps, and biased
         // per-packet samples fabricate conflicts (see
         // InterfererTracker::concurrent_sources).
-        let span_end = t0 + pkt_count as Time * data_air;
+        let span_end = t0 + Time::from(pkt_count) * data_air;
         let concurrent = self.tracker.concurrent_sources(t0, span_end, 0.5, src);
         for x in concurrent {
             for i in 0..pkt_count {
@@ -657,7 +668,11 @@ impl CmapMac {
     /// `ack_turnaround ± sw_jitter/2`, floored at 100 µs.
     fn jittered_turnaround(&mut self, ctx: &mut NodeCtx<'_>) -> Time {
         let half = self.cfg.sw_jitter / 2;
-        let lo = self.cfg.ack_turnaround.saturating_sub(half).max(micros(100));
+        let lo = self
+            .cfg
+            .ack_turnaround
+            .saturating_sub(half)
+            .max(micros(100));
         let hi = self.cfg.ack_turnaround + half;
         ctx.rng().gen_range(lo..=hi)
     }
@@ -696,7 +711,8 @@ impl CmapMac {
         for e in entries {
             if e.source == me {
                 // Update rule 1: (r : q -> *).
-                self.defer.apply_rule1(r, e.interferer, e.source_rate, expires);
+                self.defer
+                    .apply_rule1(r, e.interferer, e.source_rate, expires);
             }
             if e.interferer == me {
                 // Update rule 2: (* : q -> r).
@@ -736,10 +752,7 @@ impl CmapMac {
         }
         // Re-arm with jitter to avoid network-wide phase lock.
         let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period / 4);
-        ctx.set_timer(
-            self.cfg.broadcast_period + jitter,
-            token(CLASS_BCAST, 0),
-        );
+        ctx.set_timer(self.cfg.broadcast_period + jitter, token(CLASS_BCAST, 0));
     }
 }
 
@@ -1074,8 +1087,7 @@ mod tests {
         let (me, v1, v2, x, y) = (a(0), a(1), a(2), a(3), a(4));
         let mut mac = CmapMac::new(CmapConfig::default());
         // Ongoing transmission x -> y until t=1000.
-        mac.ongoing
-            .note_header(x, y, 1000, cmap_phy::Rate::R6);
+        mac.ongoing.note_header(x, y, 1000, cmap_phy::Rate::R6);
         // Conflict known only for v2: (v2 : x -> *).
         mac.defer.apply_rule1(v2, x, cmap_phy::Rate::R6, 10_000);
 
@@ -1161,10 +1173,7 @@ mod tests {
             cmap_all(&mut w, 2, &cfg);
             w.run_until(secs(8));
             let t = tput(&w, f, secs(2), secs(8));
-            let trailers = w
-                .stats()
-                .vpkt_stats(0, 1)
-                .map_or(0, |v| v.trailer_count());
+            let trailers = w.stats().vpkt_stats(0, 1).map_or(0, |v| v.trailer_count());
             (t, trailers)
         };
         let (t_def, trl_def) = run(CmapConfig::default(), 31);
@@ -1202,7 +1211,10 @@ mod tests {
             "backoff should not hurt: with {with}, without {without}"
         );
         // The ablated variant must show the pathology at least mildly.
-        assert!(without < 5.0, "hidden blast unexpectedly healthy: {without}");
+        assert!(
+            without < 5.0,
+            "hidden blast unexpectedly healthy: {without}"
+        );
     }
 
     #[test]

@@ -88,8 +88,7 @@ impl OngoingList {
 
     /// Is `node` currently the source or destination of any transmission?
     pub fn involves(&self, node: MacAddr, now: Time) -> Option<&OngoingEntry> {
-        self.iter_at(now)
-            .find(|e| e.src == node || e.dst == node)
+        self.iter_at(now).find(|e| e.src == node || e.dst == node)
     }
 
     /// Latest expected end among live entries (for tests/diagnostics).

@@ -21,7 +21,7 @@
 //! paper describes — transmit slower now, or defer and transmit faster
 //! later.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cmap_phy::Rate;
 use cmap_sim::time::Time;
@@ -72,7 +72,7 @@ impl Default for Cell {
 /// Throughput-maximising adapter with neighbour probing.
 #[derive(Debug)]
 pub struct ThroughputRate {
-    cells: HashMap<(MacAddr, Rate), Cell>,
+    cells: BTreeMap<(MacAddr, Rate), Cell>,
     /// EWMA weight of new observations.
     alpha: f64,
     /// Fraction of choices spent probing a neighbouring rate.
@@ -87,7 +87,7 @@ impl ThroughputRate {
     pub fn new(ladder: Vec<Rate>) -> ThroughputRate {
         assert!(!ladder.is_empty());
         ThroughputRate {
-            cells: HashMap::new(),
+            cells: BTreeMap::new(),
             alpha: 0.25,
             probe_prob: 0.1,
             ladder,
@@ -101,9 +101,7 @@ impl ThroughputRate {
 
     /// Current delivery estimate for a cell (1.0 optimistic prior).
     pub fn delivery_estimate(&self, dst: MacAddr, rate: Rate) -> f64 {
-        self.cells
-            .get(&(dst, rate))
-            .map_or(1.0, |c| c.delivery)
+        self.cells.get(&(dst, rate)).map_or(1.0, |c| c.delivery)
     }
 
     /// Effective-throughput score. The delivery term enters *squared*: a
@@ -122,11 +120,7 @@ impl ThroughputRate {
         *self
             .ladder
             .iter()
-            .max_by(|&&a, &&b| {
-                self.score(dst, a)
-                    .partial_cmp(&self.score(dst, b))
-                    .expect("scores are finite")
-            })
+            .max_by(|&&a, &&b| self.score(dst, a).total_cmp(&self.score(dst, b)))
             .expect("non-empty ladder")
     }
 }

@@ -12,7 +12,7 @@
 //! window of virtual packets, from which the cumulative bitmap ACK and the
 //! reported loss rate (the backoff signal, §3.4) are built.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use cmap_phy::Rate;
 use cmap_sim::time::Time;
@@ -76,7 +76,7 @@ impl SentVpkt {
 /// Sender-side send window across all destinations.
 #[derive(Debug, Default)]
 pub struct SendWindow {
-    next_seq: HashMap<MacAddr, u32>,
+    next_seq: BTreeMap<MacAddr, u32>,
     sent: Vec<SentVpkt>,
     /// Repacked virtual packets awaiting retransmission, FIFO.
     rtx: std::collections::VecDeque<(MacAddr, Vec<DataPkt>)>,
@@ -281,14 +281,14 @@ impl PeerRx {
         for seq in base..=upto {
             match self.records.get(&seq) {
                 Some(r) => {
-                    let expected = r.expected.unwrap_or(default_expected) as u64;
+                    let expected = u64::from(r.expected.unwrap_or(default_expected));
                     let got = u64::from(r.bits.count_ones()).min(expected);
                     expected_total += expected;
                     got_total += got;
                     bitmaps.push(r.bits);
                 }
                 None => {
-                    expected_total += default_expected as u64;
+                    expected_total += u64::from(default_expected);
                     bitmaps.push(0);
                 }
             }
@@ -408,7 +408,10 @@ mod tests {
             vec![2, 3, 10]
         );
         let (_, second) = w.pop_rtx().unwrap();
-        assert_eq!(second.iter().map(|p| p.flow_seq).collect::<Vec<_>>(), vec![12]);
+        assert_eq!(
+            second.iter().map(|p| p.flow_seq).collect::<Vec<_>>(),
+            vec![12]
+        );
         assert!(w.pop_rtx().is_none());
     }
 
@@ -437,7 +440,7 @@ mod tests {
     fn ack_window_slides_and_prunes() {
         let mut r = PeerRx::new();
         for seq in 0..20u32 {
-            r.on_header(seq, 2, seq as Time * 100);
+            r.on_header(seq, 2, Time::from(seq) * 100);
             r.on_data(seq, 0);
             r.on_data(seq, 1);
         }

@@ -25,11 +25,7 @@ pub struct ApOutput {
 
 /// Protocols compared in §5.6.
 fn protocols() -> Vec<Protocol> {
-    vec![
-        Protocol::cs_on(),
-        Protocol::cs_off_acks(),
-        Protocol::cmap(),
-    ]
+    vec![Protocol::cs_on(), Protocol::cs_off_acks(), Protocol::cmap()]
 }
 
 /// Run the Fig 17/18 sweep: `experiments_per_n` topologies for each
@@ -66,7 +62,10 @@ pub fn ap_sweep(spec: &Spec, max_aps: usize, experiments_per_n: usize) -> ApOutp
                 ^ ((pi as u64) << 24)
                 ^ ((*n as u64) << 16)
                 ^ ((*idx as u64) << 8)
-                ^ topo.aps.iter().fold(0u64, |a, &x| a.rotate_left(5) ^ x as u64);
+                ^ topo
+                    .aps
+                    .iter()
+                    .fold(0u64, |a, &x| a.rotate_left(5) ^ x as u64);
             let out = run_links(
                 &ctx,
                 &topo.links,

@@ -114,7 +114,9 @@ fn measure_pair(
     }
 
     let tput = |f: u16, from: Time, to: Time| {
-        world.stats().flow_throughput_mbps(f, spec.payload, from, to)
+        world
+            .stats()
+            .flow_throughput_mbps(f, spec.payload, from, to)
     };
     let transient_end = secs(5).min(spec.duration);
     ConvergencePoint {

@@ -139,9 +139,7 @@ mod tests {
         // check the aggregate and that the out-of-range case benefits more
         // (the paper's observation).
         assert!(mean(&out.in_range_either) >= mean(&out.in_range_header) - 1e-9);
-        assert!(
-            mean(&out.out_of_range_either) >= mean(&out.out_of_range_header) - 1e-9
-        );
+        assert!(mean(&out.out_of_range_either) >= mean(&out.out_of_range_header) - 1e-9);
         // On in-range pairs the either-rate should be high.
         assert!(
             mean(&out.in_range_either) > 0.6,

@@ -61,9 +61,13 @@ pub fn fig14(spec: &Spec) -> Fig14Output {
         let stream = 0xF14_0000u64 ^ ((t.s as u64) << 14) ^ ((t.r as u64) << 7) ^ t.i as u64;
         let seed = derive_seed(spec.run_seed, stream);
         let alone = run_links(&ctx, &[(t.s, t.r)], &blast, spec, seed).per_flow_mbps[0];
-        let both = run_links(&ctx, &[(t.s, t.r), (t.i, i_dst)], &blast, spec, seed ^ 1)
-            .per_flow_mbps[0];
-        let normalized = if alone > 0.0 { (both / alone).min(1.0) } else { 0.0 };
+        let both =
+            run_links(&ctx, &[(t.s, t.r), (t.i, i_dst)], &blast, spec, seed ^ 1).per_flow_mbps[0];
+        let normalized = if alone > 0.0 {
+            (both / alone).min(1.0)
+        } else {
+            0.0
+        };
         let (pr, ps) = (ctx.lm.prr(t.i, t.r), ctx.lm.prr(t.i, t.s));
         Fig14Point {
             min_prr: pr.min(ps),
@@ -96,11 +100,7 @@ pub fn fig15(spec: &Spec) -> Vec<Curve> {
     let mut rng = stream_rng(spec.run_seed, 0xF15);
     let pairs = select::hidden_pairs(&ctx.lm, spec.configs, &mut rng);
     assert!(!pairs.is_empty(), "no hidden-terminal pairs in testbed");
-    let protocols = [
-        Protocol::cs_on(),
-        Protocol::cs_off_acks(),
-        Protocol::cmap(),
-    ];
+    let protocols = [Protocol::cs_on(), Protocol::cs_off_acks(), Protocol::cmap()];
     protocols
         .iter()
         .enumerate()
@@ -112,8 +112,14 @@ pub fn fig15(spec: &Spec) -> Vec<Curve> {
                     ^ ((pair.s1 as u64) << 12)
                     ^ ((pair.s2 as u64) << 4)
                     ^ pair.r2 as u64;
-                run_links(&ctx, &links, proto, spec, derive_seed(spec.run_seed, stream))
-                    .aggregate_mbps()
+                run_links(
+                    &ctx,
+                    &links,
+                    proto,
+                    spec,
+                    derive_seed(spec.run_seed, stream),
+                )
+                .aggregate_mbps()
             });
             Curve {
                 label: proto.label(),
@@ -134,10 +140,8 @@ pub(crate) fn cmap_hdr_rates(
     let cmap = Protocol::cmap();
     let per_pair = parallel_map(pairs, |pair| {
         let links = [(pair.s1, pair.r1), (pair.s2, pair.r2)];
-        let stream = stream_tag
-            ^ ((pair.s1 as u64) << 12)
-            ^ ((pair.s2 as u64) << 4)
-            ^ pair.r1 as u64;
+        let stream =
+            stream_tag ^ ((pair.s1 as u64) << 12) ^ ((pair.s2 as u64) << 4) ^ pair.r1 as u64;
         let out = run_links(ctx, &links, &cmap, spec, derive_seed(spec.run_seed, stream));
         out.hdr_rates
             .iter()

@@ -36,8 +36,14 @@ pub fn fig13(spec: &Spec) -> Vec<Curve> {
                     ^ ((pair.s1 as u64) << 12)
                     ^ ((pair.s2 as u64) << 4)
                     ^ pair.r1 as u64;
-                run_links(&ctx, &links, proto, spec, derive_seed(spec.run_seed, stream))
-                    .aggregate_mbps()
+                run_links(
+                    &ctx,
+                    &links,
+                    proto,
+                    spec,
+                    derive_seed(spec.run_seed, stream),
+                )
+                .aggregate_mbps()
             });
             Curve {
                 label: proto.label(),

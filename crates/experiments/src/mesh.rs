@@ -65,7 +65,11 @@ fn run_mesh_once(
     let (from, to) = (spec.measure_from(), spec.duration);
     leaf_flows
         .iter()
-        .map(|&f| world.stats().flow_throughput_mbps(f, spec.payload, from, to))
+        .map(|&f| {
+            world
+                .stats()
+                .flow_throughput_mbps(f, spec.payload, from, to)
+        })
         .sum()
 }
 
@@ -86,10 +90,7 @@ mod tests {
         for (label, samples) in &out.aggregates {
             assert_eq!(samples.len(), 2, "{label}");
             // Two-hop relaying must actually deliver something at leaves.
-            assert!(
-                samples.iter().any(|&s| s > 0.3),
-                "{label}: {samples:?}"
-            );
+            assert!(samples.iter().any(|&s| s > 0.3), "{label}: {samples:?}");
         }
     }
 }

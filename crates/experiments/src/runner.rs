@@ -58,7 +58,7 @@ impl Spec {
 
     /// Start of the measurement window.
     pub fn measure_from(&self) -> Time {
-        (self.duration as f64 * self.warmup_frac) as Time
+        cmap_sim::time::scale(self.duration, self.warmup_frac)
     }
 }
 
@@ -89,12 +89,7 @@ pub fn radio_env(phy: &PhyConfig) -> RadioEnv {
 pub fn testbed_ctx(spec: &Spec) -> TestbedCtx {
     let phy = PhyConfig::default();
     let tb = Testbed::office_floor(spec.testbed_seed);
-    let lm = LinkMeasurements::analyze(
-        &tb,
-        &radio_env(&phy),
-        cmap_phy::Rate::R6,
-        spec.payload,
-    );
+    let lm = LinkMeasurements::analyze(&tb, &radio_env(&phy), cmap_phy::Rate::R6, spec.payload);
     TestbedCtx { tb, lm, phy }
 }
 
@@ -146,7 +141,11 @@ pub fn run_links(
     let to = spec.duration;
     let per_flow_mbps = flows
         .iter()
-        .map(|&f| world.stats().flow_throughput_mbps(f, spec.payload, from, to))
+        .map(|&f| {
+            world
+                .stats()
+                .flow_throughput_mbps(f, spec.payload, from, to)
+        })
         .collect();
     let hdr_rates = links
         .iter()

@@ -1,0 +1,1040 @@
+//! `cmap-lint`: determinism & unit-safety static analysis for the CMAP
+//! workspace.
+//!
+//! The paper's evaluation (NSDI 2008, Figs 12–20) is only reproducible if
+//! the same seed yields the same packet trace. This tool enforces the
+//! source-level invariants that keep that true, as five rules:
+//!
+//! * **R1 `hash-iter`** — iterating a `HashMap`/`HashSet` in a
+//!   deterministic crate leaks nondeterministic order into results. Use
+//!   `BTreeMap`/`BTreeSet`, sort explicitly, or justify with a pragma.
+//! * **R2 `wall-clock`** — `Instant`/`SystemTime`, `thread_rng`,
+//!   `from_entropy` and environment-derived seeds smuggle ambient state
+//!   into a run. All randomness must come from the seeded stream RNGs.
+//! * **R3 `float-cmp`** — `==`/`!=` against float literals, and NaN-prone
+//!   `partial_cmp()` chains, in SINR/BER arithmetic. Use epsilon
+//!   comparisons and `f64::total_cmp`.
+//! * **R4 `panic-budget`** — bare `.unwrap()` in simulator hot paths
+//!   (`core::mac`, `cmap-sim`). Handle the case, or use
+//!   `.expect("<invariant>")` to document why it cannot fail.
+//! * **R5 `unit-cast`** — raw `as u64`/`as f64` casts on time/power values
+//!   outside the sanctioned conversion modules (`phy::units`, `phy::rate`,
+//!   `sim::time`, `sim::event`). Route through the unit helpers.
+//!
+//! A justified exception is written as a pragma comment on the offending
+//! line (or on a comment line directly above it):
+//!
+//! ```text
+//! // cmap-lint: allow(wall-clock) — progress reporting only, not simulation state
+//! ```
+//!
+//! The reason text after the dash is mandatory; an allow without a reason
+//! is itself a violation.
+//!
+//! The analysis is a line-level lexer, not a type checker: it strips
+//! comments and string literals, tracks `#[cfg(test)] mod` regions by brace
+//! depth, and resolves receivers of iteration calls against the set of
+//! identifiers declared as hash containers in the same file. That is
+//! deliberately conservative and cheap — it runs in milliseconds over the
+//! workspace and needs no dependencies — at the cost of file-local
+//! resolution only (a `HashMap` returned across a crate boundary and
+//! iterated elsewhere is not caught; `clippy` and review cover that gap).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The five enforced invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: hash-ordered iteration in deterministic code.
+    HashIter,
+    /// R2: wall-clock time or ambient entropy.
+    WallClock,
+    /// R3: float equality / NaN-prone comparison chains.
+    FloatCmp,
+    /// R4: bare `.unwrap()` in hot paths.
+    PanicBudget,
+    /// R5: raw unit-bearing casts outside conversion modules.
+    UnitCast,
+}
+
+impl Rule {
+    /// All rules, in R1..R5 order.
+    pub const ALL: [Rule; 5] = [
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::FloatCmp,
+        Rule::PanicBudget,
+        Rule::UnitCast,
+    ];
+
+    /// The pragma / diagnostic code for the rule.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::FloatCmp => "float-cmp",
+            Rule::PanicBudget => "panic-budget",
+            Rule::UnitCast => "unit-cast",
+        }
+    }
+
+    /// Parse a pragma code.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.code() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path as given on the command line.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Scan scoping: which paths count as deterministic, hot, sanctioned or
+/// skipped. All matching is by substring of the `/`-normalised path.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Paths whose code must be deterministic (R1/R3/R5 scope).
+    pub det_markers: Vec<String>,
+    /// Hot paths with a panic budget (R4 scope).
+    pub hot_markers: Vec<String>,
+    /// Sanctioned unit-conversion modules (R5 exempt).
+    pub unit_cast_allowed: Vec<String>,
+    /// Never scanned when reached by directory walking (still scanned when
+    /// named explicitly as a root — how the fixture self-tests run).
+    pub skip_markers: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let v = |items: &[&str]| items.iter().map(|s| s.to_string()).collect();
+        Config {
+            det_markers: v(&[
+                "crates/core/src",
+                "crates/sim/src",
+                "crates/phy/src",
+                "crates/wire/src",
+                "crates/topo/src",
+                "crates/stats/src",
+                "crates/mac80211/src",
+                "crates/experiments/src",
+                "tests/fixtures",
+            ]),
+            hot_markers: v(&["crates/core/src/mac.rs", "crates/sim/src", "tests/fixtures"]),
+            unit_cast_allowed: v(&[
+                "crates/phy/src/units.rs",
+                "crates/phy/src/rate.rs",
+                "crates/sim/src/time.rs",
+                "crates/sim/src/event.rs",
+            ]),
+            skip_markers: v(&["/target/", "/vendor/", "crates/lint/tests/fixtures"]),
+        }
+    }
+}
+
+impl Config {
+    fn matches(markers: &[String], path: &str) -> bool {
+        markers.iter().any(|m| path.contains(m.as_str()))
+    }
+}
+
+/// Result of scanning a set of roots.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, ordered by (path, line).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scan files and directories. Directories are walked recursively for
+/// `.rs` files; `cfg.skip_markers` prune the walk but never an explicit
+/// root argument.
+pub fn scan_paths(roots: &[PathBuf], cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            collect_rs_files(root, cfg, &mut files)?;
+        } else if root.is_file() {
+            files.push(root.clone());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", root.display()),
+            ));
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut report = Report::default();
+    for file in &files {
+        let display = file.display().to_string().replace('\\', "/");
+        let source = fs::read_to_string(file)?;
+        report
+            .violations
+            .extend(scan_source(&display, &source, cfg));
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let display = path.display().to_string().replace('\\', "/");
+        if Config::matches(&cfg.skip_markers, &display) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, cfg, out)?;
+        } else if display.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// One pragma found in comments.
+#[derive(Debug, Clone)]
+struct Pragma {
+    rules: Vec<Rule>,
+    has_reason: bool,
+    /// Whether the pragma's line has no code of its own (applies to the
+    /// next code line instead).
+    standalone: bool,
+    line: usize,
+}
+
+/// Per-line lexed form of a file.
+struct Lexed {
+    /// Code with comments and literal contents blanked, one per line.
+    code: Vec<String>,
+    /// Comment text per line (for pragma parsing).
+    comments: Vec<String>,
+    /// Raw lines (for snippets).
+    raw: Vec<String>,
+}
+
+/// Scan a single file's source text. `path` is used for scoping and for
+/// the `path` field of the produced violations.
+pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let lexed = lex(source);
+    let in_test = test_regions(&lexed.code);
+    let pragmas = collect_pragmas(&lexed);
+    let allow = resolve_pragma_targets(&pragmas, &lexed);
+
+    let det = Config::matches(&cfg.det_markers, path);
+    let hot = Config::matches(&cfg.hot_markers, path);
+    let unit_ok = Config::matches(&cfg.unit_cast_allowed, path);
+    // Integration-test and bench targets are not simulation state; the
+    // fixtures directory is exempt from this exemption so the self-tests
+    // exercise every rule.
+    let test_file =
+        (path.contains("/tests/") || path.contains("/benches/")) && !path.contains("fixtures");
+
+    let hash_names = collect_hash_names(&lexed.code);
+
+    let mut out = Vec::new();
+
+    // Pragmas without a reason are violations of the rule they try to
+    // silence (reported regardless of scope: an unjustified allow is
+    // always wrong).
+    for p in &pragmas {
+        if !p.has_reason {
+            for &rule in &p.rules {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line: p.line,
+                    rule,
+                    message: format!(
+                        "allow({}) pragma without a justification; write \
+                         `// cmap-lint: allow({}) — <reason>`",
+                        rule.code(),
+                        rule.code()
+                    ),
+                    snippet: lexed.raw[p.line - 1].trim().to_string(),
+                });
+            }
+        }
+    }
+
+    let mut emit = |line: usize, rule: Rule, message: String, lexed: &Lexed| {
+        if allow.get(&line).is_some_and(|rules| rules.contains(&rule)) {
+            return;
+        }
+        out.push(Violation {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+            snippet: lexed.raw[line - 1].trim().to_string(),
+        });
+    };
+
+    for (idx, code) in lexed.code.iter().enumerate() {
+        let line = idx + 1;
+        let is_test = in_test[idx] || test_file;
+
+        // R1 hash-iter: deterministic scope, test code included (ordering
+        // bugs in tests are flaky tests).
+        if det {
+            for name in iterated_receivers(&lexed.code, idx) {
+                if hash_names.contains(&name) {
+                    emit(
+                        line,
+                        Rule::HashIter,
+                        format!(
+                            "iteration over hash-ordered container `{name}` leaks \
+                             nondeterministic order; use BTreeMap/BTreeSet or sort \
+                             before iterating"
+                        ),
+                        &lexed,
+                    );
+                }
+            }
+        }
+
+        // R2 wall-clock/entropy: everywhere, including bench binaries
+        // (bench wall-clock use is legitimate but must carry a pragma so
+        // the exception is visible and reviewed).
+        if let Some(tok) = wall_clock_token(code, &lexed.raw[idx]) {
+            emit(
+                line,
+                Rule::WallClock,
+                format!(
+                    "`{tok}` injects ambient state into a run; derive all \
+                     randomness/time from the seeded simulation clock and \
+                     stream RNGs"
+                ),
+                &lexed,
+            );
+        }
+
+        // R3 float discipline: deterministic scope, non-test code.
+        if det && !is_test {
+            if let Some(tok) = float_literal_eq(code) {
+                emit(
+                    line,
+                    Rule::FloatCmp,
+                    format!(
+                        "exact float comparison against `{tok}`; use an epsilon \
+                         or restructure the sentinel"
+                    ),
+                    &lexed,
+                );
+            }
+            if code.contains(".partial_cmp(") && !code.contains("fn partial_cmp") {
+                emit(
+                    line,
+                    Rule::FloatCmp,
+                    "NaN-prone `partial_cmp` chain in simulation arithmetic; \
+                     use `f64::total_cmp` (or handle the None)"
+                        .to_string(),
+                    &lexed,
+                );
+            }
+        }
+
+        // R4 panic budget: hot paths, non-test code.
+        if hot && !is_test && code.contains(".unwrap()") {
+            emit(
+                line,
+                Rule::PanicBudget,
+                "bare `.unwrap()` in a simulator hot path; handle the case or \
+                 document the invariant with `.expect(\"...\")`"
+                    .to_string(),
+                &lexed,
+            );
+        }
+
+        // R5 unit casts: deterministic scope, non-test, outside the
+        // sanctioned conversion modules.
+        if det && !is_test && !unit_ok {
+            if let Some((cast, unit)) = unit_cast(code) {
+                emit(
+                    line,
+                    Rule::UnitCast,
+                    format!(
+                        "raw `{cast}` on unit-bearing value `{unit}`; route \
+                         through phy::units / sim::time helpers (or use \
+                         `u64::from` for widening)"
+                    ),
+                    &lexed,
+                );
+            }
+        }
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: blank comments and literal contents, preserve line structure.
+// ---------------------------------------------------------------------------
+
+fn lex(source: &str) -> Lexed {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut raw_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut raw = String::new();
+    let mut state = State::Code;
+
+    let mut chars = source.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            raw_lines.push(std::mem::take(&mut raw));
+            continue;
+        }
+        raw.push(c);
+        match state {
+            State::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    raw.push('/');
+                    state = State::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    raw.push('*');
+                    state = State::BlockComment(1);
+                }
+                '"' => {
+                    code.push('"');
+                    state = State::Str;
+                }
+                'r' if matches!(chars.peek(), Some('"') | Some('#')) => {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0u32;
+                    let mut lookahead = chars.clone();
+                    while lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        hashes += 1;
+                    }
+                    if lookahead.peek() == Some(&'"') {
+                        for _ in 0..hashes {
+                            let h = chars.next().expect("lookahead saw it");
+                            raw.push(h);
+                        }
+                        let q = chars.next().expect("lookahead saw it");
+                        raw.push(q);
+                        code.push('r');
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                    } else {
+                        code.push('r');
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars; a lifetime is followed by an identifier
+                    // and no closing quote.
+                    let mut lookahead = chars.clone();
+                    let mut is_char = false;
+                    match lookahead.next() {
+                        Some('\\') => is_char = true,
+                        Some(_) if lookahead.next() == Some('\'') => is_char = true,
+                        _ => {}
+                    }
+                    if is_char {
+                        code.push('\'');
+                        state = State::Char;
+                    } else {
+                        code.push('\'');
+                    }
+                }
+                _ => code.push(c),
+            },
+            State::LineComment => comment.push(c),
+            State::BlockComment(depth) => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    raw.push('/');
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                } else if c == '/' && chars.peek() == Some(&'*') {
+                    chars.next();
+                    raw.push('*');
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    comment.push(c);
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    if let Some(&esc) = chars.peek() {
+                        chars.next();
+                        raw.push(esc);
+                    }
+                }
+                '"' => {
+                    code.push('"');
+                    state = State::Code;
+                }
+                _ => code.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut lookahead = chars.clone();
+                    let mut matched = 0u32;
+                    while matched < hashes && lookahead.peek() == Some(&'#') {
+                        lookahead.next();
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        for _ in 0..hashes {
+                            let h = chars.next().expect("lookahead saw it");
+                            raw.push(h);
+                        }
+                        code.push('"');
+                        state = State::Code;
+                    } else {
+                        code.push(' ');
+                    }
+                } else {
+                    code.push(' ');
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    if let Some(&esc) = chars.peek() {
+                        chars.next();
+                        raw.push(esc);
+                    }
+                    code.push(' ');
+                }
+                '\'' => {
+                    code.push('\'');
+                    state = State::Code;
+                }
+                _ => code.push(' '),
+            },
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    raw_lines.push(raw);
+
+    Lexed {
+        code: code_lines,
+        comments: comment_lines,
+        raw: raw_lines,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test-region tracking.
+// ---------------------------------------------------------------------------
+
+/// `in_test[i]` is true when line `i+1` is inside a `#[cfg(test)] mod`
+/// region (tracked by brace depth).
+fn test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    let mut test_depth: Option<i64> = None;
+
+    for (i, line) in code.iter().enumerate() {
+        let compact: String = line.split_whitespace().collect();
+        if compact.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let starts_mod = test_depth.is_none()
+            && pending_cfg_test
+            && (compact.starts_with("mod") || compact.contains("]mod") || line.contains("mod "))
+            && line.contains('{');
+        if starts_mod {
+            test_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+        if test_depth.is_some() {
+            in_test[i] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(td) = test_depth {
+                        if depth <= td {
+                            test_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas.
+// ---------------------------------------------------------------------------
+
+fn collect_pragmas(lexed: &Lexed) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (i, comment) in lexed.comments.iter().enumerate() {
+        let Some(pos) = comment.find("cmap-lint:") else {
+            continue;
+        };
+        let rest = &comment[pos + "cmap-lint:".len()..];
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<Rule> = rest[..close]
+            .split(',')
+            .filter_map(|s| Rule::parse(s.trim()))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        // Reason: anything substantive after the closing paren and a dash
+        // or colon separator.
+        let after = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':', ' '])
+            .trim();
+        let has_reason = after.len() >= 3;
+        let standalone = lexed.code[i].trim().is_empty();
+        out.push(Pragma {
+            rules,
+            has_reason,
+            standalone,
+            line: i + 1,
+        });
+    }
+    out
+}
+
+/// Map each justified pragma to the lines it silences.
+fn resolve_pragma_targets(
+    pragmas: &[Pragma],
+    lexed: &Lexed,
+) -> std::collections::BTreeMap<usize, Vec<Rule>> {
+    let mut allow: std::collections::BTreeMap<usize, Vec<Rule>> = std::collections::BTreeMap::new();
+    for p in pragmas {
+        if !p.has_reason {
+            continue;
+        }
+        let mut targets = vec![p.line];
+        if p.standalone {
+            // Applies to the next line with actual code.
+            for (j, code) in lexed.code.iter().enumerate().skip(p.line) {
+                if !code.trim().is_empty() {
+                    targets.push(j + 1);
+                    break;
+                }
+            }
+        }
+        for t in targets {
+            allow.entry(t).or_default().extend(p.rules.iter().copied());
+        }
+    }
+    allow
+}
+
+// ---------------------------------------------------------------------------
+// R1: hash container declarations and iteration receivers.
+// ---------------------------------------------------------------------------
+
+/// Identifiers declared with a `HashMap`/`HashSet` type in this file.
+fn collect_hash_names(code: &[String]) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    for line in code {
+        for marker in ["HashMap", "HashSet"] {
+            let mut start = 0;
+            while let Some(pos) = line[start..].find(marker) {
+                let abs = start + pos;
+                start = abs + marker.len();
+                // Type annotation form: `name: HashMap<...>` (fields, lets,
+                // fn params) or constructor form: `name = HashMap::new()`.
+                let before = &line[..abs];
+                // Reference/mut sigils between the name and the type
+                // (`m: &HashMap<..>`, `m: &mut HashMap<..>`) don't change
+                // ownership of the binding for our purposes.
+                let sep = before
+                    .trim_end()
+                    .trim_end_matches("mut")
+                    .trim_end()
+                    .trim_end_matches('&')
+                    .trim_end();
+                let name = if let Some(pre) = sep.strip_suffix(':') {
+                    last_ident(pre)
+                } else if let Some(pre) = sep.strip_suffix('=') {
+                    last_ident(pre)
+                } else {
+                    None
+                };
+                if let Some(n) = name {
+                    names.insert(n);
+                }
+            }
+        }
+    }
+    names
+}
+
+fn last_ident(text: &str) -> Option<String> {
+    let trimmed = text.trim_end();
+    let end = trimmed.len();
+    let start = trimmed
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |i| i + c_len(trimmed, i));
+    let ident = &trimmed[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_numeric()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+fn c_len(s: &str, i: usize) -> usize {
+    s[i..].chars().next().map_or(1, |c| c.len_utf8())
+}
+
+/// Receivers of order-sensitive iteration calls on line `idx`, plus `for`
+/// loop sources. A method call at the start of a line (builder-chain style)
+/// resolves its receiver from the nearest preceding non-empty code line.
+fn iterated_receivers(lines: &[String], idx: usize) -> Vec<String> {
+    const METHODS: [&str; 10] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+        ".retain(",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+    ];
+    let code = &lines[idx];
+    let mut out = Vec::new();
+    for m in METHODS {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(m) {
+            let abs = start + pos;
+            start = abs + m.len();
+            if let Some(name) = last_ident(&code[..abs]) {
+                out.push(name);
+            } else if code[..abs].trim().is_empty() {
+                // Chained call continuing the previous line.
+                if let Some(prev) = lines[..idx].iter().rev().find(|l| !l.trim().is_empty()) {
+                    if let Some(name) = last_ident(prev) {
+                        out.push(name);
+                    }
+                }
+            }
+        }
+    }
+    // `for x in [&mut] [self.]name ... {`
+    if let Some(for_pos) = find_word(code, "for") {
+        if let Some(in_rel) = code[for_pos..].find(" in ") {
+            let mut rest = code[for_pos + in_rel + 4..].trim_start();
+            rest = rest
+                .trim_start_matches("&mut ")
+                .trim_start_matches('&')
+                .trim_start();
+            rest = rest.strip_prefix("self.").unwrap_or(rest);
+            let ident: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !ident.is_empty() {
+                out.push(ident);
+            }
+        }
+    }
+    out
+}
+
+/// Position of `word` appearing as a standalone word.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        start = abs + word.len();
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &code[abs + word.len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R2: wall clock / entropy tokens.
+// ---------------------------------------------------------------------------
+
+fn wall_clock_token(code: &str, raw: &str) -> Option<&'static str> {
+    const TOKENS: [&str; 6] = [
+        "Instant::now",
+        "std::time::Instant",
+        "SystemTime",
+        "thread_rng",
+        "from_entropy",
+        "rand::random",
+    ];
+    for t in TOKENS {
+        if code.contains(t) {
+            return Some(t);
+        }
+    }
+    // The variable name usually lives in a (stripped) string literal, so
+    // the seed heuristic reads the raw line.
+    if code.contains("env::var") && raw.to_ascii_lowercase().contains("seed") {
+        return Some("env::var(seed)");
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// R3: float comparisons.
+// ---------------------------------------------------------------------------
+
+/// A float literal adjacent to `==`/`!=`, if any.
+fn float_literal_eq(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        let is_eq = two == "==" || two == "!=";
+        if is_eq {
+            let prev = if i == 0 { b' ' } else { bytes[i - 1] };
+            let next = if i + 2 < bytes.len() {
+                bytes[i + 2]
+            } else {
+                b' '
+            };
+            // Skip <=, >=, ===-like runs, pattern arms (=>), and != vs =!=.
+            if !matches!(prev, b'<' | b'>' | b'=' | b'!') && next != b'=' && next != b'>' {
+                let left = operand_before(code, i);
+                let right = operand_after(code, i + 2);
+                for tok in [left, right].into_iter().flatten() {
+                    if is_float_literal(&tok) {
+                        return Some(tok);
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+fn operand_before(code: &str, op: usize) -> Option<String> {
+    let text = code[..op].trim_end();
+    let end = text.len();
+    let start = text
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+        .map_or(0, |i| i + c_len(text, i));
+    let tok = &text[start..end];
+    (!tok.is_empty()).then(|| tok.to_string())
+}
+
+fn operand_after(code: &str, from: usize) -> Option<String> {
+    let text = code[from..].trim_start();
+    let tok: String = text
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '.' || *c == '-')
+        .collect();
+    let tok = tok.trim_start_matches('-').to_string();
+    (!tok.is_empty()).then_some(tok)
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+    let mut has_digit = false;
+    let mut has_dot = false;
+    let mut has_exp = false;
+    let mut prev_digit = false;
+    for c in t.chars() {
+        match c {
+            '0'..='9' => {
+                has_digit = true;
+                prev_digit = true;
+            }
+            '.' => {
+                if prev_digit {
+                    has_dot = true;
+                }
+                prev_digit = false;
+            }
+            'e' | 'E' => {
+                if prev_digit {
+                    has_exp = true;
+                }
+                prev_digit = false;
+            }
+            '_' | '+' | '-' => prev_digit = false,
+            _ => return false,
+        }
+    }
+    has_digit && (has_dot || has_exp || tok.ends_with("f64") || tok.ends_with("f32"))
+}
+
+// ---------------------------------------------------------------------------
+// R5: unit casts.
+// ---------------------------------------------------------------------------
+
+/// A raw numeric cast on a line that also mentions a unit-bearing
+/// identifier: `(cast, unit_token)`.
+fn unit_cast(code: &str) -> Option<(&'static str, String)> {
+    const CASTS: [&str; 5] = [" as u64", " as u32", " as f64", " as f32", " as Time"];
+    const UNIT_SUFFIXES: [&str; 8] = ["_ns", "_us", "_ms", "_mw", "_dbm", "_db", "_mbps", "_hz"];
+    const UNIT_WORDS: [&str; 3] = ["airtime", "tx_time", "duration"];
+
+    let cast = CASTS.into_iter().find(|c| {
+        code.contains(c)
+        // `as u64;`-style trailing or mid-expression both match; avoid
+        // matching inside identifiers (the leading space handles it).
+    })?;
+
+    // Tokenise identifiers and look for a unit-bearing one.
+    let mut ident = String::new();
+    let mut idents = Vec::new();
+    for c in code.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            ident.push(c);
+        } else if !ident.is_empty() {
+            idents.push(std::mem::take(&mut ident));
+        }
+    }
+    if !ident.is_empty() {
+        idents.push(ident);
+    }
+    for id in idents {
+        let lower = id.to_ascii_lowercase();
+        if UNIT_SUFFIXES.iter().any(|s| lower.ends_with(s))
+            || UNIT_WORDS.iter().any(|w| lower.contains(w))
+        {
+            return Some((cast.trim_start(), id));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Output rendering.
+// ---------------------------------------------------------------------------
+
+/// Render violations for humans.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.path, v.line, v.rule, v.message, v.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "cmap-lint: {} violation(s) in {} file(s) scanned\n",
+        report.violations.len(),
+        report.files_scanned
+    ));
+    out
+}
+
+/// Render violations as a JSON document.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(&v.path),
+            v.line,
+            v.rule,
+            json_escape(&v.message),
+            json_escape(&v.snippet)
+        ));
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files_scanned\": {},\n  \"violation_count\": {}\n}}\n",
+        report.files_scanned,
+        report.violations.len()
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,67 @@
+//! Command-line front end for the determinism lint.
+//!
+//! ```text
+//! cargo run -p cmap-lint -- crates/ src/
+//! cargo run -p cmap-lint -- --json crates/
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("cmap-lint: unknown option `{arg}`");
+                print_usage();
+                return ExitCode::from(2);
+            }
+            _ => roots.push(PathBuf::from(arg)),
+        }
+    }
+    if roots.is_empty() {
+        eprintln!("cmap-lint: no paths given");
+        print_usage();
+        return ExitCode::from(2);
+    }
+
+    let cfg = cmap_lint::Config::default();
+    let report = match cmap_lint::scan_paths(&roots, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cmap-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", cmap_lint::render_json(&report));
+    } else {
+        print!("{}", cmap_lint::render_human(&report));
+    }
+
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cmap-lint [--json] <path>...\n\
+         \n\
+         Scans .rs files under the given paths for determinism and\n\
+         unit-safety violations (rules: hash-iter, wall-clock, float-cmp,\n\
+         panic-budget, unit-cast). See DESIGN.md \"Determinism invariants\"."
+    );
+}

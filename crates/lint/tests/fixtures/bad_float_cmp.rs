@@ -1,0 +1,13 @@
+//! R3 fixture: float equality and NaN-prone comparisons.
+
+pub fn is_zero(sigma: f64) -> bool {
+    sigma == 0.0
+}
+
+pub fn sort_scores(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn not_one(x: f64) -> bool {
+    x != 1.0f64
+}

@@ -1,0 +1,33 @@
+//! R1 fixture: iteration over hash-ordered containers.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    pub activity: HashMap<u32, u64>,
+    pub members: HashSet<u32>,
+}
+
+impl Tracker {
+    pub fn sum(&self) -> u64 {
+        self.activity.values().sum()
+    }
+
+    pub fn chained(&self) -> Vec<u32> {
+        self.activity
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    pub fn drop_old(&mut self) {
+        self.activity.retain(|_, v| *v > 0);
+    }
+
+    pub fn looped(&self) -> u64 {
+        let mut total = 0;
+        for m in &self.members {
+            total += u64::from(*m);
+        }
+        total
+    }
+}

@@ -1,0 +1,13 @@
+//! R5 fixture: raw unit casts.
+
+pub fn widen(tx_time_us: u32) -> u64 {
+    tx_time_us as u64
+}
+
+pub fn to_float(airtime_ns: u64) -> f64 {
+    airtime_ns as f64
+}
+
+pub fn no_unit(count: u32) -> u64 {
+    count as u64
+}

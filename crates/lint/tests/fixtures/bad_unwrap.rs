@@ -1,0 +1,17 @@
+//! R4 fixture: bare unwrap in hot paths.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn parsed(s: &str) -> u32 {
+    s.parse::<u32>().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! R2 fixture: ambient time and entropy.
+
+pub fn elapsed_ms() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis()
+}
+
+pub fn stamp() -> &'static str {
+    use std::time::SystemTime;
+    "stamped"
+}
+
+pub fn seed_from_env() -> u64 {
+    std::env::var("CMAP_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1)
+}

@@ -1,0 +1,21 @@
+//! Clean fixture: determinism-safe idioms produce no findings.
+
+use std::collections::BTreeMap;
+
+pub fn sum(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+pub fn compare(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+pub fn near(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+// Strings and comments must not trip token matching:
+// "Instant::now" in a comment, and below in a string literal.
+pub fn doc() -> &'static str {
+    "call Instant::now and x == 0.0 and map.iter() for details"
+}

@@ -1,0 +1,7 @@
+//! Pragma without a justification is itself a violation, and silences
+//! nothing.
+
+pub fn bad(x: f64) -> bool {
+    // cmap-lint: allow(float-cmp)
+    x == 0.1
+}

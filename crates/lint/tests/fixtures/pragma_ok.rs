@@ -1,0 +1,11 @@
+//! Pragma fixture: justified exceptions are silent.
+
+pub fn noted() -> bool {
+    // cmap-lint: allow(wall-clock) — fixture: standalone pragma covers the next code line
+    let clock = std::time::SystemTime::UNIX_EPOCH;
+    format!("{clock:?}").is_empty()
+}
+
+pub fn trailing(x: f64) -> bool {
+    x == 0.5 // cmap-lint: allow(float-cmp) — fixture: exact sentinel comparison is intended
+}

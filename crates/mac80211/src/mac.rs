@@ -14,7 +14,7 @@
 use rand::Rng;
 
 use cmap_sim::app::AppPacket;
-use cmap_sim::time::Time;
+use cmap_sim::time::{ns_to_u32_saturating, whole_slots, Time};
 use cmap_sim::{Mac, NodeCtx, RxInfo};
 use cmap_wire::{dot11, Frame, MacAddr};
 
@@ -111,9 +111,7 @@ impl DcfMac {
 
     fn medium_clear(&self, ctx: &NodeCtx<'_>) -> bool {
         !self.cfg.carrier_sense
-            || (!ctx.carrier_busy()
-                && ctx.now() >= self.nav_until
-                && ctx.now() >= self.eifs_until)
+            || (!ctx.carrier_busy() && ctx.now() >= self.nav_until && ctx.now() >= self.eifs_until)
     }
 
     /// Drive the sender path from Idle/WaitMedium towards transmission.
@@ -168,7 +166,7 @@ impl DcfMac {
     fn arm_backoff(&mut self, ctx: &mut NodeCtx<'_>) {
         self.state = TxState::Backoff { started: ctx.now() };
         self.sender_gen += 1;
-        let wait = self.backoff_slots as Time * SLOT_NS;
+        let wait = Time::from(self.backoff_slots) * SLOT_NS;
         ctx.set_timer(wait, token(CLASS_BACKOFF, self.sender_gen));
     }
 
@@ -181,7 +179,7 @@ impl DcfMac {
                 self.state = TxState::WaitMedium;
             }
             TxState::Backoff { started } => {
-                let consumed = ((ctx.now() - started) / SLOT_NS) as u32;
+                let consumed = whole_slots(ctx.now() - started, SLOT_NS);
                 self.backoff_slots = self.backoff_slots.saturating_sub(consumed);
                 self.sender_gen += 1;
                 self.state = TxState::WaitMedium;
@@ -202,7 +200,7 @@ impl DcfMac {
             let cur = self.cur.as_ref().expect("transmit without packet");
             let dst = cur.pkt.dst_mac;
             let duration = if self.ack_expected() {
-                (SIFS_NS + self.ack_airtime()) as u32
+                ns_to_u32_saturating(SIFS_NS + self.ack_airtime())
             } else {
                 0
             };
@@ -236,9 +234,7 @@ impl DcfMac {
     }
 
     fn ack_airtime(&self) -> Time {
-        self.cfg
-            .ack_rate
-            .frame_airtime_ns(dot11::Ack::WIRE_LEN)
+        self.cfg.ack_rate.frame_airtime_ns(dot11::Ack::WIRE_LEN)
     }
 
     /// Done with the current packet (delivered, dropped, or fire-and-forget):
@@ -285,7 +281,7 @@ impl DcfMac {
         if !self.cfg.carrier_sense || duration_ns == 0 {
             return;
         }
-        let until = frame_end + duration_ns as Time;
+        let until = frame_end + Time::from(duration_ns);
         if until > self.nav_until {
             self.nav_until = until;
             if matches!(self.state, TxState::WaitDifs | TxState::Backoff { .. }) {
@@ -614,7 +610,7 @@ mod tests {
         assert!(drops > 10, "drops {drops}");
         // Every drop is preceded by RETRY_LIMIT retransmissions (the run may
         // end mid-sequence, so allow one partial round).
-        let limit = crate::timing::RETRY_LIMIT as u64;
+        let limit = u64::from(crate::timing::RETRY_LIMIT);
         assert!(
             retx >= drops * limit && retx <= (drops + 1) * limit,
             "retx {retx} for {drops} drops"

@@ -190,6 +190,9 @@ pub fn sinr_for_success_prob(target: f64, rate: Rate, psdu_bytes: usize) -> f64 
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::units::{db_to_ratio, ratio_to_db};
@@ -215,7 +218,7 @@ mod tests {
         for rate in Rate::ALL {
             let mut last = f64::INFINITY;
             for db in -10..30 {
-                let b = ber(db_to_ratio(db as f64), rate);
+                let b = ber(db_to_ratio(f64::from(db)), rate);
                 assert!(b <= last + 1e-15, "{rate} BER not monotone at {db} dB");
                 last = b;
             }

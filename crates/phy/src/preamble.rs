@@ -49,6 +49,9 @@ pub fn preamble_success_prob(sinr: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::units::db_to_ratio;
@@ -57,7 +60,7 @@ mod tests {
     fn preamble_detection_is_monotone() {
         let mut last = 0.0;
         for db in -10..20 {
-            let p = preamble_success_prob(db_to_ratio(db as f64));
+            let p = preamble_success_prob(db_to_ratio(f64::from(db)));
             assert!(p >= last - 1e-12);
             last = p;
         }

@@ -153,7 +153,8 @@ impl Rate {
     /// Total airtime of a frame carrying `psdu_bytes` of MAC-layer bytes at
     /// this rate, including the 16 µs PLCP preamble and 4 µs SIGNAL field.
     pub fn frame_airtime_ns(self, psdu_bytes: usize) -> u64 {
-        crate::preamble::PLCP_PREAMBLE_NS + crate::preamble::PLCP_SIG_NS
+        crate::preamble::PLCP_PREAMBLE_NS
+            + crate::preamble::PLCP_SIG_NS
             + self.psdu_airtime_ns(psdu_bytes)
     }
 

@@ -201,7 +201,10 @@ mod tests {
         let mut app = app_with_both();
         app.push_relay(1, 7);
         app.push_relay(1, 8);
-        let seq_flows: Vec<u16> = (0..4).filter_map(|_| app.pop(&mut fl)).map(|p| p.flow).collect();
+        let seq_flows: Vec<u16> = (0..4)
+            .filter_map(|_| app.pop(&mut fl))
+            .map(|p| p.flow)
+            .collect();
         // Alternates while both have data, then only the saturated one.
         assert_eq!(seq_flows, vec![0, 1, 0, 1]);
     }

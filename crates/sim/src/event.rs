@@ -110,9 +110,7 @@ mod tests {
         s.schedule(30, timer(0, 3));
         s.schedule(10, timer(0, 1));
         s.schedule(20, timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| s.pop())
-            .map(|(t, _)| t)
-            .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| s.pop()).map(|(t, _)| t).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

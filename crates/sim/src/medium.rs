@@ -27,12 +27,7 @@ impl Medium {
     /// Build a medium from a matrix of link gains in dB (negative = loss),
     /// row-major `[tx * n + rx]`, and per-link delays in nanoseconds.
     /// Diagonal entries are ignored.
-    pub fn from_gains_db(
-        n: usize,
-        gains_db: &[f64],
-        delay_ns: &[u64],
-        phy: &PhyConfig,
-    ) -> Medium {
+    pub fn from_gains_db(n: usize, gains_db: &[f64], delay_ns: &[u64], phy: &PhyConfig) -> Medium {
         assert_eq!(gains_db.len(), n * n, "gain matrix must be n*n");
         assert_eq!(delay_ns.len(), n * n, "delay matrix must be n*n");
         let gain: Vec<f64> = gains_db.iter().map(|&db| dbm_to_mw(db)).collect();
@@ -135,12 +130,7 @@ mod tests {
     fn weak_links_fall_below_delivery_floor() {
         let phy = PhyConfig::default();
         // 15 dBm - 125 dB = -110 dBm, below the -105 dBm delivery floor.
-        let gains = vec![
-            f64::NEG_INFINITY,
-            -125.0,
-            -80.0,
-            f64::NEG_INFINITY,
-        ];
+        let gains = vec![f64::NEG_INFINITY, -125.0, -80.0, f64::NEG_INFINITY];
         let m = Medium::from_gains_db(2, &gains, &[0, 10, 10, 0], &phy);
         assert!(m.reachable(0).is_empty());
         assert_eq!(m.reachable(1), &[0]);

@@ -117,8 +117,7 @@ impl Radio {
     /// sensitivity — carrier sense hears further than data carries).
     pub fn busy(&self, phy: &PhyConfig) -> bool {
         self.phase() != RadioPhase::Idle
-            || self.energy_mw(None)
-                >= dbm_to_mw(phy.cs_detect_dbm.min(phy.ed_threshold_dbm))
+            || self.energy_mw(None) >= dbm_to_mw(phy.cs_detect_dbm.min(phy.ed_threshold_dbm))
     }
 
     /// True if the radio is locked on the given transmission.
@@ -246,6 +245,9 @@ impl Radio {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::rng::stream_rng;

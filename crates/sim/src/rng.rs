@@ -38,7 +38,7 @@ pub fn stream_rng(master: u64, stream: u64) -> SmallRng {
 /// Draw from a standard normal via Box–Muller (avoids a `rand_distr`
 /// dependency; called at most once per frame arrival).
 pub fn normal(rng: &mut SmallRng, mean: f64, sigma: f64) -> f64 {
-    if sigma == 0.0 {
+    if sigma <= 0.0 {
         return mean;
     }
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -48,6 +48,9 @@ pub fn normal(rng: &mut SmallRng, mean: f64, sigma: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -80,8 +83,8 @@ mod tests {
             sum += x;
             sumsq += x * x;
         }
-        let mean = sum / n as f64;
-        let var = sumsq / n as f64 - mean * mean;
+        let mean = sum / f64::from(n);
+        let var = sumsq / f64::from(n) - mean * mean;
         assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
         assert!((var - 9.0).abs() < 0.5, "var {var}");
     }

@@ -6,7 +6,9 @@
 //! packet header/trailer reception (Figs 16 and 19), and free-form named
 //! counters that protocols bump for diagnosis and tests.
 
-use std::collections::{HashMap, HashSet};
+// BTreeMap/BTreeSet throughout: statistics feed figure output and test
+// assertions, so their iteration order must not depend on hash seeds.
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::time::Time;
 use crate::world::NodeId;
@@ -17,7 +19,7 @@ pub struct FlowStats {
     /// Arrival time of each *first* (non-duplicate) delivery, in order.
     pub arrivals: Vec<Time>,
     /// Sequence numbers seen (for duplicate suppression).
-    seen: HashSet<u32>,
+    seen: BTreeSet<u32>,
     /// Duplicate deliveries discarded.
     pub duplicates: u64,
 }
@@ -40,7 +42,7 @@ pub struct VpktStats {
     pub sent: u64,
     /// Flags per virtual-packet seq at the receiver: bit0 = header seen,
     /// bit1 = trailer seen.
-    got: HashMap<u32, u8>,
+    got: BTreeMap<u32, u8>,
 }
 
 impl VpktStats {
@@ -80,13 +82,14 @@ impl VpktStats {
 #[derive(Debug, Default)]
 pub struct Stats {
     flows: Vec<FlowStats>,
-    vpkt: HashMap<(NodeId, NodeId), VpktStats>,
-    counters: HashMap<&'static str, u64>,
+    vpkt: BTreeMap<(NodeId, NodeId), VpktStats>,
+    counters: BTreeMap<&'static str, u64>,
 }
 
 impl Stats {
     pub(crate) fn ensure_flows(&mut self, n: usize) {
-        self.flows.resize(n.max(self.flows.len()), FlowStats::default());
+        self.flows
+            .resize(n.max(self.flows.len()), FlowStats::default());
     }
 
     /// Record a delivery; returns `true` if it was not a duplicate.
@@ -108,13 +111,7 @@ impl Stats {
 
     /// Throughput of `flow` in Mbit/s of application payload over the
     /// half-open window `[from, to)`.
-    pub fn flow_throughput_mbps(
-        &self,
-        flow: u16,
-        payload_len: usize,
-        from: Time,
-        to: Time,
-    ) -> f64 {
+    pub fn flow_throughput_mbps(&self, flow: u16, payload_len: usize, from: Time, to: Time) -> f64 {
         assert!(to > from);
         let pkts = self.flow(flow).delivered_in(from, to);
         let bits = pkts as f64 * payload_len as f64 * 8.0;
@@ -166,9 +163,41 @@ impl Stats {
 
     /// All named counters, sorted by name (for debugging dumps).
     pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
-        let mut v: Vec<_> = self.counters.iter().map(|(&k, &c)| (k, c)).collect();
-        v.sort_unstable();
-        v
+        self.counters.iter().map(|(&k, &c)| (k, c)).collect()
+    }
+
+    /// Canonical text serialization of the complete run statistics.
+    ///
+    /// Every piece of state this type records appears in the output in a
+    /// fixed order (flow index, link key, counter name — all `BTreeMap`
+    /// ordered), so two runs are behaviourally identical if and only if
+    /// their snapshots are byte-for-byte equal. The determinism regression
+    /// test (`tests/determinism_snapshot.rs`) relies on exactly that
+    /// property.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        for (i, f) in self.flows.iter().enumerate() {
+            out.push_str(&format!(
+                "flow {i}: delivered={} duplicates={} arrivals=",
+                f.arrivals.len(),
+                f.duplicates
+            ));
+            for t in &f.arrivals {
+                out.push_str(&format!("{t},"));
+            }
+            out.push('\n');
+        }
+        for (&(src, dst), v) in &self.vpkt {
+            out.push_str(&format!("vpkt {src}->{dst}: sent={} got=", v.sent));
+            for (seq, flags) in &v.got {
+                out.push_str(&format!("{seq}:{flags},"));
+            }
+            out.push('\n');
+        }
+        for (name, c) in &self.counters {
+            out.push_str(&format!("counter {name}={c}\n"));
+        }
+        out
     }
 }
 
@@ -205,7 +234,7 @@ mod tests {
         s.ensure_flows(1);
         // 1000 packets of 1400 bytes over 2 seconds = 5.6 Mbit/s.
         for i in 0..1000u32 {
-            s.record_delivery(0, i, crate::time::secs(1) + i as u64);
+            s.record_delivery(0, i, crate::time::secs(1) + u64::from(i));
         }
         let mbps = s.flow_throughput_mbps(0, 1400, crate::time::secs(1), crate::time::secs(3));
         assert!((mbps - 5.6).abs() < 0.01, "{mbps}");

@@ -30,13 +30,64 @@ pub fn as_secs_f64(t: Time) -> f64 {
     t as f64 / 1e9
 }
 
+/// A duration in whole microseconds, rounded up — the quantisation used by
+/// the `tx_time_us` field of CMAP headers/trailers. Saturates at
+/// `u32::MAX` µs (~71 minutes, far beyond any legal airtime).
+#[inline]
+pub const fn ns_to_us_ceil(ns: Time) -> u32 {
+    let us = ns.div_ceil(1_000);
+    if us > u32::MAX as u64 {
+        u32::MAX
+    } else {
+        us as u32
+    }
+}
+
+/// Narrow a nanosecond duration into a `u32` wire field (saturating at
+/// ~4.29 s — far beyond any frame's NAV reservation).
+#[inline]
+pub const fn ns_to_u32_saturating(ns: Time) -> u32 {
+    if ns > u32::MAX as u64 {
+        u32::MAX
+    } else {
+        ns as u32
+    }
+}
+
+/// Number of whole `slot`-length periods contained in `span` (saturating):
+/// how many backoff slots elapsed, for slotted-MAC countdowns.
+#[inline]
+pub const fn whole_slots(span: Time, slot: Time) -> u32 {
+    let n = span / slot;
+    if n > u32::MAX as u64 {
+        u32::MAX
+    } else {
+        n as u32
+    }
+}
+
+/// `frac` of a duration, truncated to whole nanoseconds. `frac` must be in
+/// `[0, 1]` — this scales *within* a duration (e.g. a warm-up cut-off), it
+/// does not extend one.
+#[inline]
+pub fn scale(t: Time, frac: f64) -> Time {
+    debug_assert!(
+        (0.0..=1.0).contains(&frac),
+        "scale fraction {frac} out of [0,1]"
+    );
+    (t as f64 * frac) as Time
+}
+
 /// Airtime of `bits` at `bits_per_sec`, rounded up to whole nanoseconds.
 pub fn bits_duration(bits: u64, bits_per_sec: u64) -> Time {
     // bits / bps seconds = bits * 1e9 / bps ns; u128 avoids overflow.
-    ((bits as u128 * 1_000_000_000).div_ceil(bits_per_sec as u128)) as u64
+    ((u128::from(bits) * 1_000_000_000).div_ceil(u128::from(bits_per_sec))) as u64
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

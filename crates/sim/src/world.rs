@@ -6,7 +6,10 @@
 //! callback returns, so the engine never hands out two mutable views of the
 //! same state.
 
-use std::collections::HashMap;
+// BTreeMap as a matter of policy (cmap-lint R1): even keyed-only maps in
+// the simulator stay ordered so later iteration cannot reintroduce
+// hash-order nondeterminism.
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
@@ -80,7 +83,7 @@ pub struct World {
     macs: Vec<Option<Box<dyn Mac>>>,
     apps: Vec<NodeApp>,
     flows: Vec<Flow>,
-    txs: HashMap<TxId, TxRecord>,
+    txs: BTreeMap<TxId, TxRecord>,
     next_tx_id: TxId,
     stats: Stats,
     started: bool,
@@ -98,10 +101,12 @@ impl World {
             sched: Scheduler::new(),
             radios: (0..n).map(|_| Radio::default()).collect(),
             rngs: (0..n).map(|i| stream_rng(seed, i as u64 + 1)).collect(),
-            macs: (0..n).map(|_| Some(Box::new(NullMac) as Box<dyn Mac>)).collect(),
+            macs: (0..n)
+                .map(|_| Some(Box::new(NullMac) as Box<dyn Mac>))
+                .collect(),
             apps: (0..n).map(|_| NodeApp::default()).collect(),
             flows: Vec::new(),
-            txs: HashMap::new(),
+            txs: BTreeMap::new(),
             next_tx_id: 0,
             stats: Stats::default(),
             medium,
@@ -124,7 +129,9 @@ impl World {
 
     /// Borrow a node's MAC for inspection (tests, experiment harnesses).
     pub fn mac_ref(&self, node: NodeId) -> &dyn Mac {
-        self.macs[node].as_deref().expect("mac taken during callback")
+        self.macs[node]
+            .as_deref()
+            .expect("mac taken during callback")
     }
 
     /// Declare a saturated flow; returns its id.
@@ -354,7 +361,13 @@ impl World {
         // transmit attempt fails cleanly instead of double-transmitting.
         for op in ops.iter() {
             if let Op::Timer { at, token } = op {
-                self.sched.schedule(*at, Event::Timer { node, token: *token });
+                self.sched.schedule(
+                    *at,
+                    Event::Timer {
+                        node,
+                        token: *token,
+                    },
+                );
             }
         }
         for op in ops.iter_mut() {
@@ -486,8 +499,8 @@ fn grade_reception(
         return 1.0; // degenerate: nothing beyond the already-decoded SIGNAL
     }
     let span = (frame_end - payload_start) as f64;
-    let total_bits = (cmap_phy::rate::SERVICE_BITS + 8 * psdu_len as u64
-        + cmap_phy::rate::TAIL_BITS) as f64;
+    let total_bits =
+        (cmap_phy::rate::SERVICE_BITS + 8 * psdu_len as u64 + cmap_phy::rate::TAIL_BITS) as f64;
     let noise = phy.noise_mw();
 
     let mut ln_p = 0.0_f64;
@@ -598,7 +611,12 @@ mod tests {
         w.set_mac(1, Box::new(Sniffer::default()));
         w.run_until(crate::time::secs(1));
         // ~500 frames sent; all should arrive on a -55 dBm link.
-        let sent = w.mac_ref(0).as_any().downcast_ref::<Blaster>().unwrap().sent;
+        let sent = w
+            .mac_ref(0)
+            .as_any()
+            .downcast_ref::<Blaster>()
+            .unwrap()
+            .sent;
         assert!((450..=500).contains(&(sent as usize)), "{sent}");
         let got = w.stats().flow(flow).arrivals.len() as u64;
         // The final frame may still be in flight when the clock stops.
@@ -634,7 +652,13 @@ mod tests {
         let sn = w.mac_ref(2).as_any().downcast_ref::<Sniffer>().unwrap();
         let sent: u64 = [0usize, 1]
             .iter()
-            .map(|&n| w.mac_ref(n).as_any().downcast_ref::<Blaster>().unwrap().sent)
+            .map(|&n| {
+                w.mac_ref(n)
+                    .as_any()
+                    .downcast_ref::<Blaster>()
+                    .unwrap()
+                    .sent
+            })
             .sum();
         assert!(
             (sn.frames as f64) < 0.35 * sent as f64,
@@ -675,8 +699,18 @@ mod tests {
         w.set_mac(2, Box::new(Sniffer::default()));
         w.run_until(crate::time::secs(1));
         let sn = w.mac_ref(2).as_any().downcast_ref::<Sniffer>().unwrap();
-        let sent0 = w.mac_ref(0).as_any().downcast_ref::<Blaster>().unwrap().sent;
-        let sent1 = w.mac_ref(1).as_any().downcast_ref::<Blaster>().unwrap().sent;
+        let sent0 = w
+            .mac_ref(0)
+            .as_any()
+            .downcast_ref::<Blaster>()
+            .unwrap()
+            .sent;
+        let sent1 = w
+            .mac_ref(1)
+            .as_any()
+            .downcast_ref::<Blaster>()
+            .unwrap()
+            .sent;
         // Most frames decode; occasional collisions when phases align.
         assert!(
             sn.frames as f64 > 0.85 * (sent0 + sent1) as f64,
@@ -702,10 +736,7 @@ mod tests {
             );
             w.set_mac(1, Box::new(Sniffer::default()));
             w.run_until(crate::time::secs(1));
-            (
-                w.stats().flow(flow).arrivals.clone(),
-                w.events_processed(),
-            )
+            (w.stats().flow(flow).arrivals.clone(), w.events_processed())
         };
         let a = run(7);
         let b = run(7);

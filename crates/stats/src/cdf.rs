@@ -15,7 +15,8 @@ impl Cdf {
     /// Build from any sample order. Panics on empty input or NaNs.
     pub fn new(mut samples: Vec<f64>) -> Cdf {
         assert!(!samples.is_empty(), "CDF of empty sample");
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        assert!(samples.iter().all(|s| !s.is_nan()), "NaN in CDF input");
+        samples.sort_by(f64::total_cmp);
         Cdf { sorted: samples }
     }
 
@@ -81,6 +82,9 @@ impl Cdf {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -97,7 +101,7 @@ mod tests {
 
     #[test]
     fn quantiles() {
-        let c = Cdf::new((1..=5).map(|i| i as f64).collect());
+        let c = Cdf::new((1..=5).map(f64::from).collect());
         assert_eq!(c.quantile(0.0), 1.0);
         assert_eq!(c.quantile(1.0), 5.0);
         assert_eq!(c.median(), 3.0);

@@ -36,7 +36,10 @@ impl Series {
         let i = pts.partition_point(|&(px, _)| px <= x);
         let (x0, y0) = pts[i - 1];
         let (x1, y1) = pts[i];
-        if x1 == x0 {
+        // Duplicate-x guard: the points carry *identical* stored values when
+        // a series repeats an x, so bit equality is the intended test (and
+        // avoids an arbitrary epsilon on an arbitrary scale).
+        if x1.to_bits() == x0.to_bits() {
             y0
         } else {
             y0 + (y1 - y0) * (x - x0) / (x1 - x0)
@@ -103,14 +106,18 @@ impl Table {
                 .iter()
                 .flat_map(|s| s.points.iter().map(|&(x, _)| x))
                 .collect();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN x"));
+            v.sort_by(f64::total_cmp);
             v.dedup();
             v
         };
         for x in xs {
             out.push_str(&format!("{x:>12.3}"));
             for s in &self.series {
-                match s.points.iter().find(|&&(px, _)| px == x) {
+                match s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| px.to_bits() == x.to_bits())
+                {
                     Some(&(_, y)) => out.push_str(&format!(" {y:>14.4}")),
                     None => out.push_str(&format!(" {:>14}", "-")),
                 }
@@ -130,6 +137,9 @@ fn truncate(s: &str, n: usize) -> &str {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

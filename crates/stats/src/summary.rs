@@ -26,7 +26,8 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    assert!(v.iter().all(|s| !s.is_nan()), "NaN in percentile input");
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -50,7 +51,7 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "Jain index of empty slice");
     let sum: f64 = xs.iter().sum();
     let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
-    if sum_sq == 0.0 {
+    if sum_sq <= 0.0 {
         return 1.0; // all-zero allocations are (vacuously) fair
     }
     sum * sum / (xs.len() as f64 * sum_sq)
@@ -112,6 +113,9 @@ impl std::fmt::Display for Summary {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -147,7 +151,7 @@ mod tests {
 
     #[test]
     fn summary_is_consistent() {
-        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
         let s = Summary::of(&xs);
         assert_eq!(s.n, 100);
         assert!((s.mean - 50.5).abs() < 1e-9);

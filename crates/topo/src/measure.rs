@@ -48,7 +48,7 @@ impl Default for RadioEnv {
 /// lognormal fading.
 pub fn clean_prr(rss_dbm: f64, rate: Rate, psdu_bytes: usize, env: &RadioEnv) -> f64 {
     let noise = dbm_to_mw(env.noise_floor_dbm);
-    if env.fading_sigma_db == 0.0 {
+    if env.fading_sigma_db <= 0.0 {
         return clean_prr_at(rss_dbm, noise, rate, psdu_bytes, env);
     }
     let base = gaussian_average(rss_dbm, env.fading_sigma_db, |rss| {
@@ -277,7 +277,7 @@ impl LinkMeasurements {
 fn cmap_stats_percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty());
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    v.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
     if lo == hi {
@@ -288,6 +288,9 @@ fn cmap_stats_percentile(xs: &[f64], p: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::testbed::TestbedParams;
@@ -304,7 +307,7 @@ mod tests {
             ..RadioEnv::default()
         };
         let mut last = 0.0;
-        for rss in (-100..-80).map(|d| d as f64) {
+        for rss in (-100..-80).map(f64::from) {
             let p = clean_prr(rss, Rate::R6, 1400, &env);
             assert!(p >= last - 1e-9, "not monotone at {rss}");
             last = p;
@@ -325,7 +328,7 @@ mod tests {
         let mut sharp_mid = 0;
         let mut soft_mid = 0;
         for tenth in -940..-880 {
-            let rss = tenth as f64 / 10.0;
+            let rss = f64::from(tenth) / 10.0;
             let ps = clean_prr(rss, Rate::R6, 1400, &sharp);
             let pf = clean_prr(rss, Rate::R6, 1400, &soft);
             if (0.1..0.9).contains(&ps) {

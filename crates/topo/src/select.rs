@@ -107,10 +107,7 @@ pub fn exposed_pairs(lm: &LinkMeasurements, count: usize, rng: &mut SmallRng) ->
             }
             // All non-link pairings weak in both directions.
             let others = [(s1, r2), (s2, r1), (r1, r2), (s1, s2)];
-            if others
-                .iter()
-                .all(|&(a, b)| lm.weak(a, b) && lm.weak(b, a))
-            {
+            if others.iter().all(|&(a, b)| lm.weak(a, b) && lm.weak(b, a)) {
                 candidates.push(pair);
             }
         }
@@ -222,9 +219,7 @@ pub fn mesh_topologies(
         for &a in &relays {
             let leaf_candidates: Vec<usize> = (0..n)
                 .filter(|&b| {
-                    !used.contains(&b)
-                        && lm.potential_link(a, b)
-                        && !lm.potential_link(source, b)
+                    !used.contains(&b) && lm.potential_link(a, b) && !lm.potential_link(source, b)
                 })
                 .collect();
             match leaf_candidates.choose(rng) {
@@ -287,9 +282,8 @@ pub fn ap_topology(
             let mut links = Vec::with_capacity(n_aps);
             let mut ok = true;
             for &region in &window {
-                let members: Vec<usize> = (0..tb.len())
-                    .filter(|&v| region_of[v] == region)
-                    .collect();
+                let members: Vec<usize> =
+                    (0..tb.len()).filter(|&v| region_of[v] == region).collect();
                 // Candidate APs: region members with at least one potential
                 // client in the same region, out of range of chosen APs.
                 let candidates: Vec<usize> = members
@@ -297,9 +291,7 @@ pub fn ap_topology(
                     .copied()
                     .filter(|&ap| {
                         aps.iter().all(|&other| !lm.in_range(ap, other))
-                            && members
-                                .iter()
-                                .any(|&c| c != ap && lm.potential_link(ap, c))
+                            && members.iter().any(|&c| c != ap && lm.potential_link(ap, c))
                     })
                     .collect();
                 let Some(&ap) = candidates.choose(rng) else {

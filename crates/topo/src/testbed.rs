@@ -90,7 +90,7 @@ impl Testbed {
                 let (bx, by) = positions[b];
                 let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
                 let walls = if params.wall_attenuation_db > 0.0 && params.wall_every_m > 0.0 {
-                    poisson(&mut rng, d / params.wall_every_m).min(10) as f64
+                    f64::from(poisson(&mut rng, d / params.wall_every_m).min(10))
                 } else {
                     0.0
                 };
@@ -195,6 +195,9 @@ fn gaussian(rng: &mut SmallRng) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -234,7 +237,7 @@ mod tests {
                 count += 1;
             }
         }
-        let mean_asym = asym_total / count as f64;
+        let mean_asym = asym_total / f64::from(count);
         // Per-direction sigma 1.5 dB -> mean |diff| ~ 1.7 dB.
         assert!((0.5..4.0).contains(&mean_asym), "{mean_asym}");
     }

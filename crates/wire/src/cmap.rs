@@ -199,14 +199,12 @@ impl Ack {
 
     /// Serialised length in bytes.
     pub fn wire_len(&self) -> usize {
-        Self::OVERHEAD
-            + 4 * self.bitmaps.len()
-            + InterfererList::ENTRY_LEN * self.il_entries.len()
+        Self::OVERHEAD + 4 * self.bitmaps.len() + InterfererList::ENTRY_LEN * self.il_entries.len()
     }
 
     /// Loss rate as a fraction in `[0, 1]`.
     pub fn loss_rate_fraction(&self) -> f64 {
-        self.loss_rate as f64 / 255.0
+        f64::from(self.loss_rate) / 255.0
     }
 
     /// Scale a fractional loss rate into the wire byte (saturating).
@@ -366,6 +364,9 @@ impl From<InterfererList> for Frame {
 }
 
 #[cfg(test)]
+// Tests assert exact IEEE boundary semantics (0.0, 1.0, infinities),
+// where bit-exact equality is the property under test.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -30,7 +30,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     let table = table();
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
-        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xff) as usize];
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
     }
     !crc
 }

@@ -77,7 +77,7 @@ impl Data {
         w.mac(self.src);
         w.mac(self.dst);
         w.u16(self.seq);
-        w.u8(self.retry as u8);
+        w.u8(u8::from(self.retry));
         w.u32(self.duration_ns);
         w.u16(self.flow);
         w.u32(self.flow_seq);

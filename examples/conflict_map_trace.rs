@@ -64,11 +64,7 @@ fn main() {
     }
 
     println!("\nreceiver v's interferer list:");
-    let v = world
-        .mac_ref(1)
-        .as_any()
-        .downcast_ref::<CmapMac>()
-        .unwrap();
+    let v = world.mac_ref(1).as_any().downcast_ref::<CmapMac>().unwrap();
     for (src, interferer, rate) in v.interferer_tracker().entries_at(world.now()) {
         println!("  ({src} suffers from {interferer}) at {rate}");
     }

@@ -40,7 +40,10 @@ fn run(label: &str, install: impl Fn(&mut World)) -> (f64, f64) {
             .flow_throughput_mbps(f, 1400, time::secs(3), time::secs(10))
     };
     let (t1, t2) = (w(f1), w(f2));
-    println!("{label:<28} S->R {t1:5.2}  ES->ER {t2:5.2}  aggregate {:5.2} Mbit/s", t1 + t2);
+    println!(
+        "{label:<28} S->R {t1:5.2}  ES->ER {t2:5.2}  aggregate {:5.2} Mbit/s",
+        t1 + t2
+    );
     (t1, t2)
 }
 

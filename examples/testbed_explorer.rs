@@ -19,8 +19,12 @@ fn main() {
     let tb = Testbed::office_floor(seed);
     let lm = LinkMeasurements::analyze(&tb, &radio_env(&phy), Rate::R6, 1400);
 
-    println!("testbed seed {seed}: {} nodes on {:.0}x{:.0} m\n", tb.len(),
-        tb.params.width_m, tb.params.depth_m);
+    println!(
+        "testbed seed {seed}: {} nodes on {:.0}x{:.0} m\n",
+        tb.len(),
+        tb.params.width_m,
+        tb.params.depth_m
+    );
 
     // ASCII floor map (x -> columns, y -> rows), region digits.
     let regions = select::regions(&tb);

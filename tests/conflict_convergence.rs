@@ -121,11 +121,7 @@ fn defer_entries_expire_when_broadcasts_stop() {
     // here is structural: every live entry's expiry is within the
     // configured lifetime from now.
     for node in [0usize, 2] {
-        let mac = w
-            .mac_ref(node)
-            .as_any()
-            .downcast_ref::<CmapMac>()
-            .unwrap();
+        let mac = w.mac_ref(node).as_any().downcast_ref::<CmapMac>().unwrap();
         let now = w.now();
         let horizon = now + cfg.defer_entry_timeout;
         // All entries still live at `now` must be gone by `horizon` unless

@@ -32,10 +32,7 @@ fn different_run_seeds_differ_but_agree_qualitatively() {
     assert_eq!(a.len(), b.len());
     // ...but the fading/backoff draws differ, so samples should not be
     // bit-identical across all curves.
-    let identical = a
-        .iter()
-        .zip(&b)
-        .all(|(ca, cb)| ca.samples == cb.samples);
+    let identical = a.iter().zip(&b).all(|(ca, cb)| ca.samples == cb.samples);
     assert!(!identical, "different seeds produced identical runs");
     // Qualitative agreement: CMAP beats carrier sense under both seeds.
     for curves in [&a, &b] {

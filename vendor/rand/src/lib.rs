@@ -1,0 +1,443 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `rand` to this std-only shim. It provides exactly the surface the CMAP
+//! workspace uses — [`rngs::SmallRng`], [`Rng`], [`SeedableRng`] and
+//! [`seq::SliceRandom`] — with the same core generator family as the real
+//! crate on 64-bit targets (xoshiro256++ seeded via SplitMix64), so streams
+//! are deterministic, well distributed, and cheap.
+//!
+//! Intentional deviations from real `rand`:
+//!
+//! * `gen_range` uses widening-multiply rejection sampling but is not
+//!   bit-compatible with real `rand`'s `Uniform`; simulation results are
+//!   deterministic per seed but differ numerically from runs made with the
+//!   real crate.
+//! * There is no `thread_rng`/`from_entropy`: every generator must be
+//!   explicitly seeded. This is deliberate — the workspace's determinism
+//!   lint (`cmap-lint` rule R2) bans ambient entropy anyway.
+
+/// Low-level source of randomness (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Seedable generators (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with SplitMix64 exactly like
+    /// `rand_core` does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 step + mix, truncated to 32 bits per chunk
+            // (mirrors rand_core::SeedableRng::seed_from_u64).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = (z as u32).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types drawable from the "standard" distribution via [`Rng::gen`].
+pub trait Standard2: Sized {
+    /// Draw one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard2 for $t {
+            #[inline]
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard2 for i8 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i8
+    }
+}
+impl Standard2 for i16 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i16
+    }
+}
+impl Standard2 for i32 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i32
+    }
+}
+impl Standard2 for i64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard2 for bool {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard2 for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard2 for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<T: Standard2, const N: usize> Standard2 for [T; N] {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        std::array::from_fn(|_| T::draw(rng))
+    }
+}
+
+/// Scalar types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`hi` included when `inclusive`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+#[inline]
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Widening-multiply with rejection (Lemire): unbiased and branch-light.
+    let zone = span.wrapping_neg() % span; // 2^64 mod span
+    loop {
+        let wide = rng.next_u64() as u128 * span as u128;
+        let lo = wide as u64;
+        if lo >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "cannot sample empty range"
+                );
+                let width = (hi - lo) as u64;
+                if inclusive {
+                    if width == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + uniform_u64(rng, width + 1) as $t
+                } else {
+                    lo + uniform_u64(rng, width) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                assert!(
+                    if inclusive { lo <= hi } else { lo < hi },
+                    "cannot sample empty range"
+                );
+                let unit: $t = Standard2::draw(rng);
+                let v = lo + unit * (hi - lo);
+                // Guard the open upper bound against rounding.
+                if !inclusive && v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+/// Argument types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draw a value from the standard distribution.
+    #[inline]
+    fn gen<T: Standard2>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform draw from `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0, 1]");
+        let unit: f64 = Standard2::draw(self);
+        unit < p
+    }
+
+    /// Fill a byte slice with random data.
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic small fast RNG: xoshiro256++, the same algorithm the
+    /// real `rand` 0.8 uses for `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> SmallRng {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// Alias so `StdRng`-based code also compiles against the shim.
+    pub type StdRng = SmallRng;
+}
+
+pub mod seq {
+    //! Slice sampling helpers (subset of `rand::seq`).
+
+    use super::Rng;
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rand::prelude`.
+    pub use super::rngs::SmallRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_disagree() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([42u8].choose(&mut rng), Some(&42));
+    }
+}
