@@ -18,6 +18,7 @@
 //! | `mesh_dissemination` | §5.7 — two-hop mesh |
 //! | `testbed_stats` | §5.1 — link population |
 //! | `repro_all` | everything above, written to EXPERIMENTS-style text |
+//! | `chaos_soak` | robustness: fault plans × seeds, degradation bounds |
 //!
 //! All binaries accept `--quick` (shorter runs, fewer configurations),
 //! `--full` (the paper's 100-second runs and full configuration counts),

@@ -79,6 +79,31 @@ pub struct CmapConfig {
     /// hidden-terminal ablation: without backoff, senders that cannot hear
     /// each other blast continuously and losses persist (§5.5's motivation).
     pub backoff_enabled: bool,
+    /// Fall back to plain carrier sense when the conflict map looks stale
+    /// (§4's safety argument: "when the conflict map is inaccurate, CMAP
+    /// falls back to carrier sense"). Active only while *both* hold:
+    /// at least [`CmapConfig::csma_fallback_after`] consecutive ACK
+    /// timeouts, and no interferer-list information applied for
+    /// [`CmapConfig::map_stale_after`].
+    pub fallback_csma: bool,
+    /// Consecutive ACK timeouts before the stale-map fallback may engage.
+    pub csma_fallback_after: u32,
+    /// Conflict-map staleness horizon: how long without applying any
+    /// interferer-list entry (broadcast or ACK-piggybacked) before the map
+    /// is considered stale for the CSMA fallback.
+    pub map_stale_after: Time,
+    /// Maximum number of times a data packet is repacked for
+    /// retransmission before the sender gives up on it (surfaced as the
+    /// `cmap.rtx_give_up` counter). Unbounded retransmission of packets to
+    /// a crashed receiver would otherwise occupy the send window forever.
+    pub max_rtx_rounds: u32,
+    /// Upper bound on a single defer wait. The ongoing list can hold
+    /// optimistic end times for transmissions whose sender died mid-burst;
+    /// without a clamp a deferring node would sleep on a ghost.
+    pub max_defer_wait: Time,
+    /// Evict per-sender receive state (reassembly bitmaps, ACK bases) for
+    /// peers not heard from in this long.
+    pub peer_state_timeout: Time,
 }
 
 impl Default for CmapConfig {
@@ -104,6 +129,12 @@ impl Default for CmapConfig {
             il_in_acks: true,
             send_trailers: true,
             backoff_enabled: true,
+            fallback_csma: true,
+            csma_fallback_after: 3,
+            map_stale_after: millis(5_000),
+            max_rtx_rounds: 8,
+            max_defer_wait: millis(100),
+            peer_state_timeout: millis(30_000),
         }
     }
 }
@@ -132,6 +163,13 @@ impl CmapConfig {
     /// [`CmapConfig::backoff_enabled`]).
     pub fn without_backoff(mut self) -> CmapConfig {
         self.backoff_enabled = false;
+        self
+    }
+
+    /// CMAP without the stale-map carrier-sense fallback (ablation; see
+    /// [`CmapConfig::fallback_csma`]).
+    pub fn without_csma_fallback(mut self) -> CmapConfig {
+        self.fallback_csma = false;
         self
     }
 
@@ -172,6 +210,18 @@ mod tests {
         let tmax = c.tau_max(1400);
         assert!((tmax as i64 - 477_866_667).abs() < 10, "{tmax}");
         assert_eq!(c.tau_min(1400), tmax / 2);
+    }
+
+    #[test]
+    fn degradation_knobs_default_sane() {
+        let c = CmapConfig::default();
+        assert!(c.fallback_csma);
+        assert!(c.csma_fallback_after >= 1);
+        assert!(c.map_stale_after >= c.defer_entry_timeout);
+        assert!(c.max_rtx_rounds >= 2);
+        assert!(c.max_defer_wait >= c.t_deferwait);
+        assert!(c.peer_state_timeout > c.map_stale_after);
+        assert!(!c.clone().without_csma_fallback().fallback_csma);
     }
 
     #[test]

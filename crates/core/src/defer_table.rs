@@ -120,9 +120,12 @@ impl DeferTable {
             || live(&DeferEntry::DestWhileSrcAny { dest, src: p })
     }
 
-    /// Drop expired entries (called opportunistically).
-    pub fn prune(&mut self, now: Time) {
+    /// Drop expired entries (called opportunistically). Returns how many
+    /// were evicted, for the `cmap.expired_evicted` accounting.
+    pub fn prune(&mut self, now: Time) -> usize {
+        let before = self.entries.len();
         self.entries.retain(|_, m| m.expires > now);
+        before - self.entries.len()
     }
 
     /// Iterate live entries (for introspection and tests).
@@ -179,7 +182,8 @@ mod tests {
         assert!(!d.must_defer(a(1), a(2), a(9), 50, None));
         assert_eq!(d.len_at(49), 1);
         assert_eq!(d.len_at(50), 0);
-        d.prune(60);
+        assert_eq!(d.prune(60), 1);
+        assert_eq!(d.prune(60), 0, "second prune finds nothing");
         assert_eq!(d.entries_at(0).count(), 0);
     }
 

@@ -38,12 +38,16 @@ pub struct InterfererTracker {
     /// source bit-rate when observed).
     entries: BTreeMap<(MacAddr, MacAddr), (Time, Rate)>,
     /// Diagnostic log of promotions: (time, source, interferer, overlapped,
-    /// lost) at the moment the pair qualified.
+    /// lost) at the moment the pair qualified. Capped at
+    /// [`MAX_PROMOTIONS`] (oldest dropped) so soak runs stay bounded.
     pub promotions: Vec<(Time, MacAddr, MacAddr, u64, u64)>,
 }
 
 /// Cap on remembered activity windows per neighbour.
 const MAX_WINDOWS: usize = 64;
+
+/// Cap on the promotions diagnostic log.
+const MAX_PROMOTIONS: usize = 256;
 
 impl InterfererTracker {
     /// Empty tracker.
@@ -146,6 +150,9 @@ impl InterfererTracker {
         }
         if c.overlapped >= min_samples && c.lost as f64 > l_interf * c.overlapped as f64 {
             if !self.entries.contains_key(&(u, x)) {
+                if self.promotions.len() >= MAX_PROMOTIONS {
+                    self.promotions.remove(0);
+                }
                 self.promotions.push((now, u, x, c.overlapped, c.lost));
             }
             self.entries.insert((u, x), (now + entry_lifetime, rate));
@@ -187,8 +194,11 @@ impl InterfererTracker {
         });
     }
 
-    /// Drop expired entries and ancient activity windows.
-    pub fn prune(&mut self, now: Time, activity_horizon: Time) {
+    /// Drop expired entries and ancient activity windows. Returns how many
+    /// interferer-list entries were evicted (activity windows are cheap and
+    /// not counted).
+    pub fn prune(&mut self, now: Time, activity_horizon: Time) -> usize {
+        let before = self.entries.len();
         self.entries.retain(|_, &mut (exp, _)| exp > now);
         let cutoff = now.saturating_sub(activity_horizon);
         self.activity.retain(|_, q| {
@@ -197,6 +207,7 @@ impl InterfererTracker {
             }
             !q.is_empty()
         });
+        before - self.entries.len()
     }
 
     /// Live `(source, interferer, rate)` entries at `now` — the interferer
@@ -313,7 +324,7 @@ mod tests {
         }
         assert_eq!(t.entries_at(14_000).len(), 1);
         assert!(t.entries_at(15_000).is_empty());
-        t.prune(15_000, 1_000);
+        assert_eq!(t.prune(15_000, 1_000), 1);
         assert!(t.entries_at(0).is_empty());
     }
 
@@ -388,6 +399,23 @@ mod tests {
         assert_eq!((pu, px), (u, x));
         assert_eq!(when, 11); // 12th sample
         assert_eq!((ov, lost), (12, 12));
+    }
+
+    #[test]
+    fn promotions_log_is_bounded() {
+        let mut t = InterfererTracker::new();
+        // Promote far more pairs than the cap by letting each expire and
+        // re-qualify with a distinct interferer address.
+        for i in 0..(MAX_PROMOTIONS as u16 + 50) {
+            for s in 0..12u64 {
+                t.record_pair(a(1), a(100 + i), true, Rate::R6, s, 0.5, 12, 1);
+            }
+            t.prune(1_000, 1_000);
+        }
+        assert_eq!(t.promotions.len(), MAX_PROMOTIONS);
+        // The survivors are the newest promotions.
+        let (_, _, x, _, _) = *t.promotions.last().unwrap();
+        assert_eq!(x, a(100 + MAX_PROMOTIONS as u16 + 49));
     }
 
     #[test]

@@ -89,12 +89,16 @@ struct CurVpkt {
     pkts: Vec<DataPkt>,
     is_rtx: bool,
     rate: cmap_phy::Rate,
+    /// Retransmission rounds the packets have already been through.
+    rounds: u32,
 }
 
 /// Per-sender receive state.
 #[derive(Default)]
 struct PeerState {
     rx: PeerRx,
+    /// Last time any frame from this sender addressed us (eviction clock).
+    last_heard: Time,
 }
 
 /// The CMAP link layer (see crate docs).
@@ -111,6 +115,15 @@ pub struct CmapMac {
     cw: Time,
     sender_gen: u64,
     rx_gen: u64,
+    /// Broadcast-timer generation: bumped on restart so a pre-crash
+    /// broadcast timer cannot spawn a second re-arming chain.
+    bcast_gen: u64,
+    /// ACK-wait expiries since the last ACK actually heard — one input to
+    /// the stale-map carrier-sense fallback.
+    consecutive_ack_timeouts: u32,
+    /// Last time an interferer-list entry (broadcast or ACK-piggybacked)
+    /// was applied to the defer table — the other staleness input.
+    last_map_refresh: Time,
     pending_acks: std::collections::VecDeque<cmap::Ack>,
     /// Virtual packets awaiting timer-based finalisation when trailers are
     /// disabled: (sender, seq, count, data rate, data-burst start).
@@ -143,6 +156,9 @@ impl CmapMac {
             cw: 0,
             sender_gen: 0,
             rx_gen: 0,
+            bcast_gen: 0,
+            consecutive_ack_timeouts: 0,
+            last_map_refresh: 0,
             pending_acks: std::collections::VecDeque::new(),
             pending_finalize: std::collections::VecDeque::new(),
             in_flight: None,
@@ -178,6 +194,17 @@ impl CmapMac {
     /// Outstanding (unacknowledged) virtual packets in the send window.
     pub fn outstanding_vpkts(&self) -> usize {
         self.window.outstanding()
+    }
+
+    /// Is the §4 safety fallback engaged at `now`? True when the conflict
+    /// map has not been refreshed for [`CmapConfig::map_stale_after`] *and*
+    /// ACKs have repeatedly timed out: the node then stops trusting the map
+    /// and defers to any overheard transmission, i.e. behaves like plain
+    /// carrier sense until fresh map information arrives.
+    pub fn csma_fallback_active(&self, now: Time) -> bool {
+        self.cfg.fallback_csma
+            && self.consecutive_ack_timeouts >= self.cfg.csma_fallback_after
+            && now.saturating_sub(self.last_map_refresh) > self.cfg.map_stale_after
     }
 
     // ---- timing helpers -------------------------------------------------
@@ -219,7 +246,7 @@ impl CmapMac {
                 ctx.set_timer(wait, token(CLASS_RTX, self.sender_gen));
                 return;
             }
-            self.cur = if let Some((dst, pkts)) = self.window.pop_rtx() {
+            self.cur = if let Some((dst, pkts, rounds)) = self.window.pop_rtx() {
                 let seq = self.window.alloc_seq(dst);
                 ctx.stats().add("cmap.rtx_vpkt", 1);
                 let rate = self.rate_ctl.choose(dst, ctx.now(), ctx.rng());
@@ -229,6 +256,7 @@ impl CmapMac {
                     pkts,
                     is_rtx: true,
                     rate,
+                    rounds,
                 })
             } else if self.window.is_full(self.cfg.n_window * self.cfg.n_vpkt) {
                 return; // full window, rtx already queued elsewhere
@@ -261,6 +289,7 @@ impl CmapMac {
                     pkts,
                     is_rtx: false,
                     rate,
+                    rounds: 0,
                 })
             };
             if self.cur.is_none() {
@@ -273,9 +302,12 @@ impl CmapMac {
         match self.check_defer(ctx, dst) {
             Some(until) => {
                 ctx.stats().bump("cmap.defer");
+                let now = ctx.now();
+                if self.csma_fallback_active(now) {
+                    ctx.stats().bump("cmap.csma_fallback");
+                }
                 self.state = SState::Deferring;
                 self.sender_gen += 1;
-                let now = ctx.now();
                 // Jitter the re-check around t_deferwait (the prototype's
                 // software-MAC latency was 0.5-2 ms and effectively random):
                 // without it, a deferring sender whose rival's inter-vpkt
@@ -284,7 +316,10 @@ impl CmapMac {
                 let jitter = ctx
                     .rng()
                     .gen_range(self.cfg.t_deferwait / 2..=3 * self.cfg.t_deferwait / 2);
-                let wait = until.saturating_sub(now) + jitter;
+                // Clamp: the ongoing list may hold a ghost end time from a
+                // transmitter that died mid-burst; never sleep on it for
+                // longer than max_defer_wait.
+                let wait = (until.saturating_sub(now) + jitter).min(self.cfg.max_defer_wait);
                 ctx.set_timer(wait, token(CLASS_DEFER, self.sender_gen));
             }
             None => self.begin_vpkt(ctx),
@@ -320,6 +355,7 @@ impl CmapMac {
     /// The §3.2 transmission decision against the conflict map, for a
     /// transmission `me → dst` contemplated at `now`.
     fn check_defer_at(&self, me: MacAddr, dst: MacAddr, now: Time) -> Option<Time> {
+        let stale = self.csma_fallback_active(now);
         let mut worst: Option<Time> = None;
         for e in self.ongoing.iter_at(now) {
             if e.src == me {
@@ -327,8 +363,11 @@ impl CmapMac {
             }
             let rate_filter = self.cfg.rate_aware.then_some(e.rate);
             let conflict =
+                // Stale conflict map: trust nothing, defer to every
+                // overheard transmission (carrier-sense behaviour).
+                stale
                 // v must be neither sending nor receiving (§3.2)...
-                e.src == dst || e.dst == dst
+                || e.src == dst || e.dst == dst
                 // ...nor may we blow away a reception addressed to us
                 // (half-duplex radio).
                 || e.dst == me
@@ -434,6 +473,7 @@ impl CmapMac {
                 acked: 0,
                 sent_at: ctx.now(),
                 rate: cur.rate,
+                rounds: cur.rounds,
             });
         }
         self.state = SState::Idle;
@@ -452,6 +492,7 @@ impl CmapMac {
             acked: 0,
             sent_at: ctx.now(),
             rate: cur.rate,
+            rounds: cur.rounds,
         });
         self.state = SState::AckWait;
         self.sender_gen += 1;
@@ -505,6 +546,7 @@ impl CmapMac {
 
     fn handle_ack(&mut self, ctx: &mut NodeCtx<'_>, ack: &cmap::Ack) {
         ctx.stats().bump("cmap.ack_rx");
+        self.consecutive_ack_timeouts = 0;
         let newly = self.window.on_ack(ack.src, ack.base_vpkt_seq, &ack.bitmaps);
         ctx.stats().add("cmap.pkts_acked", newly as u64);
         self.drain_rate_feedback(ctx);
@@ -532,11 +574,22 @@ impl CmapMac {
         self.ongoing.note_header(h.src, h.dst, until, h.data_rate);
         self.tracker.note_activity(h.src, info.start, until);
         if h.dst == ctx.mac_addr() {
-            self.peers
-                .entry(h.src)
-                .or_default()
+            let peer = self.peers.entry(h.src).or_default();
+            peer.last_heard = info.end;
+            // A restarted sender numbers virtual packets from zero again;
+            // without this reset the cumulative-ACK window (which never
+            // slides backwards) would ignore the reborn sequence space and
+            // starve the sender forever.
+            // Legitimate reordering spans at most the send window; twice
+            // that is comfortably conservative.
+            if peer
                 .rx
-                .on_header(h.vpkt_seq, h.pkt_count, info.end);
+                .looks_rebooted(h.vpkt_seq, 2 * self.cfg.n_window as u32)
+            {
+                ctx.stats().bump("cmap.peer_reset");
+                peer.rx = PeerRx::new();
+            }
+            peer.rx.on_header(h.vpkt_seq, h.pkt_count, info.end);
             if let Some(src_node) = h.src.node_index() {
                 let me = ctx.node();
                 ctx.stats()
@@ -573,11 +626,9 @@ impl CmapMac {
                 .vpkt_received(src_node as usize, me, t.vpkt_seq, true);
         }
         let data_air = self.data_airtime(1400, t.data_rate).max(1);
-        self.peers
-            .entry(t.src)
-            .or_default()
-            .rx
-            .on_trailer(t.vpkt_seq, t.pkt_count);
+        let peer = self.peers.entry(t.src).or_default();
+        peer.last_heard = info.end;
+        peer.rx.on_trailer(t.vpkt_seq, t.pkt_count);
         let fallback_t0 = info
             .start
             .saturating_sub(Time::from(t.pkt_count) * data_air);
@@ -606,31 +657,43 @@ impl CmapMac {
     ) {
         let now = ctx.now();
         let data_air = self.data_airtime(1400, data_rate).max(1);
-        let (bits, t0) = {
+        let (bits, t0, first_finalize) = {
             let peer = self.peers.entry(src).or_default();
             let rec = peer.rx.record(vpkt_seq).copied().unwrap_or_default();
-            (rec.bits, rec.data_start.unwrap_or(fallback_t0))
+            (
+                rec.bits,
+                rec.data_start.unwrap_or(fallback_t0),
+                peer.rx.mark_finalized(vpkt_seq),
+            )
         };
-        // Judge concurrency over the whole virtual-packet span (not packet
-        // by packet): activity knowledge is biased toward gaps, and biased
-        // per-packet samples fabricate conflicts (see
-        // InterfererTracker::concurrent_sources).
-        let span_end = t0 + Time::from(pkt_count) * data_air;
-        let concurrent = self.tracker.concurrent_sources(t0, span_end, 0.5, src);
-        for x in concurrent {
-            for i in 0..pkt_count {
-                let lost = bits & (1 << i) == 0;
-                self.tracker.record_pair(
-                    src,
-                    x,
-                    lost,
-                    data_rate,
-                    now,
-                    self.cfg.l_interf,
-                    self.cfg.interferer_min_samples,
-                    self.cfg.interferer_timeout,
-                );
+        // Attribute losses only on the *first* finalisation of this virtual
+        // packet: a duplicated or reordered trailer (or a late finalise
+        // timer racing a trailer) must not double-count the same losses and
+        // fabricate interferers.
+        if first_finalize {
+            // Judge concurrency over the whole virtual-packet span (not
+            // packet by packet): activity knowledge is biased toward gaps,
+            // and biased per-packet samples fabricate conflicts (see
+            // InterfererTracker::concurrent_sources).
+            let span_end = t0 + Time::from(pkt_count) * data_air;
+            let concurrent = self.tracker.concurrent_sources(t0, span_end, 0.5, src);
+            for x in concurrent {
+                for i in 0..pkt_count {
+                    let lost = bits & (1 << i) == 0;
+                    self.tracker.record_pair(
+                        src,
+                        x,
+                        lost,
+                        data_rate,
+                        now,
+                        self.cfg.l_interf,
+                        self.cfg.interferer_min_samples,
+                        self.cfg.interferer_timeout,
+                    );
+                }
             }
+        } else {
+            ctx.stats().bump("cmap.dup_finalize");
         }
         let (base, bitmaps, loss) = {
             let peer = self.peers.get_mut(&src).expect("created above");
@@ -707,6 +770,12 @@ impl CmapMac {
         entries: &[cmap::InterfererEntry],
     ) {
         let me = ctx.mac_addr();
+        if !entries.is_empty() {
+            // Any interferer-list reception counts as fresh conflict-map
+            // information for the staleness clock, whether or not an entry
+            // names us: the network's map machinery is demonstrably alive.
+            self.last_map_refresh = ctx.now();
+        }
         let expires = ctx.now() + self.cfg.defer_entry_timeout;
         for e in entries {
             if e.source == me {
@@ -724,9 +793,19 @@ impl CmapMac {
     fn broadcast_tick(&mut self, ctx: &mut NodeCtx<'_>) {
         let now = ctx.now();
         self.tracker.decay();
-        self.tracker.prune(now, self.cfg.broadcast_period * 2);
-        self.defer.prune(now);
-        self.ongoing.prune(now);
+        let evicted = self.tracker.prune(now, self.cfg.broadcast_period * 2)
+            + self.defer.prune(now)
+            + self.ongoing.prune(now);
+        if evicted > 0 {
+            ctx.stats().add("cmap.expired_evicted", evicted as u64);
+        }
+        let peers_before = self.peers.len();
+        let peer_cutoff = now.saturating_sub(self.cfg.peer_state_timeout);
+        self.peers.retain(|_, p| p.last_heard >= peer_cutoff);
+        let peers_evicted = peers_before - self.peers.len();
+        if peers_evicted > 0 {
+            ctx.stats().add("cmap.peer_evicted", peers_evicted as u64);
+        }
         let entries: Vec<_> = self
             .tracker
             .entries_at(now)
@@ -752,21 +831,55 @@ impl CmapMac {
         }
         // Re-arm with jitter to avoid network-wide phase lock.
         let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period / 4);
-        ctx.set_timer(self.cfg.broadcast_period + jitter, token(CLASS_BCAST, 0));
+        ctx.set_timer(
+            self.cfg.broadcast_period + jitter,
+            token(CLASS_BCAST, self.bcast_gen),
+        );
     }
 }
 
 impl Mac for CmapMac {
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>) {
         let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period);
-        ctx.set_timer(jitter, token(CLASS_BCAST, 0));
+        ctx.set_timer(jitter, token(CLASS_BCAST, self.bcast_gen));
+        self.try_send(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Crash-restart: volatile protocol state is gone. Conflict-map
+        // knowledge, the send window and per-peer reassembly all reset to
+        // boot values; the app queue (upper layer) survives in the world.
+        self.state = SState::Idle;
+        self.cur = None;
+        self.window = SendWindow::new();
+        self.defer = DeferTable::new();
+        self.ongoing = OngoingList::new();
+        self.tracker = InterfererTracker::new();
+        self.peers.clear();
+        self.cw = 0;
+        self.pending_acks.clear();
+        self.pending_finalize.clear();
+        self.in_flight = None;
+        self.consecutive_ack_timeouts = 0;
+        // The staleness clock restarts at the reboot instant: the map is
+        // empty (maximally conservative already), so the CSMA fallback
+        // should wait for post-reboot evidence, not fire off pre-crash age.
+        self.last_map_refresh = ctx.now();
+        // Bump, never reset: timers armed before the crash must come back
+        // stale, and gens only ever grow.
+        self.sender_gen += 1;
+        self.rx_gen += 1;
+        self.bcast_gen += 1;
+        ctx.stats().bump("cmap.restart");
+        let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period);
+        ctx.set_timer(jitter, token(CLASS_BCAST, self.bcast_gen));
         self.try_send(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tok: u64) {
         let (class, gen) = untoken(tok);
         match class {
-            CLASS_BCAST => self.broadcast_tick(ctx),
+            CLASS_BCAST if gen == self.bcast_gen => self.broadcast_tick(ctx),
             CLASS_ACKSEND => {
                 if gen == self.rx_gen {
                     self.send_pending_ack(ctx);
@@ -781,7 +894,10 @@ impl Mac for CmapMac {
             }
             CLASS_ACKWAIT if gen == self.sender_gen && self.state == SState::AckWait => {
                 // No ACK within t_ackwait; CW unchanged (§3.4: no backoff
-                // update on mere ACK absence).
+                // update on mere ACK absence). Count it towards the
+                // stale-map carrier-sense fallback, though.
+                self.consecutive_ack_timeouts = self.consecutive_ack_timeouts.saturating_add(1);
+                ctx.stats().bump("cmap.ack_timeout");
                 self.enter_backoff(ctx);
             }
             CLASS_BACKOFF if gen == self.sender_gen && self.state == SState::Backoff => {
@@ -793,8 +909,13 @@ impl Mac for CmapMac {
                 self.try_send(ctx);
             }
             CLASS_RTX if gen == self.sender_gen && self.state == SState::RtxWait => {
-                let n = self.window.repack_for_rtx(self.cfg.n_vpkt);
-                ctx.stats().add("cmap.rtx_pkt", n as u64);
+                let (requeued, gave_up) = self
+                    .window
+                    .repack_for_rtx(self.cfg.n_vpkt, self.cfg.max_rtx_rounds);
+                ctx.stats().add("cmap.rtx_pkt", requeued as u64);
+                if gave_up > 0 {
+                    ctx.stats().add("cmap.rtx_give_up", gave_up as u64);
+                }
                 self.drain_rate_feedback(ctx);
                 self.state = SState::Idle;
                 self.try_send(ctx);
@@ -810,11 +931,9 @@ impl Mac for CmapMac {
             Frame::CmapData(d) => {
                 self.tracker.note_activity(d.src, info.start, info.end);
                 if d.dst == ctx.mac_addr() {
-                    self.peers
-                        .entry(d.src)
-                        .or_default()
-                        .rx
-                        .on_data(d.vpkt_seq, d.index);
+                    let peer = self.peers.entry(d.src).or_default();
+                    peer.last_heard = info.end;
+                    peer.rx.on_data(d.vpkt_seq, d.index);
                     ctx.deliver(d.flow, d.flow_seq);
                 } else {
                     // Missed the header? Keep the ongoing entry alive long
@@ -1215,6 +1334,107 @@ mod tests {
             without < 5.0,
             "hidden blast unexpectedly healthy: {without}"
         );
+    }
+
+    #[test]
+    fn stale_map_falls_back_to_carrier_sense() {
+        use cmap_wire::MacAddr;
+        let a = |i: u16| MacAddr::from_node_index(i);
+        let (me, dst, x, y) = (a(0), a(1), a(2), a(3));
+        let now = millis(20_000);
+        let mut mac = CmapMac::new(CmapConfig::default());
+        // Unrelated ongoing transmission x -> y; the conflict map is empty,
+        // so the §3.2 decision alone would transmit.
+        mac.ongoing
+            .note_header(x, y, now + millis(2), cmap_phy::Rate::R6);
+        // Recently refreshed map: no fallback even with many ACK timeouts.
+        mac.consecutive_ack_timeouts = 10;
+        mac.last_map_refresh = now - millis(100);
+        assert!(!mac.csma_fallback_active(now));
+        assert_eq!(mac.check_defer_broadcast(me, &[dst], now), None);
+        // Stale map + repeated ACK timeouts: defer to any overheard
+        // transmission, exactly like carrier sense.
+        mac.last_map_refresh = 0;
+        assert!(mac.csma_fallback_active(now));
+        assert_eq!(
+            mac.check_defer_broadcast(me, &[dst], now),
+            Some(now + millis(2))
+        );
+        // An ACK getting through resets the streak and restores map trust.
+        mac.consecutive_ack_timeouts = 0;
+        assert!(!mac.csma_fallback_active(now));
+        assert_eq!(mac.check_defer_broadcast(me, &[dst], now), None);
+        // Ablated variant never falls back.
+        let mut ablated = CmapMac::new(CmapConfig::default().without_csma_fallback());
+        ablated
+            .ongoing
+            .note_header(x, y, now + millis(2), cmap_phy::Rate::R6);
+        ablated.consecutive_ack_timeouts = 10;
+        assert!(!ablated.csma_fallback_active(now));
+        assert_eq!(ablated.check_defer_broadcast(me, &[dst], now), None);
+    }
+
+    #[test]
+    fn duplicated_frames_do_not_wedge_or_fabricate_conflicts() {
+        // Satellite regression for the dup/reordered-ACK path: a fault plan
+        // that duplicates 8% of deliveries must not wedge the window, run
+        // attribution twice, or learn phantom conflicts on a clean link.
+        use cmap_sim::FaultPlan;
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        let mut w = world_from_rss(2, &rss, 9);
+        let f = w.add_flow(0, 1, 1400);
+        cmap_all(&mut w, 2, &CmapConfig::default());
+        w.install_faults(FaultPlan {
+            dup_frame_prob: 0.08,
+            ..FaultPlan::clean()
+        });
+        w.run_until(secs(8));
+        assert_eq!(w.watchdog_violations(), 0);
+        assert!(
+            w.stats().counter("cmap.dup_finalize") > 0,
+            "duplicate-finalise path never exercised"
+        );
+        assert!(
+            w.stats().flow(f).duplicates > 0,
+            "duplicate injection inactive"
+        );
+        // Progress continues to the end of the run.
+        let late = tput(&w, f, secs(6), secs(8));
+        assert!(late > 3.0, "link wedged under duplicates: {late}");
+        // No phantom interferers on a two-node link.
+        let mac = w.mac_ref(0).as_any().downcast_ref::<CmapMac>().unwrap();
+        assert_eq!(mac.defer_table().len_at(w.now()), 0);
+    }
+
+    #[test]
+    fn sender_crash_restart_recovers_the_flow() {
+        // The sender reboots mid-run: its sequence space restarts at zero
+        // and all conflict-map state is lost. The receiver must detect the
+        // reboot (cmap.peer_reset) and the flow must recover.
+        use cmap_sim::faults::Outage;
+        use cmap_sim::FaultPlan;
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        let mut w = world_from_rss(2, &rss, 10);
+        let f = w.add_flow(0, 1, 1400);
+        cmap_all(&mut w, 2, &CmapConfig::default());
+        let mut plan = FaultPlan::clean();
+        plan.churn.push(Outage {
+            node: 0,
+            down_at: secs(3),
+            up_at: secs(4),
+        });
+        w.install_faults(plan);
+        w.run_until(secs(9));
+        assert_eq!(w.watchdog_violations(), 0);
+        assert!(w.stats().counter("cmap.restart") >= 1, "restart never ran");
+        assert!(
+            w.stats().counter("cmap.peer_reset") >= 1,
+            "receiver never detected the sender reboot"
+        );
+        let late = tput(&w, f, secs(5), secs(9));
+        assert!(late > 3.0, "flow did not recover after restart: {late}");
     }
 
     #[test]

@@ -76,9 +76,11 @@ impl OngoingList {
         }
     }
 
-    /// Remove entries that have expired.
-    pub fn prune(&mut self, now: Time) {
+    /// Remove entries that have expired. Returns how many were evicted.
+    pub fn prune(&mut self, now: Time) -> usize {
+        let before = self.entries.len();
         self.entries.retain(|e| e.until > now);
+        before - self.entries.len()
     }
 
     /// Live entries at `now`.
@@ -157,7 +159,7 @@ mod tests {
         let mut o = OngoingList::new();
         o.note_header(a(1), a(2), 10, Rate::R6);
         o.note_header(a(3), a(4), 1000, Rate::R6);
-        o.prune(500);
+        assert_eq!(o.prune(500), 1);
         assert_eq!(o.entries.len(), 1);
         assert_eq!(o.latest_end(0), Some(1000));
     }

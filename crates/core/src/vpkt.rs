@@ -46,6 +46,9 @@ pub struct SentVpkt {
     /// Bit-rate the data packets were sent at (per-rate feedback for §3.5
     /// rate adaptation).
     pub rate: Rate,
+    /// How many retransmission rounds the packets in this virtual packet
+    /// have already been through (0 for a fresh transmission).
+    pub rounds: u32,
 }
 
 impl SentVpkt {
@@ -78,8 +81,9 @@ impl SentVpkt {
 pub struct SendWindow {
     next_seq: BTreeMap<MacAddr, u32>,
     sent: Vec<SentVpkt>,
-    /// Repacked virtual packets awaiting retransmission, FIFO.
-    rtx: std::collections::VecDeque<(MacAddr, Vec<DataPkt>)>,
+    /// Repacked virtual packets awaiting retransmission, FIFO, with the
+    /// retransmission-round count they will carry.
+    rtx: std::collections::VecDeque<(MacAddr, Vec<DataPkt>, u32)>,
     /// Per-rate delivery feedback accumulated by `on_ack`/`repack_for_rtx`:
     /// `(dst, rate, packets acked, packets given up)`.
     feedback: Vec<(MacAddr, Rate, usize, usize)>,
@@ -156,33 +160,48 @@ impl SendWindow {
 
     /// Window-timeout path: move every unacknowledged packet out of the
     /// window, repacked into fresh virtual packets of up to `n_vpkt`
-    /// packets each (per destination, preserving order). Returns the number
-    /// of packets queued for retransmission.
-    pub fn repack_for_rtx(&mut self, n_vpkt: usize) -> usize {
-        let mut per_dst: Vec<(MacAddr, Vec<DataPkt>)> = Vec::new();
+    /// packets each (per destination, preserving order). Packets that have
+    /// already been through `max_rounds` retransmission rounds are dropped
+    /// instead of requeued — unbounded retransmission to a dead receiver
+    /// would pin the send window forever. Returns `(requeued, given_up)`
+    /// packet counts.
+    pub fn repack_for_rtx(&mut self, n_vpkt: usize, max_rounds: u32) -> (usize, usize) {
+        let mut per_dst: Vec<(MacAddr, Vec<DataPkt>, u32)> = Vec::new();
+        let mut given_up = 0usize;
         for v in self.sent.drain(..) {
             let pkts: Vec<DataPkt> = v.unacked().copied().collect();
             if pkts.is_empty() {
                 continue;
             }
             self.feedback.push((v.dst, v.rate, 0, pkts.len()));
-            match per_dst.iter_mut().find(|(d, _)| *d == v.dst) {
-                Some((_, list)) => list.extend(pkts),
-                None => per_dst.push((v.dst, pkts)),
+            if v.rounds >= max_rounds {
+                given_up += pkts.len();
+                continue;
+            }
+            // Group by (destination, rounds) so a packet's round count
+            // survives the repack intact.
+            let rounds = v.rounds + 1;
+            match per_dst
+                .iter_mut()
+                .find(|(d, _, r)| *d == v.dst && *r == rounds)
+            {
+                Some((_, list, _)) => list.extend(pkts),
+                None => per_dst.push((v.dst, pkts, rounds)),
             }
         }
         let mut total = 0;
-        for (dst, pkts) in per_dst {
+        for (dst, pkts, rounds) in per_dst {
             total += pkts.len();
             for chunk in pkts.chunks(n_vpkt.max(1)) {
-                self.rtx.push_back((dst, chunk.to_vec()));
+                self.rtx.push_back((dst, chunk.to_vec(), rounds));
             }
         }
-        total
+        (total, given_up)
     }
 
-    /// Next repacked virtual packet to retransmit, if any.
-    pub fn pop_rtx(&mut self) -> Option<(MacAddr, Vec<DataPkt>)> {
+    /// Next repacked virtual packet to retransmit, if any:
+    /// `(dst, packets, retransmission rounds consumed)`.
+    pub fn pop_rtx(&mut self) -> Option<(MacAddr, Vec<DataPkt>, u32)> {
         self.rtx.pop_front()
     }
 
@@ -219,6 +238,12 @@ pub struct RxVpkt {
 pub struct PeerRx {
     records: BTreeMap<u32, RxVpkt>,
     highest: Option<u32>,
+    /// Virtual packets already finalised (loss attribution done); a
+    /// duplicated or reordered trailer must not run attribution twice.
+    finalized: std::collections::BTreeSet<u32>,
+    /// Highest `upto` an ACK was built for: duplicated/reordered trailers
+    /// must never slide the cumulative-ACK window backwards.
+    last_ack_upto: Option<u32>,
 }
 
 impl PeerRx {
@@ -261,6 +286,21 @@ impl PeerRx {
         self.highest
     }
 
+    /// First finalisation of `seq` returns `true`; repeats (duplicated or
+    /// reordered trailers / finalise timers) return `false` so callers can
+    /// skip non-idempotent work such as interference attribution.
+    pub fn mark_finalized(&mut self, seq: u32) -> bool {
+        self.finalized.insert(seq)
+    }
+
+    /// A crashed-and-restarted sender begins numbering virtual packets from
+    /// zero again. Frames can only be reordered within a send window, so a
+    /// sequence arriving more than `window` below the highest ever seen is
+    /// a reboot, not reordering — the caller should discard this state.
+    pub fn looks_rebooted(&self, seq: u32, window: u32) -> bool {
+        self.highest.is_some_and(|h| seq.saturating_add(window) < h)
+    }
+
     /// Build the cumulative ACK covering the last `n_window` virtual
     /// packets ending at `upto`: `(base_seq, bitmaps, loss_rate)`.
     ///
@@ -275,6 +315,10 @@ impl PeerRx {
         default_expected: u8,
     ) -> (u32, Vec<u32>, f64) {
         let n_window = n_window.clamp(1, MAX_ACK_WINDOW);
+        // A reordered trailer for an old virtual packet must not regress
+        // the window: always ACK up to the newest sequence ever finalised.
+        let upto = self.last_ack_upto.map_or(upto, |last| upto.max(last));
+        self.last_ack_upto = Some(upto);
         let base = (upto + 1).saturating_sub(n_window as u32);
         let mut bitmaps = Vec::with_capacity(n_window);
         let (mut expected_total, mut got_total) = (0u64, 0u64);
@@ -296,6 +340,7 @@ impl PeerRx {
         // Prune records that fell out of every future window.
         let cutoff = base;
         self.records = self.records.split_off(&cutoff);
+        self.finalized = self.finalized.split_off(&cutoff);
         let loss = if expected_total == 0 {
             0.0
         } else {
@@ -329,6 +374,7 @@ mod tests {
             acked: 0,
             sent_at: 0,
             rate: Rate::R6,
+            rounds: 0,
         }
     }
 
@@ -398,21 +444,108 @@ mod tests {
         v1.acked = 0b1010; // packets 0,2 unacked (flow seqs 10, 12)
         w.push_sent(v0);
         w.push_sent(v1);
-        let n = w.repack_for_rtx(3);
+        let (n, gave_up) = w.repack_for_rtx(3, 8);
         assert_eq!(n, 4);
+        assert_eq!(gave_up, 0);
         assert_eq!(w.outstanding(), 0);
-        let (dst, first) = w.pop_rtx().unwrap();
+        let (dst, first, rounds) = w.pop_rtx().unwrap();
         assert_eq!(dst, a(1));
+        assert_eq!(rounds, 1);
         assert_eq!(
             first.iter().map(|p| p.flow_seq).collect::<Vec<_>>(),
             vec![2, 3, 10]
         );
-        let (_, second) = w.pop_rtx().unwrap();
+        let (_, second, _) = w.pop_rtx().unwrap();
         assert_eq!(
             second.iter().map(|p| p.flow_seq).collect::<Vec<_>>(),
             vec![12]
         );
         assert!(w.pop_rtx().is_none());
+    }
+
+    #[test]
+    fn repack_gives_up_after_max_rounds() {
+        let mut w = SendWindow::new();
+        let mut tired = sent(a(1), 0, 4);
+        tired.rounds = 2; // already retransmitted twice
+        let fresh = sent(a(1), 1, 4);
+        w.push_sent(tired);
+        w.push_sent(fresh);
+        let (requeued, gave_up) = w.repack_for_rtx(32, 2);
+        assert_eq!((requeued, gave_up), (4, 4));
+        let (_, pkts, rounds) = w.pop_rtx().unwrap();
+        assert_eq!(pkts.len(), 4);
+        assert_eq!(rounds, 1);
+        assert!(w.pop_rtx().is_none());
+        // The given-up packets still show as losses in the rate feedback.
+        let lost: usize = w.take_feedback().iter().map(|&(_, _, _, l)| l).sum();
+        assert_eq!(lost, 8);
+    }
+
+    #[test]
+    fn rounds_survive_multiple_repacks() {
+        let mut w = SendWindow::new();
+        w.push_sent(sent(a(1), 0, 4));
+        for round in 1..=3u32 {
+            let (requeued, gave_up) = w.repack_for_rtx(32, 3);
+            assert_eq!((requeued, gave_up), (4, 0), "round {round}");
+            let (dst, pkts, rounds) = w.pop_rtx().unwrap();
+            assert_eq!(rounds, round);
+            let mut v = sent(dst, round, 4);
+            v.pkts = pkts;
+            v.rounds = rounds;
+            w.push_sent(v);
+        }
+        // Fourth timeout: the packets have exhausted their rounds.
+        let (requeued, gave_up) = w.repack_for_rtx(32, 3);
+        assert_eq!((requeued, gave_up), (0, 4));
+        assert!(w.pop_rtx().is_none());
+    }
+
+    #[test]
+    fn finalize_is_idempotent_per_vpkt() {
+        let mut r = PeerRx::new();
+        r.on_header(0, 4, 100);
+        assert!(r.mark_finalized(0), "first finalisation runs attribution");
+        assert!(!r.mark_finalized(0), "duplicate trailer must not");
+        // Pruning forgets old sequences without reviving them inside the
+        // still-covered window.
+        for seq in 1..20u32 {
+            r.on_header(seq, 4, 100);
+            r.mark_finalized(seq);
+        }
+        let _ = r.build_ack(19, 8, 4);
+        assert!(!r.mark_finalized(19), "in-window state survives the prune");
+    }
+
+    #[test]
+    fn reboot_detection_distinguishes_reordering() {
+        let mut r = PeerRx::new();
+        assert!(!r.looks_rebooted(0, 32), "fresh peer: nothing to compare");
+        r.on_header(100, 4, 0);
+        // Reordering within a few windows is normal.
+        assert!(!r.looks_rebooted(95, 32));
+        assert!(!r.looks_rebooted(68, 32));
+        // A jump far below the highest sequence means the sender rebooted.
+        assert!(r.looks_rebooted(0, 32));
+        assert!(r.looks_rebooted(67, 32));
+    }
+
+    #[test]
+    fn ack_window_never_slides_backwards() {
+        let mut r = PeerRx::new();
+        for seq in 0..=10u32 {
+            r.on_header(seq, 2, 0);
+            r.on_data(seq, 0);
+            r.on_data(seq, 1);
+        }
+        let (base_new, _, _) = r.build_ack(10, 4, 2);
+        assert_eq!(base_new, 7);
+        // A reordered trailer for vpkt 3 arrives late: the ACK must still
+        // cover the newest window, not regress to [0, 3].
+        let (base_old, bitmaps, _) = r.build_ack(3, 4, 2);
+        assert_eq!(base_old, 7);
+        assert_eq!(bitmaps.len(), 4);
     }
 
     #[test]
@@ -460,7 +593,7 @@ mod tests {
         w.push_sent(sent(a(1), 0, 8));
         w.push_sent(sent(a(1), 1, 8));
         w.on_ack(a(1), 0, &[0b1111, 0]); // 4 of vpkt 0 acked
-        let n = w.repack_for_rtx(32); // 4 + 8 lost
+        let (n, _) = w.repack_for_rtx(32, 8); // 4 + 8 lost
         assert_eq!(n, 12);
         let fb = w.take_feedback();
         let acked: usize = fb.iter().map(|&(_, _, a, _)| a).sum();

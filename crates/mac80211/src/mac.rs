@@ -296,6 +296,25 @@ impl Mac for DcfMac {
         self.kick(ctx);
     }
 
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        // Crash-restart: all volatile MAC state is lost, including any
+        // packet that was mid-exchange.
+        self.state = TxState::Idle;
+        self.cur = None;
+        self.cw = self.cfg.cw_min;
+        self.backoff_slots = 0;
+        self.nav_until = 0;
+        self.eifs_until = 0;
+        self.pending_ack_to = None;
+        self.in_flight = None;
+        // Bump, never reset: timers armed before the crash must come back
+        // stale, and generations only ever grow.
+        self.sender_gen += 1;
+        self.rx_gen += 1;
+        ctx.stats().bump("dcf.restart");
+        self.kick(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, tok: u64) {
         let (class, gen) = untoken(tok);
         match class {
@@ -463,6 +482,37 @@ mod tests {
         let retx = w.stats().counter("dcf.retx");
         let txs = w.stats().counter("dcf.tx_data");
         assert!(retx * 50 < txs, "retx {retx} of {txs}");
+    }
+
+    #[test]
+    fn dcf_survives_crash_restart_churn() {
+        // Both ends crash (staggered) and come back; the DCF flow must
+        // recover with no watchdog violations.
+        use cmap_sim::faults::Outage;
+        use cmap_sim::FaultPlan;
+        let mut rss = Vec::new();
+        rss.extend(sym(0, 1, -60.0));
+        let mut w = world_from_rss(2, &rss, 11);
+        let f = w.add_flow(0, 1, 1400);
+        w.set_mac(0, Box::new(DcfMac::new(DcfConfig::status_quo())));
+        w.set_mac(1, Box::new(DcfMac::new(DcfConfig::status_quo())));
+        let mut plan = FaultPlan::clean();
+        plan.churn.push(Outage {
+            node: 0,
+            down_at: secs(1),
+            up_at: secs(2),
+        });
+        plan.churn.push(Outage {
+            node: 1,
+            down_at: secs(3),
+            up_at: secs(4),
+        });
+        w.install_faults(plan);
+        w.run_until(secs(8));
+        assert_eq!(w.watchdog_violations(), 0);
+        assert_eq!(w.stats().counter("dcf.restart"), 2);
+        let late = tput(&w, f, secs(5), secs(8));
+        assert!(late > 3.5, "DCF did not recover after churn: {late}");
     }
 
     #[test]

@@ -18,13 +18,19 @@ pub type TxId = u64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A node's own transmission finished.
-    TxEnd { node: NodeId },
+    TxEnd { node: NodeId, tx_id: TxId },
     /// The first energy of transmission `tx_id` reaches node `rx`.
     FrameStart { rx: NodeId, tx_id: TxId },
     /// The last energy of transmission `tx_id` leaves node `rx`.
     FrameEnd { rx: NodeId, tx_id: TxId },
     /// A MAC-requested timer at `node` fires with an opaque token.
     Timer { node: NodeId, token: u64 },
+    /// Scheduled fault-plan action (index into the installed plan's action
+    /// list). Only present when a fault plan is installed.
+    Fault { idx: u32 },
+    /// Periodic invariant-watchdog audit. Only scheduled when a fault plan
+    /// is installed, so clean runs see an unchanged event stream.
+    Audit,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,595 @@
+//! Deterministic fault injection: churn, bursty channels, clock skew,
+//! radio lockups and frame corruption — all seed-driven.
+//!
+//! A [`FaultPlan`] is a *pure description* of what goes wrong during a run:
+//! which nodes crash and when, how links degrade, which clocks drift. It is
+//! serializable (a `key=value` text form, [`FaultPlan::to_spec`] /
+//! [`FaultPlan::from_spec`]) so a failing chaos-soak case can be reproduced
+//! from its printed spec alone. The runtime state ([`FaultState`]) derives
+//! every random draw from the world's master seed via dedicated streams, so
+//! installing a fault plan never perturbs the per-node RNG streams — and a
+//! given (topology, MACs, seed, plan) is still bit-deterministic.
+//!
+//! Fault taxonomy (DESIGN.md §7):
+//! * **Churn** — a node powers off at `down_at` and back on at `up_at`. Its
+//!   radio goes deaf immediately; frames it already has on the air finish
+//!   (the energy is physically committed). While down, its MAC receives no
+//!   callbacks and pending timers are swallowed; on restart the MAC's
+//!   [`crate::mac::Mac::on_restart`] runs with protocol state reset.
+//! * **Lockup** — the radio front-end wedges mid-frame: reception stops,
+//!   carrier reads busy, `transmit` fails, but the MAC keeps running (timers
+//!   still fire). Models firmware hangs that heal.
+//! * **Gilbert–Elliott** — per-link two-state Markov chain stepped on a
+//!   fixed clock; the *bad* state adds `bad_extra_loss_db` of attenuation.
+//!   Models bursty interference from non-network sources.
+//! * **Shadowing** — stepped log-normal: every `step_ns` each link draws a
+//!   fresh `N(0, sigma_db)` offset, constant within the step. Models people
+//!   and doors moving through the environment.
+//! * **Clock skew** — each node's timer delays stretch by `ppm` parts per
+//!   million. Models real oscillator tolerance (±100 ppm is commodity).
+//! * **Corruption / duplication** — a decoded frame is flipped to an error
+//!   with `corrupt_prob`, or delivered twice with `dup_frame_prob`. Models
+//!   CRC escapes and MAC-level retransmit races.
+
+// BTreeMap as a matter of policy (cmap-lint R1): fault bookkeeping feeds the
+// simulation, so iteration order must not depend on hash seeds.
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::{normal, stream_rng};
+use crate::time::Time;
+use crate::world::NodeId;
+
+/// RNG stream indices far above the per-node streams (node `i` uses stream
+/// `i + 1`), so fault randomness never collides with node randomness.
+const STREAM_CORRUPT: u64 = 1 << 40;
+const STREAM_GE_BASE: u64 = 1 << 41;
+const STREAM_SHADOW_BASE: u64 = 1 << 42;
+
+/// One node outage: down at `down_at`, restart at `up_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// When it powers off.
+    pub down_at: Time,
+    /// When it powers back on (MAC restarts from scratch).
+    pub up_at: Time,
+}
+
+/// One radio lockup: the front-end wedges at `at` and heals at `until`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lockup {
+    /// The affected node.
+    pub node: NodeId,
+    /// When the radio wedges.
+    pub at: Time,
+    /// When it heals.
+    pub until: Time,
+}
+
+/// Gilbert–Elliott bursty degradation applied to every link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Chain step interval.
+    pub step_ns: Time,
+    /// P(good → bad) per step.
+    pub p_enter_bad: f64,
+    /// P(bad → good) per step.
+    pub p_exit_bad: f64,
+    /// Extra attenuation while a link is in the bad state, in dB.
+    pub bad_extra_loss_db: f64,
+}
+
+/// Stepped log-normal shadowing applied to every link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shadowing {
+    /// How long each drawn offset holds.
+    pub step_ns: Time,
+    /// Standard deviation of the per-step offset, in dB.
+    pub sigma_db: f64,
+}
+
+/// A complete, serializable description of the faults injected into a run.
+///
+/// The default plan is empty ("clean"): installing it changes nothing about
+/// a run except arming the invariant watchdog.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Node crash/restart schedule.
+    pub churn: Vec<Outage>,
+    /// Radio lockup schedule.
+    pub lockups: Vec<Lockup>,
+    /// Bursty link degradation, if any.
+    pub gilbert_elliott: Option<GilbertElliott>,
+    /// Stepped shadowing, if any.
+    pub shadowing: Option<Shadowing>,
+    /// Per-node clock skew in parts per million.
+    pub clock_skew_ppm: Vec<(NodeId, i64)>,
+    /// Probability a decoded frame is corrupted to an rx error.
+    pub corrupt_prob: f64,
+    /// Probability a decoded frame is delivered twice to the MAC.
+    pub dup_frame_prob: f64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, watchdog armed.
+    pub fn clean() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Every node suffers one outage, staggered across the run.
+    pub fn churn_heavy(nodes: usize, duration: Time) -> FaultPlan {
+        let n = nodes as u64;
+        let churn = (0..n)
+            .map(|i| {
+                let down_at = duration * (i + 1) / (n + 2);
+                Outage {
+                    node: i as NodeId,
+                    down_at,
+                    up_at: down_at + duration / 12,
+                }
+            })
+            .collect();
+        FaultPlan {
+            churn,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Bursty Gilbert–Elliott loss plus slow shadowing on every link.
+    pub fn bursty_channel() -> FaultPlan {
+        FaultPlan {
+            gilbert_elliott: Some(GilbertElliott {
+                step_ns: crate::time::millis(5),
+                p_enter_bad: 0.08,
+                p_exit_bad: 0.35,
+                bad_extra_loss_db: 25.0,
+            }),
+            shadowing: Some(Shadowing {
+                step_ns: crate::time::millis(200),
+                sigma_db: 4.0,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Clock skew, lockups, mild burst loss, corruption and duplication.
+    pub fn mixed(nodes: usize, duration: Time) -> FaultPlan {
+        let n = nodes as u64;
+        let lockups = (0..n)
+            .map(|i| {
+                let at = duration * (2 * i + 3) / (2 * n + 4);
+                Lockup {
+                    node: i as NodeId,
+                    at,
+                    until: at + duration / 20,
+                }
+            })
+            .collect();
+        let clock_skew_ppm = (0..nodes)
+            .map(|i| {
+                let ppm = if i % 2 == 0 { 150 } else { -150 };
+                (i, ppm)
+            })
+            .collect();
+        FaultPlan {
+            lockups,
+            clock_skew_ppm,
+            gilbert_elliott: Some(GilbertElliott {
+                step_ns: crate::time::millis(10),
+                p_enter_bad: 0.03,
+                p_exit_bad: 0.5,
+                bad_extra_loss_db: 20.0,
+            }),
+            corrupt_prob: 0.02,
+            dup_frame_prob: 0.02,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The canonical chaos-soak plan set: `(name, plan)` pairs.
+    pub fn canonical(nodes: usize, duration: Time) -> Vec<(&'static str, FaultPlan)> {
+        vec![
+            ("churn-heavy", FaultPlan::churn_heavy(nodes, duration)),
+            ("bursty-channel", FaultPlan::bursty_channel()),
+            ("mixed", FaultPlan::mixed(nodes, duration)),
+        ]
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Serialize to the `key=value` text form. Round-trips exactly through
+    /// [`FaultPlan::from_spec`] (f64 `Display` is shortest-exact in Rust).
+    pub fn to_spec(&self) -> String {
+        let mut out = String::new();
+        if !self.churn.is_empty() {
+            let items: Vec<String> = self
+                .churn
+                .iter()
+                .map(|o| format!("{}:{}:{}", o.node, o.down_at, o.up_at))
+                .collect();
+            out.push_str(&format!("churn={}\n", items.join(",")));
+        }
+        if !self.lockups.is_empty() {
+            let items: Vec<String> = self
+                .lockups
+                .iter()
+                .map(|l| format!("{}:{}:{}", l.node, l.at, l.until))
+                .collect();
+            out.push_str(&format!("lockup={}\n", items.join(",")));
+        }
+        if let Some(ge) = &self.gilbert_elliott {
+            out.push_str(&format!(
+                "ge={}:{}:{}:{}\n",
+                ge.step_ns, ge.p_enter_bad, ge.p_exit_bad, ge.bad_extra_loss_db
+            ));
+        }
+        if let Some(sh) = &self.shadowing {
+            out.push_str(&format!("shadow={}:{}\n", sh.step_ns, sh.sigma_db));
+        }
+        if !self.clock_skew_ppm.is_empty() {
+            let items: Vec<String> = self
+                .clock_skew_ppm
+                .iter()
+                .map(|(node, ppm)| format!("{node}:{ppm}"))
+                .collect();
+            out.push_str(&format!("skew={}\n", items.join(",")));
+        }
+        if self.corrupt_prob > 0.0 {
+            out.push_str(&format!("corrupt_prob={}\n", self.corrupt_prob));
+        }
+        if self.dup_frame_prob > 0.0 {
+            out.push_str(&format!("dup_frame_prob={}\n", self.dup_frame_prob));
+        }
+        out
+    }
+
+    /// Parse the text form produced by [`FaultPlan::to_spec`].
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for line in spec.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("bad line (no '='): {line}"))?;
+            match key {
+                "churn" => {
+                    for item in value.split(',') {
+                        let f = parse_fields(item, 3)?;
+                        plan.churn.push(Outage {
+                            node: f[0] as NodeId,
+                            down_at: f[1],
+                            up_at: f[2],
+                        });
+                    }
+                }
+                "lockup" => {
+                    for item in value.split(',') {
+                        let f = parse_fields(item, 3)?;
+                        plan.lockups.push(Lockup {
+                            node: f[0] as NodeId,
+                            at: f[1],
+                            until: f[2],
+                        });
+                    }
+                }
+                "ge" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 4 {
+                        return Err(format!("ge wants 4 fields: {value}"));
+                    }
+                    plan.gilbert_elliott = Some(GilbertElliott {
+                        step_ns: parse_u64(parts[0])?,
+                        p_enter_bad: parse_f64(parts[1])?,
+                        p_exit_bad: parse_f64(parts[2])?,
+                        bad_extra_loss_db: parse_f64(parts[3])?,
+                    });
+                }
+                "shadow" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    if parts.len() != 2 {
+                        return Err(format!("shadow wants 2 fields: {value}"));
+                    }
+                    plan.shadowing = Some(Shadowing {
+                        step_ns: parse_u64(parts[0])?,
+                        sigma_db: parse_f64(parts[1])?,
+                    });
+                }
+                "skew" => {
+                    for item in value.split(',') {
+                        let (node, ppm) = item
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad skew item: {item}"))?;
+                        plan.clock_skew_ppm.push((
+                            parse_u64(node)? as NodeId,
+                            ppm.parse::<i64>().map_err(|e| format!("{item}: {e}"))?,
+                        ));
+                    }
+                }
+                "corrupt_prob" => plan.corrupt_prob = parse_f64(value)?,
+                "dup_frame_prob" => plan.dup_frame_prob = parse_f64(value)?,
+                other => return Err(format!("unknown key: {other}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_fields(item: &str, want: usize) -> Result<Vec<u64>, String> {
+    let fields: Result<Vec<u64>, String> = item.split(':').map(parse_u64).collect();
+    let fields = fields?;
+    if fields.len() != want {
+        return Err(format!("expected {want} fields in {item}"));
+    }
+    Ok(fields)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|e| format!("{s}: {e}"))
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse::<f64>().map_err(|e| format!("{s}: {e}"))
+}
+
+/// One scheduled state change derived from a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    NodeDown(NodeId),
+    NodeUp(NodeId),
+    LockupStart(NodeId),
+    LockupEnd(NodeId),
+}
+
+/// Lazily-advanced per-link Gilbert–Elliott chain. Each link owns its RNG,
+/// so the chain's trajectory is independent of query order.
+#[derive(Debug)]
+struct GeChain {
+    rng: SmallRng,
+    step: u64,
+    bad: bool,
+}
+
+/// Runtime fault state owned by the world while a plan is installed.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub plan: FaultPlan,
+    /// Master-seed-derived salt for link-indexed randomness.
+    salt: u64,
+    n: usize,
+    /// Scheduled actions, time-ordered; index is carried by `Event::Fault`.
+    pub actions: Vec<(Time, FaultAction)>,
+    /// False while a node is crashed (MAC callbacks suppressed).
+    pub node_up: Vec<bool>,
+    /// Per-node clock skew in ppm (0 = nominal).
+    pub skew_ppm: Vec<i64>,
+    /// Dedicated stream for corruption/duplication draws.
+    pub corrupt_rng: SmallRng,
+    /// Per-link GE chains, created on first query.
+    ge_chains: BTreeMap<(NodeId, NodeId), GeChain>,
+    /// Last time each node's MAC got any callback (liveness watchdog).
+    pub last_dispatch: Vec<Time>,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan, seed: u64, n: usize) -> FaultState {
+        let mut actions: Vec<(Time, FaultAction)> = Vec::new();
+        for o in &plan.churn {
+            assert!(o.node < n, "churn node out of range");
+            assert!(o.down_at < o.up_at, "outage must end after it starts");
+            actions.push((o.down_at, FaultAction::NodeDown(o.node)));
+            actions.push((o.up_at, FaultAction::NodeUp(o.node)));
+        }
+        for l in &plan.lockups {
+            assert!(l.node < n, "lockup node out of range");
+            assert!(l.at < l.until, "lockup must end after it starts");
+            actions.push((l.at, FaultAction::LockupStart(l.node)));
+            actions.push((l.until, FaultAction::LockupEnd(l.node)));
+        }
+        // Stable sort by time: equal-time actions apply in plan order.
+        actions.sort_by_key(|&(t, _)| t);
+        let mut skew_ppm = vec![0i64; n];
+        for &(node, ppm) in &plan.clock_skew_ppm {
+            assert!(node < n, "skew node out of range");
+            skew_ppm[node] = ppm;
+        }
+        FaultState {
+            salt: crate::rng::derive_seed(seed, STREAM_GE_BASE - 1),
+            n,
+            actions,
+            node_up: vec![true; n],
+            skew_ppm,
+            corrupt_rng: stream_rng(seed, STREAM_CORRUPT),
+            ge_chains: BTreeMap::new(),
+            last_dispatch: vec![0; n],
+            plan,
+        }
+    }
+
+    /// Symmetric link key (faults hit both directions alike).
+    fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Total extra attenuation (dB, >= 0 means loss) for a frame from `tx`
+    /// arriving at `rx` at time `now`.
+    pub fn link_offset_db(&mut self, tx: NodeId, rx: NodeId, now: Time) -> f64 {
+        let mut db = 0.0;
+        let key = Self::link_key(tx, rx);
+        let link_index = (key.0 * self.n + key.1) as u64;
+        if let Some(ge) = self.plan.gilbert_elliott {
+            let step = now / ge.step_ns.max(1);
+            let chain = self.ge_chains.entry(key).or_insert_with(|| GeChain {
+                rng: stream_rng(self.salt, STREAM_GE_BASE + link_index),
+                step: 0,
+                bad: false,
+            });
+            while chain.step < step {
+                let p = if chain.bad {
+                    ge.p_exit_bad
+                } else {
+                    ge.p_enter_bad
+                };
+                if chain.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    chain.bad = !chain.bad;
+                }
+                chain.step += 1;
+            }
+            if chain.bad {
+                db -= ge.bad_extra_loss_db;
+            }
+        }
+        if let Some(sh) = self.plan.shadowing {
+            let step = now / sh.step_ns.max(1);
+            // Stateless: the offset for (link, step) is a pure function of
+            // the salt, so it is identical however often it is queried.
+            let mut rng = stream_rng(
+                self.salt ^ STREAM_SHADOW_BASE,
+                link_index
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(step),
+            );
+            db += normal(&mut rng, 0.0, sh.sigma_db);
+        }
+        db
+    }
+
+    /// Stretch a timer delay by the node's clock skew.
+    pub fn skew_delay(&self, node: NodeId, delay: Time) -> Time {
+        let ppm = self.skew_ppm[node];
+        if ppm == 0 {
+            return delay;
+        }
+        let extra = (i128::from(delay) * i128::from(ppm)) / 1_000_000;
+        (i128::from(delay) + extra).max(0) as Time
+    }
+}
+
+/// Invariant watchdog configuration: how often to audit and how long a MAC
+/// with pending data may go without any callback before it counts as
+/// stalled. 2 s comfortably exceeds the longest legitimate quiet period
+/// (CMAP's retransmission wait tops out near 0.5 s).
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Interval between audits.
+    pub audit_period: Time,
+    /// Quiet period after which a node with data counts as stalled.
+    pub liveness_window: Time,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            audit_period: crate::time::millis(500),
+            liveness_window: crate::time::secs(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{millis, secs};
+
+    #[test]
+    fn spec_round_trips() {
+        for (_, plan) in FaultPlan::canonical(6, secs(10)) {
+            let spec = plan.to_spec();
+            let back = FaultPlan::from_spec(&spec).expect("parse");
+            assert_eq!(plan, back, "spec:\n{spec}");
+        }
+        // Clean plan: empty spec, parses back to clean.
+        assert_eq!(FaultPlan::clean().to_spec(), "");
+        assert!(FaultPlan::from_spec("").unwrap().is_clean());
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(FaultPlan::from_spec("nonsense").is_err());
+        assert!(FaultPlan::from_spec("mystery=1").is_err());
+        assert!(FaultPlan::from_spec("ge=1:2").is_err());
+        assert!(FaultPlan::from_spec("churn=0:5").is_err());
+    }
+
+    #[test]
+    fn actions_sorted_by_time() {
+        let plan = FaultPlan::churn_heavy(4, secs(10));
+        let fs = FaultState::new(plan, 7, 4);
+        for w in fs.actions.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(fs.actions.len(), 8); // down + up per node
+    }
+
+    #[test]
+    fn ge_chain_is_query_order_independent() {
+        let plan = FaultPlan::bursty_channel();
+        let t = secs(3);
+        // Query link (0,1) directly at t…
+        let mut a = FaultState::new(plan.clone(), 9, 4);
+        let direct = a.link_offset_db(0, 1, t);
+        // …vs. stepping through many intermediate queries first.
+        let mut b = FaultState::new(plan, 9, 4);
+        for ms in (0..3000).step_by(7) {
+            let _ = b.link_offset_db(2, 3, millis(ms));
+            let _ = b.link_offset_db(0, 1, millis(ms));
+        }
+        let stepped = b.link_offset_db(0, 1, t);
+        assert!((direct - stepped).abs() < 1e-12, "{direct} vs {stepped}");
+        // Symmetric: (1,0) matches (0,1).
+        let sym = b.link_offset_db(1, 0, t);
+        assert!((stepped - sym).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ge_chain_visits_bad_state() {
+        let mut fs = FaultState::new(FaultPlan::bursty_channel(), 11, 2);
+        let mut bad_steps = 0;
+        for ms in 0..5000 {
+            // Shadowing contributes ±sigma; the GE bad state is -25 dB, so
+            // anything below -10 dB means the chain is bad.
+            if fs.link_offset_db(0, 1, millis(ms)) < -10.0 {
+                bad_steps += 1;
+            }
+        }
+        assert!(bad_steps > 50, "chain never went bad: {bad_steps}");
+        assert!(bad_steps < 4000, "chain stuck bad: {bad_steps}");
+    }
+
+    #[test]
+    fn skew_stretches_delays() {
+        let plan = FaultPlan {
+            clock_skew_ppm: vec![(0, 150), (1, -150)],
+            ..FaultPlan::default()
+        };
+        let fs = FaultState::new(plan, 1, 3);
+        let d = secs(1);
+        assert_eq!(fs.skew_delay(0, d), d + 150_000); // +150 us per second
+        assert_eq!(fs.skew_delay(1, d), d - 150_000);
+        assert_eq!(fs.skew_delay(2, d), d); // no skew configured
+    }
+
+    #[test]
+    fn canonical_plans_are_distinct_and_nontrivial() {
+        let plans = FaultPlan::canonical(4, secs(10));
+        assert_eq!(plans.len(), 3);
+        for (name, plan) in &plans {
+            assert!(!plan.is_clean(), "{name} is empty");
+        }
+        assert_ne!(plans[0].1, plans[1].1);
+        assert_ne!(plans[1].1, plans[2].1);
+    }
+}

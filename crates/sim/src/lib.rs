@@ -9,9 +9,12 @@
 //!   capture, SINR-segmented reception grading and 802.11-style CCA,
 //! * a [`Mac`] trait that link layers (`cmap-core`, `cmap-mac80211`)
 //!   implement, with all effects funnelled through [`NodeCtx`],
-//! * saturated and relay application [`app`] flows, and
+//! * saturated and relay application [`app`] flows,
 //! * run statistics ([`stats`]): windowed per-flow throughput, virtual-packet
-//!   header/trailer reception bookkeeping, and named counters.
+//!   header/trailer reception bookkeeping, and named counters, and
+//! * deterministic fault injection ([`faults`]): node churn, radio lockups,
+//!   Gilbert–Elliott burst loss, stepped shadowing, clock skew and frame
+//!   corruption, plus a runtime invariant watchdog.
 //!
 //! Runs are bit-deterministic for a given (topology, MACs, seed): every
 //! random draw derives from the master seed via per-node streams.
@@ -33,6 +36,7 @@
 pub mod app;
 pub mod config;
 pub mod event;
+pub mod faults;
 pub mod mac;
 pub mod medium;
 pub mod radio;
@@ -43,6 +47,7 @@ pub mod world;
 
 pub use app::AppPacket;
 pub use config::PhyConfig;
+pub use faults::{FaultPlan, GilbertElliott, Lockup, Outage, Shadowing, WatchdogConfig};
 pub use mac::{Mac, NodeCtx, NullMac, RxErrorInfo, RxInfo};
 pub use medium::Medium;
 pub use radio::RadioPhase;

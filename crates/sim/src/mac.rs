@@ -51,6 +51,15 @@ pub trait Mac {
     /// Called once when the world starts; set initial timers here.
     fn on_start(&mut self, ctx: &mut NodeCtx<'_>);
 
+    /// The node crashed and came back (fault injection): volatile protocol
+    /// state is gone. Implementations must reset to a clean boot state *and
+    /// keep ignoring stale timer tokens from before the crash* (timers
+    /// scheduled pre-crash may still fire afterwards). The default restarts
+    /// via [`Mac::on_start`], which suits stateless MACs.
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_>) {
+        self.on_start(ctx);
+    }
+
     /// A timer set via [`NodeCtx::set_timer`] fired. Late or superseded
     /// timers are delivered too — MACs ignore stale tokens.
     fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
@@ -105,6 +114,9 @@ pub struct NodeCtx<'a> {
     pub(crate) mac_addr: MacAddr,
     pub(crate) abort_rx_on_tx: bool,
     pub(crate) tx_requested: bool,
+    /// False while the radio is disabled by fault injection (lockup):
+    /// transmit attempts fail, mirroring a wedged front-end.
+    pub(crate) radio_ok: bool,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) app: &'a mut NodeApp,
     pub(crate) flows: &'a mut [Flow],
@@ -164,11 +176,12 @@ impl NodeCtx<'_> {
     ///
     /// Returns `false` (and does nothing) if the radio is already
     /// transmitting, if a transmission was already requested in this
-    /// callback, or if the radio is mid-reception and the PHY is configured
-    /// not to abort receptions. On success the radio transmits immediately;
+    /// callback, if the radio is disabled by fault injection, or if the
+    /// radio is mid-reception and the PHY is configured not to abort
+    /// receptions. On success the radio transmits immediately;
     /// [`Mac::on_tx_done`] fires when the frame leaves the air.
     pub fn transmit(&mut self, frame: Frame, rate: Rate) -> bool {
-        if self.tx_requested || self.phase == RadioPhase::Transmitting {
+        if self.tx_requested || self.phase == RadioPhase::Transmitting || !self.radio_ok {
             return false;
         }
         if self.phase == RadioPhase::Receiving && !self.abort_rx_on_tx {

@@ -87,6 +87,13 @@ impl Medium {
         mw_to_dbm(self.rss_mw(tx, rx))
     }
 
+    /// Received power in mW with a time-varying dB offset applied on top of
+    /// the frozen gain — the fault-injection hook for Gilbert–Elliott burst
+    /// loss and stepped shadowing (negative offset = extra loss).
+    pub fn rss_mw_with_db_offset(&self, tx: NodeId, rx: NodeId, offset_db: f64) -> f64 {
+        self.rss_mw(tx, rx) * cmap_phy::units::db_to_ratio(offset_db)
+    }
+
     /// Propagation delay from `tx` to `rx` in nanoseconds.
     pub fn delay_ns(&self, tx: NodeId, rx: NodeId) -> u64 {
         self.delay_ns[tx * self.n + rx]

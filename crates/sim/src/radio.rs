@@ -84,6 +84,9 @@ pub(crate) struct Radio {
     incoming: Vec<Incoming>,
     lock: Option<RxLock>,
     transmitting: Option<TxId>,
+    /// Powered off or wedged (fault injection): deaf, cannot transmit, and
+    /// reports carrier busy so MACs naturally hold off until recovery.
+    disabled: bool,
     /// Cached busy flag for edge-triggered carrier notifications.
     pub last_busy: bool,
     /// Receptions aborted because the MAC started transmitting over them.
@@ -116,8 +119,44 @@ impl Radio {
     /// preamble-detection threshold (which sits well below decode
     /// sensitivity — carrier sense hears further than data carries).
     pub fn busy(&self, phy: &PhyConfig) -> bool {
-        self.phase() != RadioPhase::Idle
+        // A disabled radio reads busy: a wedged front-end cannot report a
+        // clear channel, and the busy -> idle edge at recovery is what wakes
+        // carrier-waiting MACs back up.
+        self.disabled
+            || self.phase() != RadioPhase::Idle
             || self.energy_mw(None) >= dbm_to_mw(phy.cs_detect_dbm.min(phy.ed_threshold_dbm))
+    }
+
+    /// True while powered off or wedged by fault injection.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Fault injection: the radio goes deaf mid-whatever. Any reception in
+    /// progress is lost and tracked energies are forgotten (frames still on
+    /// the air when the radio recovers are not heard). A transmission
+    /// already started keeps its `transmitting` marker — the energy is
+    /// physically committed and `end_tx` still fires. Returns `true` if a
+    /// locked reception was dropped.
+    pub fn power_off(&mut self) -> bool {
+        self.disabled = true;
+        self.incoming.clear();
+        self.lock.take().is_some()
+    }
+
+    /// Fault injection: the radio comes back. Caller re-checks carrier
+    /// edges so MACs observe the busy -> idle recovery transition.
+    pub fn power_on(&mut self) {
+        self.disabled = false;
+    }
+
+    /// Watchdog: structural invariants that must hold between events.
+    /// Half-duplex (never locked while transmitting) and no reception
+    /// surviving a power-off.
+    pub fn invariants_ok(&self) -> bool {
+        // A lock may not coexist with transmitting (half-duplex) or with a
+        // disabled front-end (a dead radio cannot be decoding).
+        self.lock.is_none() || (self.transmitting.is_none() && !self.disabled)
     }
 
     /// True if the radio is locked on the given transmission.
@@ -134,6 +173,11 @@ impl Radio {
         phy: &PhyConfig,
         rng: &mut SmallRng,
     ) -> LockOutcome {
+        if self.disabled {
+            // Deaf: the energy is not even tracked (the matching frame_end
+            // finds nothing to remove).
+            return LockOutcome::Interference;
+        }
         let noise = phy.noise_mw();
         // Interference the new frame would see: everything already here.
         let interference_for_new = self.energy_mw(None);
@@ -228,19 +272,29 @@ impl Radio {
 
     /// The MAC starts transmitting. Any reception in progress is aborted
     /// (MadWifi-with-CS-disabled behaviour); the caller has already checked
-    /// the abort policy.
-    pub fn begin_tx(&mut self, tx_id: TxId) {
+    /// the abort policy. Returns `false` — refusing the transmission — on a
+    /// half-duplex violation (already transmitting), which the world records
+    /// as a watchdog violation instead of panicking.
+    #[must_use]
+    pub fn begin_tx(&mut self, tx_id: TxId) -> bool {
+        if self.transmitting.is_some() {
+            debug_assert!(false, "begin_tx while transmitting");
+            return false;
+        }
         if self.lock.take().is_some() {
             self.aborted_rx += 1;
         }
-        debug_assert!(self.transmitting.is_none(), "begin_tx while transmitting");
         self.transmitting = Some(tx_id);
+        true
     }
 
-    /// The transmission finished.
-    pub fn end_tx(&mut self) {
-        debug_assert!(self.transmitting.is_some(), "end_tx while not transmitting");
+    /// The transmission finished. Returns `false` if the radio was not
+    /// transmitting (a state-machine violation the world records).
+    pub fn end_tx(&mut self) -> bool {
+        let was = self.transmitting.is_some();
+        debug_assert!(was, "end_tx while not transmitting");
         self.transmitting = None;
+        was
     }
 }
 
@@ -383,7 +437,7 @@ mod tests {
     fn transmitting_radio_is_deaf() {
         let mut r = Radio::default();
         let mut rng = stream_rng(1, 7);
-        r.begin_tx(99);
+        assert!(r.begin_tx(99));
         assert_eq!(r.phase(), RadioPhase::Transmitting);
         assert_eq!(
             r.frame_start(1, mw(-50.0), 0, &phy(), &mut rng),
@@ -403,7 +457,7 @@ mod tests {
             r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
-        r.begin_tx(50);
+        assert!(r.begin_tx(50));
         assert_eq!(r.aborted_rx, 1);
         assert!(r.frame_end(1, 10_000).is_none());
     }
@@ -452,11 +506,125 @@ mod tests {
         let mut rng = stream_rng(1, 22);
         for tx in 0..3u64 {
             r.frame_start(tx, mw(-60.0), tx, &phy(), &mut rng);
-            r.begin_tx(100 + tx);
-            r.end_tx();
+            assert!(r.begin_tx(100 + tx));
+            assert!(r.end_tx());
             r.frame_end(tx, 50);
         }
         assert_eq!(r.aborted_rx, 3);
+    }
+
+    #[test]
+    fn power_off_drops_lock_and_deafens() {
+        let mut r = Radio::default();
+        let cfg = phy();
+        let mut rng = stream_rng(1, 30);
+        assert_eq!(
+            r.frame_start(1, mw(-60.0), 0, &cfg, &mut rng),
+            LockOutcome::Locked
+        );
+        assert!(r.power_off()); // a lock was dropped
+        assert!(r.is_disabled());
+        assert!(r.busy(&cfg)); // wedged radio reads busy
+        assert!(r.invariants_ok());
+        // Deaf: new frames are not even tracked.
+        assert_eq!(
+            r.frame_start(2, mw(-50.0), 10_000, &cfg, &mut rng),
+            LockOutcome::Interference
+        );
+        assert_eq!(r.energy_mw(None), 0.0);
+        // The dropped frame's end finds nothing.
+        assert!(r.frame_end(1, 20_000).is_none());
+        assert!(r.frame_end(2, 30_000).is_none());
+        r.power_on();
+        assert_eq!(r.phase(), RadioPhase::Idle);
+        assert!(!r.busy(&cfg));
+    }
+
+    /// Property (ISSUE 3 satellite): however a power-off/lockup interleaves
+    /// with receptions and a transmission, the radio returns to `Idle` with
+    /// zero tracked energy and intact invariants once every frame has ended
+    /// — no orphaned reservations survive the outage.
+    mod power_off_property {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Step {
+            Start(u64, f64),
+            End(u64),
+            BeginTx,
+            EndTx,
+            PowerOff,
+            PowerOn,
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn always_returns_to_idle(
+                frames in prop::collection::vec(
+                    (-90.0f64..-50.0, 0u64..100_000, 1_000u64..200_000),
+                    1..12,
+                ),
+                cut in 0u64..250_000,
+                do_tx in any::<bool>(),
+                tx_at in 0u64..150_000,
+                seed in any::<u64>(),
+            ) {
+                let cfg = phy();
+                let mut rng = stream_rng(seed, 1);
+                let mut steps: Vec<(u64, u8, Step)> = Vec::new();
+                for (id, &(dbm, start, len)) in frames.iter().enumerate() {
+                    let id = id as u64;
+                    steps.push((start, 2, Step::Start(id, mw(dbm))));
+                    steps.push((start + len, 0, Step::End(id)));
+                }
+                if do_tx {
+                    steps.push((tx_at, 3, Step::BeginTx));
+                    steps.push((tx_at + 50_000, 1, Step::EndTx));
+                }
+                steps.push((cut, 4, Step::PowerOff));
+                steps.push((cut + 60_000, 5, Step::PowerOn));
+                // Deterministic order: time, then a fixed kind rank.
+                steps.sort_by_key(|&(t, rank, _)| (t, rank));
+
+                let mut r = Radio::default();
+                let mut tx_live = false;
+                for &(t, _, step) in &steps {
+                    match step {
+                        Step::Start(id, p) => {
+                            let _ = r.frame_start(id, p, t, &cfg, &mut rng);
+                        }
+                        Step::End(id) => {
+                            let _ = r.frame_end(id, t);
+                        }
+                        // Mirror the world: no tx attempt on a dead radio.
+                        Step::BeginTx => {
+                            if !r.is_disabled() && r.begin_tx(1000) {
+                                tx_live = true;
+                            }
+                        }
+                        Step::EndTx => {
+                            if tx_live {
+                                prop_assert!(r.end_tx());
+                                tx_live = false;
+                            }
+                        }
+                        Step::PowerOff => {
+                            let _ = r.power_off();
+                            prop_assert_eq!(r.energy_mw(None), 0.0);
+                        }
+                        Step::PowerOn => r.power_on(),
+                    }
+                    prop_assert!(r.invariants_ok(), "invariants at t={}", t);
+                }
+                prop_assert!(!tx_live);
+                prop_assert_eq!(r.phase(), RadioPhase::Idle);
+                prop_assert_eq!(r.energy_mw(None), 0.0);
+                prop_assert!(!r.busy(&cfg));
+            }
+        }
     }
 
     #[test]
@@ -466,7 +634,7 @@ mod tests {
         let mut rng = stream_rng(1, 9);
         assert!(!r.busy(&cfg));
         // A strong but unlockable situation: transmitting + loud frame.
-        r.begin_tx(1);
+        assert!(r.begin_tx(1));
         assert!(r.busy(&cfg));
         r.frame_start(2, mw(-50.0), 0, &cfg, &mut rng);
         r.end_tx();

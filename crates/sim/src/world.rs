@@ -18,6 +18,7 @@ use rand::Rng;
 use crate::app::NodeApp;
 use crate::config::PhyConfig;
 use crate::event::{Event, Scheduler, TxId};
+use crate::faults::{FaultAction, FaultPlan, FaultState, WatchdogConfig};
 use crate::mac::{Mac, NodeCtx, NullMac, Op, RxErrorInfo, RxInfo};
 use crate::medium::Medium;
 use crate::radio::{LockOutcome, Radio, RadioPhase, RxCompletion};
@@ -87,6 +88,10 @@ pub struct World {
     next_tx_id: TxId,
     stats: Stats,
     started: bool,
+    seed: u64,
+    /// Installed fault plan runtime state, if any.
+    faults: Option<Box<FaultState>>,
+    watchdog: WatchdogConfig,
     /// Recycled op buffers for MAC dispatch (dispatch can nest).
     ops_pool: Vec<Vec<Op>>,
 }
@@ -111,8 +116,52 @@ impl World {
             stats: Stats::default(),
             medium,
             started: false,
+            seed,
+            faults: None,
+            watchdog: WatchdogConfig::default(),
             ops_pool: Vec::new(),
         }
+    }
+
+    /// Install a fault plan (and arm the invariant watchdog). Must be
+    /// called before [`World::start`]. All fault randomness derives from
+    /// the world seed via dedicated streams, so the per-node RNG streams —
+    /// and therefore any fault-free parts of the run — are unperturbed.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        assert!(!self.started, "install_faults after start");
+        self.faults = Some(Box::new(FaultState::new(
+            plan,
+            self.seed,
+            self.medium.len(),
+        )));
+    }
+
+    /// Override the watchdog cadence (before [`World::start`]).
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        assert!(!self.started, "set_watchdog after start");
+        self.watchdog = cfg;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|f| &f.plan)
+    }
+
+    /// Transmissions whose records are still held (in-flight frames). Must
+    /// drain to ~zero when the air clears; the chaos soak asserts this.
+    pub fn inflight_tx_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Total invariant-watchdog violations recorded so far (all
+    /// `watchdog.*` counters summed). Zero on a healthy run, faults or not.
+    pub fn watchdog_violations(&self) -> u64 {
+        self.stats
+            .counters_sorted()
+            .iter()
+            .filter(|(name, _)| name.starts_with("watchdog."))
+            .map(|&(_, v)| v)
+            .sum()
     }
 
     /// Number of nodes.
@@ -218,6 +267,15 @@ impl World {
         assert!(!self.started, "world already started");
         self.started = true;
         self.stats.ensure_flows(self.flows.len());
+        // Fault actions and watchdog audits are only scheduled when a plan
+        // is installed, so clean runs see an unchanged event stream.
+        if let Some(f) = self.faults.as_deref() {
+            for (idx, &(at, _)) in f.actions.iter().enumerate() {
+                self.sched.schedule(at, Event::Fault { idx: idx as u32 });
+            }
+            self.sched
+                .schedule(self.watchdog.audit_period, Event::Audit);
+        }
         for node in 0..self.node_count() {
             self.dispatch(node, |mac, ctx| mac.on_start(ctx));
             self.check_channel_edge(node);
@@ -235,8 +293,13 @@ impl World {
                 break;
             }
             let (at, ev) = self.sched.pop().expect("peeked");
-            debug_assert!(at >= self.time, "time went backwards");
-            self.time = at;
+            if at < self.time {
+                // Event-time monotonicity violation: the watchdog records
+                // it and the clock holds instead of running backwards.
+                self.stats.bump("watchdog.time_regress");
+            } else {
+                self.time = at;
+            }
             self.handle_event(ev);
         }
         self.time = t;
@@ -248,14 +311,23 @@ impl World {
                 self.dispatch(node, |mac, ctx| mac.on_timer(ctx, token));
                 self.check_channel_edge(node);
             }
-            Event::TxEnd { node } => {
-                self.radios[node].end_tx();
+            Event::TxEnd { node, tx_id } => {
+                if !self.radios[node].end_tx() {
+                    self.stats.bump("watchdog.radio_state");
+                }
+                self.release_tx(tx_id);
                 self.dispatch(node, |mac, ctx| mac.on_tx_done(ctx));
                 self.check_channel_edge(node);
             }
             Event::FrameStart { rx, tx_id } => {
                 let src = self.txs[&tx_id].node;
-                let base_mw = self.medium.rss_mw(src, rx);
+                let base_mw = match self.faults.as_deref_mut() {
+                    Some(f) => {
+                        let offset_db = f.link_offset_db(src, rx, self.time);
+                        self.medium.rss_mw_with_db_offset(src, rx, offset_db)
+                    }
+                    None => self.medium.rss_mw(src, rx),
+                };
                 let boost = if self.phy.fading_boost_prob > 0.0
                     && self.rngs[rx].gen_bool(self.phy.fading_boost_prob)
                 {
@@ -286,7 +358,74 @@ impl World {
                 self.release_tx(tx_id);
                 self.check_channel_edge(rx);
             }
+            Event::Fault { idx } => self.handle_fault(idx),
+            Event::Audit => self.handle_audit(),
         }
+    }
+
+    fn handle_fault(&mut self, idx: u32) {
+        let f = self.faults.as_deref().expect("fault event without plan");
+        let (_, action) = f.actions[idx as usize];
+        match action {
+            FaultAction::NodeDown(node) => {
+                if self.radios[node].power_off() {
+                    self.stats.bump("fault.rx_dropped");
+                }
+                self.faults.as_deref_mut().expect("checked").node_up[node] = false;
+                self.stats.bump("fault.node_down");
+            }
+            FaultAction::NodeUp(node) => {
+                self.radios[node].power_on();
+                let f = self.faults.as_deref_mut().expect("checked");
+                f.node_up[node] = true;
+                f.last_dispatch[node] = self.time;
+                self.stats.bump("fault.node_up");
+                self.dispatch(node, |mac, ctx| mac.on_restart(ctx));
+                self.check_channel_edge(node);
+            }
+            FaultAction::LockupStart(node) => {
+                if self.radios[node].power_off() {
+                    self.stats.bump("fault.rx_dropped");
+                }
+                self.stats.bump("fault.lockup");
+                // The MAC keeps running and observes carrier stuck busy.
+                self.check_channel_edge(node);
+            }
+            FaultAction::LockupEnd(node) => {
+                self.radios[node].power_on();
+                self.stats.bump("fault.lockup_end");
+                // Busy -> idle recovery edge wakes carrier-waiting MACs.
+                self.check_channel_edge(node);
+            }
+        }
+    }
+
+    fn handle_audit(&mut self) {
+        for node in 0..self.node_count() {
+            if !self.radios[node].invariants_ok() {
+                self.stats.bump("watchdog.radio_state");
+            }
+        }
+        // MAC liveness: an up node with pending data must have had *some*
+        // callback within the window (the longest legitimate quiet period —
+        // CMAP's retransmission wait — tops out near 0.5 s).
+        let mut stalled = 0u64;
+        if let Some(f) = self.faults.as_deref() {
+            for node in 0..self.node_count() {
+                if f.node_up[node]
+                    && self.time.saturating_sub(f.last_dispatch[node])
+                        > self.watchdog.liveness_window
+                    && self.apps[node].has_data(&self.flows)
+                {
+                    stalled += 1;
+                }
+            }
+        }
+        if stalled > 0 {
+            self.stats.add("watchdog.stalled", stalled);
+        }
+        self.sched
+            .schedule(self.time + self.watchdog.audit_period, Event::Audit);
     }
 
     fn grade_and_deliver(&mut self, rx: NodeId, c: RxCompletion) {
@@ -295,7 +434,20 @@ impl World {
         let frame = Arc::clone(&rec.frame);
         let p_success = grade_reception(&c, self.time, rate, rec.wire_len, &self.phy);
         let rss_dbm = mw_to_dbm(c.signal_mw);
-        if self.rngs[rx].gen_bool(p_success.clamp(0.0, 1.0)) {
+        let decoded = self.rngs[rx].gen_bool(p_success.clamp(0.0, 1.0));
+        // Fault injection: a decoded frame may be corrupted (CRC escape
+        // caught late) or delivered twice (duplication). Draws come from a
+        // dedicated stream and only when the plan asks, so fault-free runs
+        // consume no extra randomness.
+        let corrupted = decoded
+            && match self.faults.as_deref_mut() {
+                Some(f) if f.plan.corrupt_prob > 0.0 => f.corrupt_rng.gen_bool(f.plan.corrupt_prob),
+                _ => false,
+            };
+        if corrupted {
+            self.stats.bump("fault.corrupted");
+        }
+        if decoded && !corrupted {
             self.stats.bump("sim.rx_ok");
             let info = RxInfo {
                 rss_dbm,
@@ -304,6 +456,16 @@ impl World {
                 rate,
             };
             self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &frame, info));
+            let duplicated = match self.faults.as_deref_mut() {
+                Some(f) if f.plan.dup_frame_prob > 0.0 => {
+                    f.corrupt_rng.gen_bool(f.plan.dup_frame_prob)
+                }
+                _ => false,
+            };
+            if duplicated {
+                self.stats.bump("fault.dup_delivered");
+                self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &frame, info));
+            }
         } else {
             self.stats.bump("sim.rx_fail");
             let err = RxErrorInfo {
@@ -329,6 +491,15 @@ impl World {
     /// Run `f` against `node`'s MAC with a fresh context, then apply the
     /// operations it queued.
     fn dispatch<F: FnOnce(&mut dyn Mac, &mut NodeCtx<'_>)>(&mut self, node: NodeId, f: F) {
+        if let Some(fs) = self.faults.as_deref_mut() {
+            if !fs.node_up[node] {
+                // A crashed node's MAC gets no callbacks; pending timers
+                // from before the crash are swallowed here.
+                self.stats.bump("fault.dispatch_suppressed");
+                return;
+            }
+            fs.last_dispatch[node] = self.time;
+        }
         let mut mac = self.macs[node].take().expect("mac reentrancy");
         let mut ops: Vec<Op> = self.ops_pool.pop().unwrap_or_default();
         {
@@ -340,6 +511,7 @@ impl World {
                 mac_addr: MacAddr::from_node_index(node as u16),
                 abort_rx_on_tx: self.phy.abort_rx_on_tx,
                 tx_requested: false,
+                radio_ok: !self.radios[node].is_disabled(),
                 rng: &mut self.rngs[node],
                 app: &mut self.apps[node],
                 flows: &mut self.flows,
@@ -361,8 +533,15 @@ impl World {
         // transmit attempt fails cleanly instead of double-transmitting.
         for op in ops.iter() {
             if let Op::Timer { at, token } = op {
+                // Clock-skew fault: this node's timer delays stretch by its
+                // configured ppm (frame timing is unaffected — skew models
+                // the MAC's oscillator, not the medium).
+                let at = match self.faults.as_deref() {
+                    Some(f) => self.time + f.skew_delay(node, at.saturating_sub(self.time)),
+                    None => *at,
+                };
                 self.sched.schedule(
-                    *at,
+                    at,
                     Event::Timer {
                         node,
                         token: *token,
@@ -390,6 +569,13 @@ impl World {
     }
 
     fn start_tx(&mut self, node: NodeId, frame: Frame, rate: Rate) {
+        if self.radios[node].is_disabled() {
+            // `NodeCtx::transmit` already gates on this; belt-and-braces so
+            // a fault landing between callback and apply can't raise a dead
+            // node's antenna.
+            self.stats.bump("fault.tx_blocked");
+            return;
+        }
         debug_assert!(
             self.radios[node].phase() != RadioPhase::Transmitting,
             "start_tx while transmitting"
@@ -406,14 +592,21 @@ impl World {
         let airtime = rate.frame_airtime_ns(wire_len);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        self.radios[node].begin_tx(tx_id);
+        if !self.radios[node].begin_tx(tx_id) {
+            // Half-duplex violation: refuse the transmission and record it
+            // rather than corrupting the radio state machine.
+            self.stats.bump("watchdog.half_duplex");
+            return;
+        }
         // No notification for our own busy edge: the MAC knows it started
         // transmitting. Keep the cached flag consistent so the TxEnd edge
         // (busy -> idle) is seen.
         self.radios[node].last_busy = self.radios[node].busy(&self.phy);
 
         let end = self.time + airtime;
-        self.sched.schedule(end, Event::TxEnd { node });
+        self.sched.schedule(end, Event::TxEnd { node, tx_id });
+        // One release per receiver FrameEnd plus one for our own TxEnd —
+        // the record drains exactly when the air is clear everywhere.
         let mut ends = 1;
         let (sched, medium, now) = (&mut self.sched, &self.medium, self.time);
         for &rx in medium.reachable(node) {
@@ -833,6 +1026,152 @@ mod tests {
         let sn = w.mac_ref(1).as_any().downcast_ref::<Sniffer>().unwrap();
         // One busy edge per frame (~100 frames).
         assert!(sn.busy_edges >= 90, "{}", sn.busy_edges);
+    }
+
+    #[test]
+    fn tx_records_drain_when_the_air_clears() {
+        // Regression: TxEnd never released its share of the record, so one
+        // TxRecord (and its Arc<Frame>) leaked per transmission.
+        let mut w = strong_pair_world(13);
+        w.add_flow(0, 1, 256);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(1),
+                period: millis(2),
+                payload: 256,
+                sent: 0,
+            }),
+        );
+        w.set_mac(1, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        let sent = w
+            .mac_ref(0)
+            .as_any()
+            .downcast_ref::<Blaster>()
+            .unwrap()
+            .sent;
+        assert!(sent > 400, "{sent}");
+        // At most the final frame can still be in flight.
+        assert!(w.inflight_tx_count() <= 1, "{}", w.inflight_tx_count());
+    }
+
+    #[test]
+    fn churn_outage_silences_and_restarts_a_node() {
+        use crate::faults::{FaultPlan, Outage};
+        let run = |plan: Option<FaultPlan>| {
+            let mut w = strong_pair_world(21);
+            let flow = w.add_flow(0, 1, 100);
+            w.set_mac(
+                0,
+                Box::new(Blaster {
+                    dst: MacAddr::from_node_index(1),
+                    period: millis(2),
+                    payload: 100,
+                    sent: 0,
+                }),
+            );
+            w.set_mac(1, Box::new(Sniffer::default()));
+            if let Some(p) = plan {
+                w.install_faults(p);
+            }
+            w.run_until(crate::time::secs(1));
+            let during = w.stats().flow(flow).delivered_in(millis(300), millis(600));
+            let after = w
+                .stats()
+                .flow(flow)
+                .delivered_in(millis(600), crate::time::secs(1));
+            (during, after, w.watchdog_violations())
+        };
+        // Clean run delivers throughout.
+        let (clean_during, clean_after, v) = run(None);
+        assert!(clean_during > 100 && clean_after > 100);
+        assert_eq!(v, 0);
+        // Receiver down 300–600 ms: nothing delivered in the hole, full
+        // rate resumes after restart, and the watchdog stays quiet.
+        let plan = FaultPlan {
+            churn: vec![Outage {
+                node: 1,
+                down_at: millis(300),
+                up_at: millis(600),
+            }],
+            ..FaultPlan::default()
+        };
+        let (during, after, v) = run(Some(plan));
+        assert_eq!(during, 0, "deaf node still received");
+        assert!(after > 100, "node did not come back: {after}");
+        assert_eq!(v, 0, "watchdog violations");
+    }
+
+    #[test]
+    fn lockup_blocks_transmit_but_mac_survives() {
+        use crate::faults::{FaultPlan, Lockup};
+        let mut w = strong_pair_world(22);
+        let flow = w.add_flow(0, 1, 100);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(1),
+                period: millis(2),
+                payload: 100,
+                sent: 0,
+            }),
+        );
+        w.set_mac(1, Box::new(Sniffer::default()));
+        w.install_faults(FaultPlan {
+            lockups: vec![Lockup {
+                node: 0,
+                at: millis(300),
+                until: millis(600),
+            }],
+            ..FaultPlan::default()
+        });
+        w.run_until(crate::time::secs(1));
+        // The Blaster's timer keeps firing during the lockup (transmit just
+        // fails), and sending resumes after recovery.
+        let during = w.stats().flow(flow).delivered_in(millis(310), millis(600));
+        let after = w
+            .stats()
+            .flow(flow)
+            .delivered_in(millis(600), crate::time::secs(1));
+        assert_eq!(during, 0, "wedged radio still transmitted");
+        assert!(after > 100, "radio did not recover: {after}");
+        assert_eq!(w.watchdog_violations(), 0);
+    }
+
+    #[test]
+    fn same_seed_fault_runs_are_identical() {
+        use crate::faults::FaultPlan;
+        let run = |seed| {
+            let phy = PhyConfig::default();
+            let medium = Medium::uniform(3, -70.0, &phy);
+            let mut w = World::new(medium, phy, seed);
+            let flow = w.add_flow(0, 2, 200);
+            w.set_mac(
+                0,
+                Box::new(Blaster {
+                    dst: MacAddr::from_node_index(2),
+                    period: millis(1),
+                    payload: 200,
+                    sent: 0,
+                }),
+            );
+            w.set_mac(2, Box::new(Sniffer::default()));
+            w.install_faults(FaultPlan::mixed(3, crate::time::secs(1)));
+            w.run_until(crate::time::secs(1));
+            assert_eq!(w.watchdog_violations(), 0);
+            (
+                w.stats().snapshot(),
+                w.events_processed(),
+                w.stats().flow(flow).arrivals.len(),
+            )
+        };
+        let a = run(31);
+        let b = run(31);
+        assert_eq!(a, b, "same-seed fault runs diverged");
+        assert!(a.2 > 100, "mixed plan killed the link: {}", a.2);
+        let c = run(32);
+        assert_ne!(a.0, c.0, "seed had no effect under faults");
     }
 
     #[test]

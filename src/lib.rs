@@ -68,7 +68,7 @@ pub mod prelude {
     pub use cmap_mac80211::{DcfConfig, DcfMac};
     pub use cmap_phy::Rate;
     pub use cmap_sim::time;
-    pub use cmap_sim::{Mac, Medium, NodeCtx, PhyConfig, World};
+    pub use cmap_sim::{FaultPlan, Mac, Medium, NodeCtx, PhyConfig, World};
     pub use cmap_topo::{LinkMeasurements, Testbed, TestbedParams};
     pub use cmap_wire::{Frame, MacAddr};
 }

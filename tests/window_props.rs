@@ -36,7 +36,7 @@ proptest! {
                 p
             }).collect();
             all_sent.extend(data.iter().map(|p| p.flow_seq));
-            w.push_sent(SentVpkt { dst, seq, pkts: data, acked: 0, sent_at: 0, rate: Rate::R6 });
+            w.push_sent(SentVpkt { dst, seq, pkts: data, acked: 0, sent_at: 0, rate: Rate::R6, rounds: 0 });
         }
 
         let mut acked_total = 0usize;
@@ -44,14 +44,16 @@ proptest! {
             let base = base_raw % (sizes.len() as u32 + 2);
             acked_total += w.on_ack(dst, base, &[bm, bm.rotate_left(7), bm ^ 0xFFFF]);
         }
-        let requeued = w.repack_for_rtx(32);
+        let (requeued, gave_up) = w.repack_for_rtx(32, u32::MAX);
+        prop_assert_eq!(gave_up, 0, "fresh vpkts never give up");
         prop_assert_eq!(acked_total + requeued, all_sent.len());
         prop_assert_eq!(w.outstanding(), 0);
 
         // Every requeued packet is one of the originals, no duplicates.
         let mut seen = std::collections::HashSet::new();
-        while let Some((d, pkts)) = w.pop_rtx() {
+        while let Some((d, pkts, rounds)) = w.pop_rtx() {
             prop_assert_eq!(d, dst);
+            prop_assert_eq!(rounds, 1);
             for p in pkts {
                 prop_assert!(seen.insert(p.flow_seq), "duplicate {}", p.flow_seq);
                 prop_assert!(all_sent.contains(&p.flow_seq));
@@ -94,6 +96,7 @@ proptest! {
             acked: 0,
             sent_at: 0,
             rate: Rate::R6,
+            rounds: 0,
         });
         let first = w.on_ack(dst, 0, &[bm]);
         let second = w.on_ack(dst, 0, &[bm]);
