@@ -6,156 +6,6 @@
 //! motivation), no interferer-list piggybacking on ACKs, and
 //! message-in-message capture disabled at the PHY.
 
-use cmap_bench::Cli;
-use cmap_core::{CmapConfig, CmapMac};
-use cmap_sim::time::secs;
-use cmap_sim::{Medium, PhyConfig, World};
-
-struct Scenario {
-    name: &'static str,
-    rss: Vec<(usize, usize, f64)>,
-}
-
-fn sym(v: &mut Vec<(usize, usize, f64)>, a: usize, b: usize, rss: f64) {
-    v.push((a, b, rss));
-    v.push((b, a, rss));
-}
-
-fn scenarios() -> Vec<Scenario> {
-    let mut exposed = Vec::new();
-    sym(&mut exposed, 0, 1, -60.0);
-    sym(&mut exposed, 2, 3, -60.0);
-    sym(&mut exposed, 0, 2, -75.0);
-    sym(&mut exposed, 0, 3, -93.0);
-    sym(&mut exposed, 2, 1, -93.0);
-    sym(&mut exposed, 1, 3, -95.0);
-    let mut conflicting = Vec::new();
-    sym(&mut conflicting, 0, 1, -60.0);
-    sym(&mut conflicting, 2, 3, -60.0);
-    sym(&mut conflicting, 0, 2, -65.0);
-    sym(&mut conflicting, 0, 3, -63.0);
-    sym(&mut conflicting, 2, 1, -63.0);
-    sym(&mut conflicting, 1, 3, -80.0);
-    let mut hidden = Vec::new();
-    sym(&mut hidden, 0, 1, -60.0);
-    sym(&mut hidden, 2, 3, -60.0);
-    sym(&mut hidden, 0, 3, -62.0);
-    sym(&mut hidden, 2, 1, -62.0);
-    sym(&mut hidden, 1, 3, -70.0);
-    vec![
-        Scenario {
-            name: "exposed",
-            rss: exposed,
-        },
-        Scenario {
-            name: "conflicting",
-            rss: conflicting,
-        },
-        Scenario {
-            name: "hidden",
-            rss: hidden,
-        },
-    ]
-}
-
-fn run(
-    rss: &[(usize, usize, f64)],
-    cfg: &CmapConfig,
-    phy: PhyConfig,
-    seed: u64,
-    dur_s: u64,
-) -> f64 {
-    let n = 4;
-    let mut gains = vec![f64::NEG_INFINITY; n * n];
-    for &(a, b, rss_dbm) in rss {
-        gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
-    }
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-    let mut w = World::new(medium, phy, seed);
-    let f1 = w.add_flow(0, 1, 1400);
-    let f2 = w.add_flow(2, 3, 1400);
-    for node in 0..n {
-        w.set_mac(node, Box::new(CmapMac::new(cfg.clone())));
-    }
-    w.run_until(secs(dur_s));
-    let from = secs(dur_s * 2 / 5);
-    w.stats().flow_throughput_mbps(f1, 1400, from, secs(dur_s))
-        + w.stats().flow_throughput_mbps(f2, 1400, from, secs(dur_s))
-}
-
 fn main() {
-    let cli = Cli::parse();
-    let dur = match cli.effort {
-        cmap_bench::Effort::Quick => 10,
-        cmap_bench::Effort::Standard => 25,
-        cmap_bench::Effort::Full => 60,
-    };
-    let variants: Vec<(&str, CmapConfig, PhyConfig)> = vec![
-        ("CMAP (full)", CmapConfig::default(), PhyConfig::default()),
-        (
-            "win=1",
-            CmapConfig::default().stop_and_wait(),
-            PhyConfig::default(),
-        ),
-        (
-            "no trailers",
-            CmapConfig::default().without_trailers(),
-            PhyConfig::default(),
-        ),
-        (
-            "no backoff",
-            CmapConfig::default().without_backoff(),
-            PhyConfig::default(),
-        ),
-        (
-            "no IL-in-ACKs",
-            CmapConfig {
-                il_in_acks: false,
-                ..CmapConfig::default()
-            },
-            PhyConfig::default(),
-        ),
-        (
-            "no MIM capture",
-            CmapConfig::default(),
-            PhyConfig {
-                mim_capture: false,
-                ..PhyConfig::default()
-            },
-        ),
-        (
-            "l_interf=0.25",
-            CmapConfig {
-                l_interf: 0.25,
-                ..CmapConfig::default()
-            },
-            PhyConfig::default(),
-        ),
-        (
-            "l_interf=0.75",
-            CmapConfig {
-                l_interf: 0.75,
-                ..CmapConfig::default()
-            },
-            PhyConfig::default(),
-        ),
-    ];
-    println!(
-        "Aggregate Mbit/s over two saturated pairs ({dur}s runs, seed {}):\n",
-        cli.seed
-    );
-    print!("{:<16}", "variant");
-    for s in scenarios() {
-        print!(" {:>12}", s.name);
-    }
-    println!();
-    for (name, cfg, phy) in &variants {
-        print!("{name:<16}");
-        for s in scenarios() {
-            let agg = run(&s.rss, cfg, phy.clone(), cli.seed ^ 0xAB1, dur);
-            print!(" {agg:>12.2}");
-        }
-        println!();
-    }
-    println!("\nReference points: single link ~5.4; perfect exposed concurrency ~10.7.");
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Ablations);
 }

@@ -1,23 +1,5 @@
 //! §4.2 calibration: single-link CMAP vs 802.11 throughput.
 
-use cmap_bench::{banner, Cli};
-use cmap_experiments::calibration;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(1);
-    banner(
-        "§4.2 — single-link calibration",
-        "CMAP 5.04 Mbit/s vs 802.11 5.07 Mbit/s at the 6 Mbit/s rate",
-        &spec,
-    );
-    let c = calibration::single_link(&spec);
-    println!(
-        "link {} -> {}: CMAP {:.2} Mbit/s | 802.11 (CS, acks) {:.2} Mbit/s | ratio {:.3}",
-        c.link.0,
-        c.link.1,
-        c.cmap_mbps,
-        c.dot11_mbps,
-        c.cmap_mbps / c.dot11_mbps
-    );
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Calib);
 }

@@ -7,164 +7,8 @@
 //! same fault plan — and stay bit-deterministic (same seed + same plan
 //! ⇒ byte-identical `Stats::snapshot()`).
 //!
-//! For every (plan, seed) this runs:
-//!   1. CMAP under the plan, twice (snapshots must match byte-for-byte),
-//!   2. 802.11 DCF under the same plan,
-//!   3. a clean CMAP reference run.
-//!
-//! Bounds asserted per plan (mean aggregate goodput across seeds):
-//!   * CMAP-under-faults ≥ 0.5 × DCF-under-faults,
-//!   * CMAP-under-faults ≥ 0.25 × CMAP-clean.
-//!
 //! Exits nonzero on any violation, so CI can gate on it.
 
-use cmap_bench::{mean, Cli, Effort};
-use cmap_core::{CmapConfig, CmapMac};
-use cmap_mac80211::{DcfConfig, DcfMac};
-use cmap_sim::time::{secs, Time};
-use cmap_sim::{FaultPlan, Medium, PhyConfig, World};
-
-/// CMAP goodput under a fault plan must stay within this factor of the
-/// DCF baseline under the *same* plan.
-const CMAP_VS_DCF_MIN: f64 = 0.5;
-/// ... and within this factor of the clean CMAP reference.
-const FAULT_VS_CLEAN_MIN: f64 = 0.25;
-
-const NODES: usize = 4;
-
-/// The Fig 12 exposed-terminal topology: two pairs that can (and should)
-/// run concurrently — the configuration where CMAP has the most to lose
-/// when its conflict map degrades.
-fn exposed_world(seed: u64) -> (World, Vec<u16>) {
-    let phy = PhyConfig::default();
-    let rss: &[(usize, usize, f64)] = &[
-        (0, 1, -60.0),
-        (2, 3, -60.0),
-        (0, 2, -75.0),
-        (0, 3, -93.0),
-        (2, 1, -93.0),
-        (1, 3, -95.0),
-    ];
-    let mut gains = vec![f64::NEG_INFINITY; NODES * NODES];
-    for &(a, b, rss_dbm) in rss {
-        gains[a * NODES + b] = rss_dbm - phy.tx_power_dbm;
-        gains[b * NODES + a] = rss_dbm - phy.tx_power_dbm;
-    }
-    let delays = vec![100u64; NODES * NODES];
-    let medium = Medium::from_gains_db(NODES, &gains, &delays, &phy);
-    let mut w = World::new(medium, phy, seed);
-    let f1 = w.add_flow(0, 1, 1400);
-    let f2 = w.add_flow(2, 3, 1400);
-    (w, vec![f1, f2])
-}
-
-enum Proto {
-    Cmap,
-    Dcf,
-}
-
-struct RunOut {
-    goodput: f64,
-    violations: u64,
-    snapshot: String,
-}
-
-fn run_one(proto: &Proto, plan: &FaultPlan, seed: u64, duration: Time) -> RunOut {
-    let (mut w, flows) = exposed_world(seed);
-    for n in 0..NODES {
-        match proto {
-            Proto::Cmap => w.set_mac(n, Box::new(CmapMac::new(CmapConfig::default()))),
-            Proto::Dcf => w.set_mac(n, Box::new(DcfMac::new(DcfConfig::status_quo()))),
-        }
-    }
-    if !plan.is_clean() {
-        w.install_faults(plan.clone());
-    }
-    w.run_until(duration);
-    let from = duration / 4;
-    let goodput = flows
-        .iter()
-        .map(|&f| {
-            w.stats()
-                .flow_throughput_mbps(f, w.flow(f).payload_len, from, duration)
-        })
-        .sum();
-    RunOut {
-        goodput,
-        violations: w.watchdog_violations(),
-        snapshot: w.stats().snapshot(),
-    }
-}
-
 fn main() {
-    let cli = Cli::parse();
-    let (duration, seeds) = match cli.effort {
-        Effort::Quick => (secs(4), 10),
-        Effort::Standard => (secs(8), 10),
-        Effort::Full => (secs(20), 25),
-    };
-    let seeds = cli.runs.unwrap_or(seeds);
-    let plans = FaultPlan::canonical(NODES, duration);
-    println!("==================================================================");
-    println!("chaos soak — exposed-terminal topology, {NODES} nodes");
-    println!(
-        "{} fault plans x {seeds} seeds, {:.0}s runs, base seed {}",
-        plans.len(),
-        duration as f64 / 1e9,
-        cli.seed,
-    );
-    println!(
-        "bounds: cmap/dcf >= {CMAP_VS_DCF_MIN}, fault/clean >= {FAULT_VS_CLEAN_MIN}; \
-         zero violations; byte-identical same-seed snapshots"
-    );
-    println!("------------------------------------------------------------------");
-
-    let mut failures = 0u32;
-    for (name, plan) in &plans {
-        let mut cmap_fault = Vec::new();
-        let mut dcf_fault = Vec::new();
-        let mut cmap_clean = Vec::new();
-        for i in 0..seeds {
-            let seed = cli.seed + i as u64;
-            let a = run_one(&Proto::Cmap, plan, seed, duration);
-            let b = run_one(&Proto::Cmap, plan, seed, duration);
-            let d = run_one(&Proto::Dcf, plan, seed, duration);
-            let c = run_one(&Proto::Cmap, &FaultPlan::clean(), seed, duration);
-            if a.snapshot != b.snapshot {
-                println!("FAIL [{name}] seed {seed}: same-seed snapshots differ");
-                failures += 1;
-            }
-            let viol = a.violations + b.violations + d.violations + c.violations;
-            if viol > 0 {
-                println!("FAIL [{name}] seed {seed}: {viol} watchdog violations");
-                failures += 1;
-            }
-            cmap_fault.push(a.goodput);
-            dcf_fault.push(d.goodput);
-            cmap_clean.push(c.goodput);
-        }
-        let (cf, df, cc) = (mean(&cmap_fault), mean(&dcf_fault), mean(&cmap_clean));
-        println!(
-            "[{name:>14}] cmap {cf:5.2} | dcf {df:5.2} | cmap-clean {cc:5.2} Mbit/s \
-             | cmap/dcf {:.2} | fault/clean {:.2}",
-            cf / df.max(1e-9),
-            cf / cc.max(1e-9),
-        );
-        if cf < CMAP_VS_DCF_MIN * df {
-            println!("FAIL [{name}]: cmap under faults {cf:.2} < {CMAP_VS_DCF_MIN} x dcf {df:.2}");
-            failures += 1;
-        }
-        if cf < FAULT_VS_CLEAN_MIN * cc {
-            println!(
-                "FAIL [{name}]: cmap under faults {cf:.2} < {FAULT_VS_CLEAN_MIN} x clean {cc:.2}"
-            );
-            failures += 1;
-        }
-    }
-    println!("------------------------------------------------------------------");
-    if failures > 0 {
-        println!("chaos soak: {failures} FAILURES");
-        std::process::exit(1);
-    }
-    println!("chaos soak: all invariants held");
+    cmap_bench::figures::figure_main(&cmap_bench::figures::ChaosSoak);
 }

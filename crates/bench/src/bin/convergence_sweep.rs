@@ -2,40 +2,6 @@
 //! vs. the interferer-list broadcast period (quantifying §7's "transient
 //! packet loss before conflict map entries converge").
 
-use cmap_bench::{banner, Cli};
-use cmap_experiments::convergence;
-use cmap_stats::mean;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(10);
-    banner(
-        "Convergence sweep (extension)",
-        "the paper notes transient loss before convergence but does not quantify it",
-        &spec,
-    );
-    let sweeps = convergence::sweep(&spec, &[250, 500, 1000, 2000, 4000]);
-    println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>10}",
-        "period ms", "conv rate", "mean conv s", "transient", "steady"
-    );
-    for s in &sweeps {
-        let conv: Vec<f64> = s.points.iter().filter_map(|p| p.converged_at_s).collect();
-        let transient: Vec<f64> = s.points.iter().map(|p| p.transient_mbps).collect();
-        let steady: Vec<f64> = s.points.iter().map(|p| p.steady_mbps).collect();
-        println!(
-            "{:>10} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
-            s.period_ms,
-            conv.len() as f64 / s.points.len() as f64,
-            if conv.is_empty() {
-                f64::NAN
-            } else {
-                mean(&conv)
-            },
-            mean(&transient),
-            mean(&steady),
-        );
-    }
-    println!("\nFaster broadcasts converge sooner; steady state is insensitive");
-    println!("(the ACK piggyback carries rule-1 entries regardless).");
+    cmap_bench::figures::figure_main(&cmap_bench::figures::ConvergenceSweep);
 }

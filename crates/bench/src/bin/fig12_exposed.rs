@@ -1,26 +1,5 @@
 //! Fig 12 (§5.2): exposed terminals — CMAP's headline 2x gain.
 
-use cmap_bench::{banner, median_of, medians_line, render_cdfs, Cli};
-use cmap_experiments::exposed;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(50);
-    banner(
-        "Fig 12 — exposed terminals",
-        "CMAP ~2x over CS; ~15% of pairs not truly exposed; win=1 only ~1.5x",
-        &spec,
-    );
-    let curves = exposed::fig12(&spec);
-    println!("{}", medians_line(&curves));
-    let cs = median_of(&curves, "CS, acks");
-    let cmap = median_of(&curves, "CMAP");
-    let win1 = median_of(&curves, "CMAP, win=1");
-    println!(
-        "median gain: CMAP/CS = {:.2}x (paper ~2x), win1/CS = {:.2}x (paper ~1.5x)",
-        cmap / cs,
-        win1 / cs
-    );
-    println!();
-    println!("{}", render_cdfs("Mbit/s", &curves, 0.0, 12.5, 26));
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig12);
 }

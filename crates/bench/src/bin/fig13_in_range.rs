@@ -1,18 +1,5 @@
 //! Fig 13 (§5.3): two senders in range — CMAP discriminates.
 
-use cmap_bench::{banner, medians_line, render_cdfs, Cli};
-use cmap_experiments::in_range;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(50);
-    banner(
-        "Fig 13 — two senders in range of each other",
-        "CMAP tracks CS-on where pairs conflict (~15%) and CS-off where concurrent wins (~18% tail)",
-        &spec,
-    );
-    let curves = in_range::fig13(&spec);
-    println!("{}", medians_line(&curves));
-    println!();
-    println!("{}", render_cdfs("Mbit/s", &curves, 0.0, 12.5, 26));
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig13);
 }

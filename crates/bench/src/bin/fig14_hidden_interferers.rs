@@ -1,31 +1,5 @@
 //! Fig 14 (§5.4): hidden-interferer scatter and the 0.896 expectation.
 
-use cmap_bench::{banner, Cli};
-use cmap_experiments::hidden;
-
 fn main() {
-    let cli = Cli::parse();
-    let mut spec = cli.spec(200);
-    if cli.effort == cmap_bench::Effort::Full {
-        spec.configs = cli.runs.unwrap_or(500); // the paper's 500 triples
-    }
-    banner(
-        "Fig 14 — hidden interferers",
-        "~8% of (link, interferer) samples in the hidden quadrant; expected CMAP normalised throughput ~0.90",
-        &spec,
-    );
-    let out = hidden::fig14(&spec);
-    println!(
-        "hidden-interferer fraction: {:.3} (paper ~0.08)",
-        out.hidden_fraction
-    );
-    println!(
-        "expected CMAP normalised throughput: {:.3} (paper 0.896)",
-        out.expected_cmap
-    );
-    println!();
-    println!("{:>10} {:>12}", "min PRR", "norm tput");
-    for p in &out.points {
-        println!("{:>10.3} {:>12.3}", p.min_prr, p.normalized);
-    }
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig14);
 }

@@ -1,21 +1,5 @@
 //! Fig 15 (§5.5): hidden terminals — CMAP's backoff avoids degradation.
 
-use cmap_bench::{banner, median_of, medians_line, render_cdfs, Cli};
-use cmap_experiments::hidden;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(50);
-    banner(
-        "Fig 15 — two senders out of range (hidden terminals)",
-        "CMAP comparable to the status quo; little mass above the single-pair rate",
-        &spec,
-    );
-    let curves = hidden::fig15(&spec);
-    println!("{}", medians_line(&curves));
-    let cs = median_of(&curves, "CS, acks");
-    let cmap = median_of(&curves, "CMAP");
-    println!("CMAP/CS median ratio: {:.2} (paper ~1.0)", cmap / cs);
-    println!();
-    println!("{}", render_cdfs("Mbit/s", &curves, 0.0, 12.5, 26));
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig15);
 }

@@ -1,39 +1,5 @@
 //! Fig 16 (§5.5): header-or-trailer vs header-only reception per vpkt.
 
-use cmap_bench::{banner, render_cdfs, Cli};
-use cmap_experiments::exposed::Curve;
-use cmap_experiments::header_trailer;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(25);
-    banner(
-        "Fig 16 — probability of receiving header and/or trailer",
-        "header-or-trailer beats header-only; the gap is largest out of range; in range the either-rate is ~1",
-        &spec,
-    );
-    let out = header_trailer::fig16(&spec);
-    let curves = vec![
-        Curve {
-            label: "In-range, header".into(),
-            samples: out.in_range_header,
-        },
-        Curve {
-            label: "In-range, hdr/trl".into(),
-            samples: out.in_range_either,
-        },
-        Curve {
-            label: "OoR, header".into(),
-            samples: out.out_of_range_header,
-        },
-        Curve {
-            label: "OoR, hdr/trl".into(),
-            samples: out.out_of_range_either,
-        },
-    ];
-    for c in &curves {
-        println!("{}: mean {:.3}", c.label, cmap_bench::mean(&c.samples));
-    }
-    println!();
-    println!("{}", render_cdfs("rate", &curves, 0.0, 1.0, 21));
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig16);
 }

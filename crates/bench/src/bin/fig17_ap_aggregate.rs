@@ -1,39 +1,8 @@
 //! Fig 17 (§5.6): AP topologies — aggregate throughput vs N.
-
-use cmap_bench::{banner, Cli, Effort};
-use cmap_experiments::ap;
-use cmap_stats::{mean, std_dev};
+//!
+//! Figs 17 and 18 share one `ap_sweep` run; both binaries wrap the
+//! combined `fig17_18_ap` registry entry.
 
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(10);
-    let per_n = match cli.effort {
-        Effort::Quick => 3,
-        _ => 10, // the paper's 10 experiments per N
-    };
-    banner(
-        "Fig 17 — N APs and N clients: mean aggregate throughput",
-        "CMAP +21% (N=3) to +47% (N=4) over CS-on",
-        &spec,
-    );
-    let out = ap::ap_sweep(&spec, 6, per_n);
-    println!("{:>4} {:>18} {:>10} {:>8}", "N", "protocol", "mean", "sd");
-    for (n, label, samples) in &out.aggregates {
-        println!(
-            "{n:>4} {label:>18} {:>10.2} {:>8.2}",
-            mean(samples),
-            std_dev(samples)
-        );
-    }
-    for n in 3..=6 {
-        let get = |l: &str| {
-            out.aggregates
-                .iter()
-                .find(|(on, ol, _)| *on == n && ol == l)
-                .map(|(_, _, s)| mean(s))
-        };
-        if let (Some(cs), Some(cmap)) = (get("CS, acks"), get("CMAP")) {
-            println!("N={n}: CMAP/CS = {:.2}x", cmap / cs);
-        }
-    }
+    cmap_bench::figures::figure_main(&cmap_bench::figures::ApFigure);
 }

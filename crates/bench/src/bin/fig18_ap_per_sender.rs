@@ -1,53 +1,8 @@
 //! Fig 18 (§5.6): per-sender throughput CDF across AP experiments.
-
-use cmap_bench::{banner, render_cdfs, Cli, Effort};
-use cmap_experiments::ap;
-use cmap_experiments::exposed::Curve;
-use cmap_stats::Cdf;
+//!
+//! Figs 17 and 18 share one `ap_sweep` run; both binaries wrap the
+//! combined `fig17_18_ap` registry entry.
 
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(10);
-    let per_n = match cli.effort {
-        Effort::Quick => 3,
-        _ => 10,
-    };
-    banner(
-        "Fig 18 — per-sender throughput in the AP experiments",
-        "CMAP raises the median per-sender throughput 1.8x (2.5 -> 4.6 Mbit/s)",
-        &spec,
-    );
-    let out = ap::ap_sweep(&spec, 6, per_n);
-    let curves: Vec<Curve> = out
-        .per_sender
-        .iter()
-        .map(|(l, s)| Curve {
-            label: l.clone(),
-            samples: s.clone(),
-        })
-        .collect();
-    for c in &curves {
-        println!(
-            "{}: median {:.2} Mbit/s",
-            c.label,
-            Cdf::new(c.samples.clone()).median()
-        );
-    }
-    let med = |l: &str| {
-        Cdf::new(
-            curves
-                .iter()
-                .find(|c| c.label == l)
-                .unwrap()
-                .samples
-                .clone(),
-        )
-        .median()
-    };
-    println!(
-        "CMAP/CS median ratio: {:.2}x (paper 1.8x)",
-        med("CMAP") / med("CS, acks")
-    );
-    println!();
-    println!("{}", render_cdfs("Mbit/s", &curves, 0.0, 6.0, 25));
+    cmap_bench::figures::figure_main(&cmap_bench::figures::ApFigure);
 }

@@ -1,30 +1,5 @@
 //! Fig 19 (§5.6): header-or-trailer reception vs number of concurrent senders.
 
-use cmap_bench::{banner, Cli, Effort};
-use cmap_experiments::header_trailer;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(10);
-    let per_k = match cli.effort {
-        Effort::Quick => 2,
-        _ => 5,
-    };
-    banner(
-        "Fig 19 — header-or-trailer reception vs concurrent senders",
-        "median stays high as concurrency grows; the 10th percentile drops sharply",
-        &spec,
-    );
-    let rows = header_trailer::fig19(&spec, per_k);
-    println!(
-        "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "senders", "mean", "median", "p10", "p25", "p75", "p90"
-    );
-    for r in &rows {
-        let s = &r.summary;
-        println!(
-            "{:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            r.senders, s.mean, s.median, s.p10, s.p25, s.p75, s.p90
-        );
-    }
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig19);
 }

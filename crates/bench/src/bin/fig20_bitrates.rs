@@ -1,29 +1,5 @@
 //! Fig 20 (§5.8): exposed terminals at 6, 12 and 18 Mbit/s.
 
-use cmap_bench::{banner, medians_line, render_cdfs, Cli};
-use cmap_experiments::exposed;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(25);
-    banner(
-        "Fig 20 — exposed terminals at higher bit-rates",
-        "CMAP keeps its gains at 12 and 18 Mbit/s; opportunities shrink as the SINR requirement grows",
-        &spec,
-    );
-    let curves = exposed::fig20(&spec);
-    println!("{}", medians_line(&curves));
-    for mbps in [6u64, 12, 18] {
-        let med = |l: String| {
-            curves
-                .iter()
-                .find(|c| c.label == l)
-                .map(|c| cmap_stats::Cdf::new(c.samples.clone()).median())
-        };
-        if let (Some(cs), Some(cmap)) = (med(format!("CS@{mbps}")), med(format!("CMAP@{mbps}"))) {
-            println!("@{mbps} Mbit/s: CMAP/CS = {:.2}x", cmap / cs);
-        }
-    }
-    println!();
-    println!("{}", render_cdfs("Mbit/s", &curves, 0.0, 25.0, 26));
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Fig20);
 }

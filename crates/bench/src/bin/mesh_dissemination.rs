@@ -1,25 +1,5 @@
 //! §5.7: two-hop content-dissemination mesh.
 
-use cmap_bench::{banner, Cli};
-use cmap_experiments::mesh;
-use cmap_stats::mean;
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = cli.spec(10);
-    banner(
-        "§5.7 — two-hop content dissemination mesh (S -> A1..A3 -> B1..B3)",
-        "CMAP +52% aggregate leaf throughput over CS-on across 10 topologies",
-        &spec,
-    );
-    let out = mesh::mesh(&spec, 3);
-    let mut means = std::collections::HashMap::new();
-    for (label, samples) in &out.aggregates {
-        println!("{label}: per-topology aggregates {samples:?}");
-        println!("{label}: mean {:.2} Mbit/s", mean(samples));
-        means.insert(label.clone(), mean(samples));
-    }
-    if let (Some(cs), Some(cmap)) = (means.get("CS, acks"), means.get("CMAP")) {
-        println!("CMAP/CS = {:.2}x (paper 1.52x)", cmap / cs);
-    }
+    cmap_bench::figures::figure_main(&cmap_bench::figures::Mesh);
 }

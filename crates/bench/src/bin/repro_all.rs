@@ -1,291 +1,88 @@
-//! Run every experiment of the evaluation and write a paper-vs-measured
-//! report (the contents of EXPERIMENTS.md's results section).
+//! Run every figure of the evaluation (the registry's repro subset) and
+//! write a paper-vs-measured report plus a machine-readable suite manifest.
 //!
 //! ```text
-//! cargo run --release -p cmap-bench --bin repro_all -- [--quick|--full] [--out PATH]
+//! cargo run --release -p cmap-bench --bin repro_all -- \
+//!     [--quick|--full] [--seed N] [--out PATH] [--json PATH]
 //! ```
+//!
+//! * stdout / `--out PATH`: the EXPERIMENTS-style text report,
+//! * `--json PATH` (default `BENCH_repro.json`): a `SuiteReport` with one
+//!   `RunReport` per figure, suite wall-clock, and an event-loop profile.
+//!
+//! The suite self-validates: every figure's report must contain its
+//! declared required metrics, and any figure failure makes the run exit
+//! nonzero — CI gates on both.
 
 use std::fmt::Write as _;
 
-use cmap_bench::{mean, median_of, render_cdfs, Cli, Effort};
-use cmap_experiments::exposed::Curve;
-use cmap_experiments::{ap, calibration, exposed, header_trailer, hidden, in_range, mesh};
-use cmap_stats::{std_dev, Cdf};
+use cmap_bench::figures::{profile_event_loop, registry, report_for, spec_block};
+use cmap_bench::Cli;
+use cmap_obs::{SuiteReport, TimingBlock};
 
 fn main() {
-    // --out is repro_all-specific; strip it before the common parser.
-    let mut out_path: Option<String> = None;
-    let mut rest = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--out" {
-            out_path = args.next();
-        } else {
-            rest.push(a);
-        }
-    }
-    // Re-inject remaining args for Cli::parse.
-    let cli = {
-        // Cli::parse reads the process args; emulate by a tiny local parse.
-        let mut effort = Effort::Standard;
-        let mut seed = 42u64;
-        let mut runs = None;
-        let mut it = rest.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--quick" => effort = Effort::Quick,
-                "--full" => effort = Effort::Full,
-                "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
-                "--runs" => runs = it.next().and_then(|v| v.parse().ok()),
-                other => {
-                    eprintln!("unknown flag {other}");
-                    std::process::exit(2);
-                }
-            }
-        }
-        Cli { effort, seed, runs }
-    };
+    let cli = Cli::parse();
+    let json_path = cli
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_repro.json".to_string());
 
     let mut report = String::new();
     // cmap-lint: allow(wall-clock) — progress timing of the harness itself; never feeds simulation state
     let t0 = std::time::Instant::now();
 
-    // §4.2 calibration.
-    {
-        let spec = cli.spec(1);
-        let c = calibration::single_link(&spec);
-        section(&mut report, "§4.2 single-link calibration");
-        wl(&mut report, format!(
-            "| single-link throughput | paper: CMAP 5.04 vs 802.11 5.07 Mbit/s | measured: CMAP {:.2} vs 802.11 {:.2} Mbit/s |",
-            c.cmap_mbps, c.dot11_mbps));
-        eprintln!("[{}s] calibration done", t0.elapsed().as_secs());
-    }
+    // The suite-level spec block: figures override configs/duration per
+    // entry, so only the seed/effort fields are meaningful here.
+    let mut suite_spec = spec_block(&cli, &cli.spec(0));
+    suite_spec.configs = 0;
+    let mut suite = SuiteReport::new("repro_all", suite_spec);
+    let mut failures: Vec<String> = Vec::new();
 
-    // Fig 12.
-    {
-        let spec = cli.spec(50);
-        let curves = exposed::fig12(&spec);
-        let cs = median_of(&curves, "CS, acks");
-        let cmap = median_of(&curves, "CMAP");
-        let win1 = median_of(&curves, "CMAP, win=1");
-        let blast = median_of(&curves, "CS off, no acks");
-        section(&mut report, "Fig 12 — exposed terminals");
-        wl(
-            &mut report,
-            format!(
-            "| median CMAP/CS gain | paper ~2x | measured {:.2}x (CS {:.2}, CMAP {:.2} Mbit/s) |",
-            cmap / cs, cs, cmap),
-        );
-        wl(
-            &mut report,
-            format!(
-            "| stop-and-wait ablation | paper: win=1 only ~1.5x | measured {:.2}x ({:.2} Mbit/s) |",
-            win1 / cs, win1),
-        );
-        wl(&mut report, format!(
-            "| CS-off-no-acks envelope | paper: ~15% of pairs not truly exposed | measured median {blast:.2} Mbit/s |"));
-        cdf_block(&mut report, "Mbit/s", &curves, 0.0, 12.5, 26);
-        eprintln!("[{}s] fig12 done", t0.elapsed().as_secs());
-    }
-
-    // Fig 13.
-    {
-        let spec = cli.spec(50);
-        let curves = in_range::fig13(&spec);
-        let cs = median_of(&curves, "CS, acks");
-        let cmap = median_of(&curves, "CMAP");
-        section(&mut report, "Fig 13 — two senders in range");
-        wl(&mut report, format!(
-            "| CMAP vs status quo on mixed pairs | paper: CMAP matches CS where pairs conflict, tracks CS-off where concurrency wins | measured medians: CS {:.2}, CMAP {:.2} Mbit/s |",
-            cs, cmap));
-        cdf_block(&mut report, "Mbit/s", &curves, 0.0, 12.5, 26);
-        eprintln!("[{}s] fig13 done", t0.elapsed().as_secs());
-    }
-
-    // Fig 14.
-    {
-        let mut spec = cli.spec(200);
-        if cli.effort == Effort::Full {
-            spec.configs = cli.runs.unwrap_or(500);
+    for fig in registry() {
+        if !fig.in_repro() {
+            continue;
         }
-        let out = hidden::fig14(&spec);
-        section(&mut report, "Fig 14 — hidden interferers");
-        wl(
-            &mut report,
-            format!(
-                "| hidden-interferer fraction | paper ~8% | measured {:.1}% |",
-                100.0 * out.hidden_fraction
-            ),
-        );
-        wl(
-            &mut report,
-            format!(
-                "| expected CMAP normalised throughput | paper 0.896 | measured {:.3} |",
-                out.expected_cmap
-            ),
-        );
-        eprintln!("[{}s] fig14 done", t0.elapsed().as_secs());
-    }
+        let spec = fig.spec(&cli);
+        // cmap-lint: allow(wall-clock) — per-figure wall timing for the report's timing block only
+        let f0 = std::time::Instant::now();
+        let out = fig.run(&cli);
+        let wall_secs = f0.elapsed().as_secs_f64();
 
-    // Fig 15.
-    {
-        let spec = cli.spec(50);
-        let curves = hidden::fig15(&spec);
-        let cs = median_of(&curves, "CS, acks");
-        let cmap = median_of(&curves, "CMAP");
-        section(&mut report, "Fig 15 — hidden terminals");
-        wl(&mut report, format!(
-            "| CMAP vs status quo | paper: comparable (backoff prevents degradation) | measured CMAP/CS = {:.2}x (CS {:.2}, CMAP {:.2} Mbit/s) |",
-            cmap / cs, cs, cmap));
-        cdf_block(&mut report, "Mbit/s", &curves, 0.0, 12.5, 26);
-        eprintln!("[{}s] fig15 done", t0.elapsed().as_secs());
-    }
-
-    // Fig 16.
-    {
-        let spec = cli.spec(25);
-        let out = header_trailer::fig16(&spec);
-        section(&mut report, "Fig 16 — header/trailer reception");
-        wl(
-            &mut report,
-            format!(
-                "| in-range either-rate | paper ~1 | measured mean {:.3} (header-only {:.3}) |",
-                mean(&out.in_range_either),
-                mean(&out.in_range_header)
-            ),
-        );
-        wl(&mut report, format!(
-            "| out-of-range either-rate | paper: trailer benefit largest here | measured mean {:.3} (header-only {:.3}) |",
-            mean(&out.out_of_range_either), mean(&out.out_of_range_header)));
-        eprintln!("[{}s] fig16 done", t0.elapsed().as_secs());
-    }
-
-    // Fig 17 + 18.
-    {
-        let spec = cli.spec(10);
-        let per_n = if cli.effort == Effort::Quick { 3 } else { 10 };
-        let out = ap::ap_sweep(&spec, 6, per_n);
-        section(&mut report, "Fig 17 — AP aggregate throughput");
-        for n in 3..=6 {
-            let get = |l: &str| {
-                out.aggregates
-                    .iter()
-                    .find(|(on, ol, _)| *on == n && ol == l)
-                    .map(|(_, _, s)| (mean(s), std_dev(s)))
-            };
-            if let (Some((cs, cs_sd)), Some((cmap, cmap_sd))) = (get("CS, acks"), get("CMAP")) {
-                wl(&mut report, format!(
-                    "| N={n} | paper: CMAP +21%..47% over CS | measured CS {:.2}±{:.2}, CMAP {:.2}±{:.2} Mbit/s ({:+.0}%) |",
-                    cs, cs_sd, cmap, cmap_sd, 100.0 * (cmap / cs - 1.0)));
-            }
+        let _ = writeln!(report, "\n### {}\n", fig.title());
+        report.push_str(&out.text);
+        for f in &out.failures {
+            let _ = writeln!(report, "FAIL: {f}");
         }
-        section(&mut report, "Fig 18 — per-sender throughput");
-        let med = |l: &str| {
-            out.per_sender
-                .iter()
-                .find(|(ol, _)| ol == l)
-                .map(|(_, s)| Cdf::new(s.clone()).median())
-                .unwrap_or(f64::NAN)
-        };
-        wl(&mut report, format!(
-            "| median per-sender throughput | paper: 2.5 -> 4.6 Mbit/s (1.8x) | measured CS {:.2} -> CMAP {:.2} Mbit/s ({:.2}x) |",
-            med("CS, acks"), med("CMAP"), med("CMAP") / med("CS, acks")));
-        let curves: Vec<Curve> = out
-            .per_sender
-            .iter()
-            .map(|(l, s)| Curve {
-                label: l.clone(),
-                samples: s.clone(),
-            })
-            .collect();
-        cdf_block(&mut report, "Mbit/s", &curves, 0.0, 6.0, 25);
-        eprintln!("[{}s] fig17/18 done", t0.elapsed().as_secs());
-    }
+        failures.extend(out.failures.iter().cloned());
 
-    // Fig 19.
-    {
-        let spec = cli.spec(10);
-        let per_k = if cli.effort == Effort::Quick { 2 } else { 5 };
-        let rows = header_trailer::fig19(&spec, per_k);
-        section(
-            &mut report,
-            "Fig 19 — header/trailer reception vs concurrency",
-        );
-        wl(
-            &mut report,
-            "| senders | mean | median | p10 | p90 | paper: median ~flat, p10 collapses |".into(),
-        );
-        for r in &rows {
-            let s = &r.summary;
-            wl(
-                &mut report,
-                format!(
-                    "| {} | {:.3} | {:.3} | {:.3} | {:.3} | |",
-                    r.senders, s.mean, s.median, s.p10, s.p90
-                ),
-            );
+        let r = report_for(&*fig, &cli, &spec, &out, Some(wall_secs));
+        if let Err(e) = r.validate(fig.required_metrics()) {
+            failures.push(e);
         }
-        eprintln!("[{}s] fig19 done", t0.elapsed().as_secs());
+        suite.figures.push(r);
+        eprintln!("[{}s] {} done", t0.elapsed().as_secs(), fig.name());
     }
 
-    // Fig 20.
-    {
-        let spec = cli.spec(25);
-        let curves = exposed::fig20(&spec);
-        section(&mut report, "Fig 20 — exposed terminals at 6/12/18 Mbit/s");
-        for mbps in [6u64, 12, 18] {
-            let med = |l: String| {
-                curves
-                    .iter()
-                    .find(|c| c.label == l)
-                    .map(|c| Cdf::new(c.samples.clone()).median())
-            };
-            if let (Some(cs), Some(cmap)) = (med(format!("CS@{mbps}")), med(format!("CMAP@{mbps}")))
-            {
-                wl(&mut report, format!(
-                    "| @{mbps} Mbit/s | paper: gains persist, opportunities shrink with rate | measured CS {:.2}, CMAP {:.2} ({:.2}x) |",
-                    cs, cmap, cmap / cs));
-            }
-        }
-        eprintln!("[{}s] fig20 done", t0.elapsed().as_secs());
-    }
-
-    // §5.7 mesh.
-    {
-        let spec = cli.spec(10);
-        let out = mesh::mesh(&spec, 3);
-        let get = |l: &str| {
-            out.aggregates
-                .iter()
-                .find(|(ol, _)| ol == l)
-                .map(|(_, s)| mean(s))
-                .unwrap_or(f64::NAN)
-        };
-        section(&mut report, "§5.7 — mesh content dissemination");
-        wl(&mut report, format!(
-            "| aggregate leaf throughput | paper: CMAP +52% over CS | measured CS {:.2}, CMAP {:.2} Mbit/s ({:+.0}%) |",
-            get("CS, acks"), get("CMAP"), 100.0 * (get("CMAP") / get("CS, acks") - 1.0)));
-        eprintln!("[{}s] mesh done", t0.elapsed().as_secs());
-    }
+    let profile = profile_event_loop();
+    eprint!("{}", profile.render_text());
+    suite.profile = Some(profile);
+    suite.timing = Some(TimingBlock {
+        wall_secs: t0.elapsed().as_secs_f64(),
+    });
 
     println!("{report}");
-    if let Some(path) = out_path {
-        std::fs::write(&path, &report).expect("write report");
-        eprintln!("report written to {path}");
+    if let Some(path) = &cli.out {
+        std::fs::write(path, &report).expect("write text report");
+        eprintln!("text report written to {path}");
     }
+    std::fs::write(&json_path, suite.to_json(true)).expect("write suite report");
+    eprintln!("suite report written to {json_path}");
     eprintln!("total: {}s", t0.elapsed().as_secs());
-}
 
-fn section(report: &mut String, title: &str) {
-    let _ = writeln!(report, "\n### {title}\n");
-}
-
-fn wl(report: &mut String, line: String) {
-    let _ = writeln!(report, "{line}");
-}
-
-fn cdf_block(report: &mut String, x: &str, curves: &[Curve], lo: f64, hi: f64, bins: usize) {
-    let _ = writeln!(report, "\n```");
-    let _ = write!(report, "{}", render_cdfs(x, curves, lo, hi, bins));
-    let _ = writeln!(report, "```");
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -1,51 +1,5 @@
 //! §5.1: the testbed's link population.
 
-use cmap_bench::Cli;
-use cmap_experiments::runner::{radio_env, Spec};
-use cmap_phy::Rate;
-use cmap_sim::PhyConfig;
-use cmap_topo::{LinkMeasurements, Testbed};
-
 fn main() {
-    let cli = Cli::parse();
-    let spec = Spec {
-        testbed_seed: cli.seed,
-        ..Spec::default()
-    };
-    let tb = Testbed::office_floor(spec.testbed_seed);
-    let lm = LinkMeasurements::analyze(&tb, &radio_env(&PhyConfig::default()), Rate::R6, 1400);
-    let c = lm.connectivity();
-    println!(
-        "§5.1 — testbed link population (seed {})",
-        spec.testbed_seed
-    );
-    println!("paper: 2162 connected pairs; 68% PRR<0.1, 12% intermediate, 20% PRR=1;");
-    println!("       mean degree 15.2, median 17");
-    println!(
-        "measured: {} connected pairs; {:.0}% weak, {:.0}% intermediate, {:.0}% perfect;",
-        c.connected_pairs,
-        100.0 * c.frac_weak,
-        100.0 * c.frac_intermediate,
-        100.0 * c.frac_perfect
-    );
-    println!(
-        "          mean degree {:.1}, median {:.1}",
-        c.mean_degree, c.median_degree
-    );
-    let mut potential = 0;
-    let mut in_range = 0;
-    for a in 0..tb.len() {
-        for b in 0..tb.len() {
-            if a == b {
-                continue;
-            }
-            if lm.potential_link(a, b) {
-                potential += 1;
-            }
-            if lm.in_range(a, b) {
-                in_range += 1;
-            }
-        }
-    }
-    println!("potential transmission links: {potential}; in-range pairs: {in_range}");
+    cmap_bench::figures::figure_main(&cmap_bench::figures::TestbedStats);
 }

@@ -1,0 +1,1330 @@
+//! The scenario registry: every figure/table of the evaluation as one
+//! [`Figure`] implementation.
+//!
+//! A figure owns its parameters (spec scaling, per-N repetition counts),
+//! its run logic, the text it prints, and the named metrics it reports —
+//! the per-figure binaries and `repro_all` are both thin iterations over
+//! [`registry`]. Each run yields a [`FigureOutput`] which [`figure_main`]
+//! turns into stdout text plus an optional machine-readable
+//! [`RunReport`] (`--json PATH`).
+//!
+//! Figures 17 and 18 share one expensive `ap_sweep` run, so the registry
+//! models them as a single combined entry (`fig17_18_ap`): both binaries
+//! wrap it, and `repro_all` runs the sweep once.
+
+use std::fmt::Write as _;
+
+use cmap_core::{CmapConfig, CmapMac};
+use cmap_experiments::exposed::Curve;
+use cmap_experiments::runner::radio_env;
+use cmap_experiments::{
+    ap, calibration, convergence, exposed, header_trailer, hidden, in_range, mesh, Spec,
+};
+use cmap_mac80211::{DcfConfig, DcfMac};
+use cmap_obs::{LoopProfile, MetricValue, RunReport, SpecBlock, TimingBlock};
+use cmap_phy::Rate;
+use cmap_sim::time::secs;
+use cmap_sim::{FaultPlan, Medium, PhyConfig, World};
+use cmap_stats::{std_dev, Cdf};
+use cmap_topo::{LinkMeasurements, Testbed};
+
+use crate::{banner, mean, median_of, medians_line, render_cdfs, Cli, Effort};
+
+/// What one figure run produced: printable text, named metrics, and (for
+/// gating figures like the chaos soak) hard failures.
+#[derive(Debug, Default)]
+pub struct FigureOutput {
+    /// The human-readable body (what the standalone binary prints after
+    /// its banner).
+    pub text: String,
+    /// Named results, in insertion order (sorted at serialization).
+    pub metrics: Vec<(String, MetricValue)>,
+    /// Invariant violations; non-empty makes the wrapping binary (and
+    /// `repro_all`) exit nonzero.
+    pub failures: Vec<String>,
+}
+
+impl FigureOutput {
+    fn new() -> FigureOutput {
+        FigureOutput::default()
+    }
+
+    fn line(&mut self, s: impl AsRef<str>) {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+    }
+
+    fn metric(&mut self, key: impl Into<String>, value: impl Into<MetricValue>) {
+        self.metrics.push((key.into(), value.into()));
+    }
+}
+
+/// One registered figure/experiment of the evaluation.
+pub trait Figure {
+    /// Registry name; matches the wrapping binary (e.g. `fig12_exposed`).
+    fn name(&self) -> &'static str;
+    /// Banner heading.
+    fn title(&self) -> &'static str;
+    /// The paper's claim, printed under the banner.
+    fn paper_claim(&self) -> &'static str;
+    /// The experiment spec this figure runs under.
+    fn spec(&self, cli: &Cli) -> Spec;
+    /// Metric keys every report of this figure must contain.
+    fn required_metrics(&self) -> &'static [&'static str];
+    /// Whether `repro_all` includes this figure in its suite run. Gating
+    /// and extension experiments (chaos soak, ablations, convergence
+    /// sweep) keep their own binaries instead.
+    fn in_repro(&self) -> bool {
+        true
+    }
+    /// Run the figure.
+    fn run(&self, cli: &Cli) -> FigureOutput;
+}
+
+/// Every registered figure, in suite order.
+pub fn registry() -> Vec<Box<dyn Figure>> {
+    vec![
+        Box::new(Calib),
+        Box::new(Fig12),
+        Box::new(Fig13),
+        Box::new(Fig14),
+        Box::new(Fig15),
+        Box::new(Fig16),
+        Box::new(ApFigure),
+        Box::new(Fig19),
+        Box::new(Fig20),
+        Box::new(Mesh),
+        Box::new(TestbedStats),
+        Box::new(ConvergenceSweep),
+        Box::new(Ablations),
+        Box::new(ChaosSoak),
+    ]
+}
+
+/// The report's spec block for a figure run.
+pub fn spec_block(cli: &Cli, spec: &Spec) -> SpecBlock {
+    SpecBlock {
+        testbed_seed: spec.testbed_seed,
+        run_seed: spec.run_seed,
+        effort: cli.effort.label().to_string(),
+        configs: spec.configs as u64,
+        duration_s: spec.duration as f64 / 1e9,
+        payload: spec.payload as u64,
+    }
+}
+
+/// Assemble a [`RunReport`] from one figure run.
+pub fn report_for(
+    fig: &dyn Figure,
+    cli: &Cli,
+    spec: &Spec,
+    out: &FigureOutput,
+    wall_secs: Option<f64>,
+) -> RunReport {
+    let mut r = RunReport::new(fig.name(), fig.title(), spec_block(cli, spec));
+    for (k, v) in &out.metrics {
+        r.metric(k, v.clone());
+    }
+    r.timing = wall_secs.map(|wall_secs| TimingBlock { wall_secs });
+    r
+}
+
+/// The shared `main` of every per-figure binary: parse, banner, run,
+/// print, optionally write the `--json` report, exit nonzero on failures.
+pub fn figure_main(fig: &dyn Figure) {
+    let cli = Cli::parse();
+    let spec = fig.spec(&cli);
+    banner(fig.title(), fig.paper_claim(), &spec);
+    // cmap-lint: allow(wall-clock) — harness-shell timing of the figure run; never feeds simulation state
+    let t0 = std::time::Instant::now();
+    let out = fig.run(&cli);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    print!("{}", out.text);
+    for f in &out.failures {
+        println!("FAIL: {f}");
+    }
+    let report = report_for(fig, &cli, &spec, &out, Some(wall_secs));
+    if let Err(e) = report.validate(fig.required_metrics()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = &cli.json {
+        if let Err(e) = std::fs::write(path, report.to_json(true)) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("report written to {path}");
+    }
+    if !out.failures.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// Metric-key slug of a human label (`"CS, acks"` → `cs_acks`).
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        let c = ch.to_ascii_lowercase();
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// §4.2 calibration
+// ---------------------------------------------------------------------------
+
+/// §4.2 single-link calibration.
+pub struct Calib;
+
+impl Figure for Calib {
+    fn name(&self) -> &'static str {
+        "calib_single_link"
+    }
+    fn title(&self) -> &'static str {
+        "§4.2 — single-link calibration"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP 5.04 Mbit/s vs 802.11 5.07 Mbit/s at the 6 Mbit/s rate"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(1)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["cmap_mbps", "dot11_mbps"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let c = calibration::single_link(&spec);
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "link {} -> {}: CMAP {:.2} Mbit/s | 802.11 (CS, acks) {:.2} Mbit/s | ratio {:.3}",
+            c.link.0,
+            c.link.1,
+            c.cmap_mbps,
+            c.dot11_mbps,
+            c.cmap_mbps / c.dot11_mbps
+        ));
+        out.metric("cmap_mbps", c.cmap_mbps);
+        out.metric("dot11_mbps", c.dot11_mbps);
+        out.metric("ratio", c.cmap_mbps / c.dot11_mbps);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12 — exposed terminals
+// ---------------------------------------------------------------------------
+
+/// Fig 12 (§5.2): exposed terminals — CMAP's headline 2x gain.
+pub struct Fig12;
+
+impl Figure for Fig12 {
+    fn name(&self) -> &'static str {
+        "fig12_exposed"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 12 — exposed terminals"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP ~2x over CS; ~15% of pairs not truly exposed; win=1 only ~1.5x"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(50)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["median_cs_mbps", "median_cmap_mbps", "gain_cmap_vs_cs"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let curves = exposed::fig12(&spec);
+        let cs = median_of(&curves, "CS, acks");
+        let cmap = median_of(&curves, "CMAP");
+        let win1 = median_of(&curves, "CMAP, win=1");
+        let blast = median_of(&curves, "CS off, no acks");
+        let mut out = FigureOutput::new();
+        out.line(medians_line(&curves));
+        out.line(format!(
+            "median gain: CMAP/CS = {:.2}x (paper ~2x), win1/CS = {:.2}x (paper ~1.5x)",
+            cmap / cs,
+            win1 / cs
+        ));
+        out.line("");
+        out.text
+            .push_str(&render_cdfs("Mbit/s", &curves, 0.0, 12.5, 26));
+        out.metric("median_cs_mbps", cs);
+        out.metric("median_cmap_mbps", cmap);
+        out.metric("median_win1_mbps", win1);
+        out.metric("median_blast_mbps", blast);
+        out.metric("gain_cmap_vs_cs", cmap / cs);
+        out.metric("gain_win1_vs_cs", win1 / cs);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 13 — two senders in range
+// ---------------------------------------------------------------------------
+
+/// Fig 13 (§5.3): two senders in range — CMAP discriminates.
+pub struct Fig13;
+
+impl Figure for Fig13 {
+    fn name(&self) -> &'static str {
+        "fig13_in_range"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 13 — two senders in range of each other"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP tracks CS-on where pairs conflict (~15%) and CS-off where concurrent wins (~18% tail)"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(50)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["median_cs_mbps", "median_cmap_mbps"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let curves = in_range::fig13(&spec);
+        let cs = median_of(&curves, "CS, acks");
+        let cmap = median_of(&curves, "CMAP");
+        let mut out = FigureOutput::new();
+        out.line(medians_line(&curves));
+        out.line("");
+        out.text
+            .push_str(&render_cdfs("Mbit/s", &curves, 0.0, 12.5, 26));
+        out.metric("median_cs_mbps", cs);
+        out.metric("median_cmap_mbps", cmap);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 14 — hidden interferers
+// ---------------------------------------------------------------------------
+
+/// Fig 14 (§5.4): hidden-interferer scatter and the 0.896 expectation.
+pub struct Fig14;
+
+impl Figure for Fig14 {
+    fn name(&self) -> &'static str {
+        "fig14_hidden_interferers"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 14 — hidden interferers"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "~8% of (link, interferer) samples in the hidden quadrant; expected CMAP normalised throughput ~0.90"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        let mut spec = cli.spec(200);
+        if cli.effort == Effort::Full {
+            spec.configs = cli.runs.unwrap_or(500); // the paper's 500 triples
+        }
+        spec
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["hidden_fraction", "expected_cmap"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let o = hidden::fig14(&spec);
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "hidden-interferer fraction: {:.3} (paper ~0.08)",
+            o.hidden_fraction
+        ));
+        out.line(format!(
+            "expected CMAP normalised throughput: {:.3} (paper 0.896)",
+            o.expected_cmap
+        ));
+        out.line("");
+        out.line(format!("{:>10} {:>12}", "min PRR", "norm tput"));
+        for p in &o.points {
+            out.line(format!("{:>10.3} {:>12.3}", p.min_prr, p.normalized));
+        }
+        out.metric("hidden_fraction", o.hidden_fraction);
+        out.metric("expected_cmap", o.expected_cmap);
+        out.metric("samples", o.points.len());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 15 — hidden terminals
+// ---------------------------------------------------------------------------
+
+/// Fig 15 (§5.5): hidden terminals — CMAP's backoff avoids degradation.
+pub struct Fig15;
+
+impl Figure for Fig15 {
+    fn name(&self) -> &'static str {
+        "fig15_hidden_terminals"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 15 — two senders out of range (hidden terminals)"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP comparable to the status quo; little mass above the single-pair rate"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(50)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["median_cs_mbps", "median_cmap_mbps"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let curves = hidden::fig15(&spec);
+        let cs = median_of(&curves, "CS, acks");
+        let cmap = median_of(&curves, "CMAP");
+        let mut out = FigureOutput::new();
+        out.line(medians_line(&curves));
+        out.line(format!(
+            "CMAP/CS median ratio: {:.2} (paper ~1.0)",
+            cmap / cs
+        ));
+        out.line("");
+        out.text
+            .push_str(&render_cdfs("Mbit/s", &curves, 0.0, 12.5, 26));
+        out.metric("median_cs_mbps", cs);
+        out.metric("median_cmap_mbps", cmap);
+        out.metric("ratio", cmap / cs);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 16 — header/trailer reception
+// ---------------------------------------------------------------------------
+
+/// Fig 16 (§5.5): header-or-trailer vs header-only reception per vpkt.
+pub struct Fig16;
+
+impl Figure for Fig16 {
+    fn name(&self) -> &'static str {
+        "fig16_header_trailer"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 16 — probability of receiving header and/or trailer"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "header-or-trailer beats header-only; the gap is largest out of range; in range the either-rate is ~1"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(25)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["mean_in_range_either", "mean_oor_either"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let o = header_trailer::fig16(&spec);
+        let curves = vec![
+            Curve {
+                label: "In-range, header".into(),
+                samples: o.in_range_header,
+            },
+            Curve {
+                label: "In-range, hdr/trl".into(),
+                samples: o.in_range_either,
+            },
+            Curve {
+                label: "OoR, header".into(),
+                samples: o.out_of_range_header,
+            },
+            Curve {
+                label: "OoR, hdr/trl".into(),
+                samples: o.out_of_range_either,
+            },
+        ];
+        let mut out = FigureOutput::new();
+        for c in &curves {
+            out.line(format!("{}: mean {:.3}", c.label, mean(&c.samples)));
+        }
+        out.line("");
+        out.text
+            .push_str(&render_cdfs("rate", &curves, 0.0, 1.0, 21));
+        out.metric("mean_in_range_header", mean(&curves[0].samples));
+        out.metric("mean_in_range_either", mean(&curves[1].samples));
+        out.metric("mean_oor_header", mean(&curves[2].samples));
+        out.metric("mean_oor_either", mean(&curves[3].samples));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 17 + 18 — AP topologies (one shared sweep)
+// ---------------------------------------------------------------------------
+
+/// Figs 17+18 (§5.6): N APs and N clients — aggregate and per-sender
+/// throughput from one `ap_sweep` run.
+pub struct ApFigure;
+
+impl ApFigure {
+    fn per_n(cli: &Cli) -> usize {
+        match cli.effort {
+            Effort::Quick => 3,
+            _ => 10, // the paper's 10 experiments per N
+        }
+    }
+}
+
+impl Figure for ApFigure {
+    fn name(&self) -> &'static str {
+        "fig17_18_ap"
+    }
+    fn title(&self) -> &'static str {
+        "Figs 17/18 — N APs and N clients: aggregate and per-sender throughput"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP +21% (N=3) to +47% (N=4) over CS-on; median per-sender throughput 1.8x (2.5 -> 4.6 Mbit/s)"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(10)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["median_cs_mbps", "median_cmap_mbps"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let o = ap::ap_sweep(&spec, 6, ApFigure::per_n(cli));
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "{:>4} {:>18} {:>10} {:>8}",
+            "N", "protocol", "mean", "sd"
+        ));
+        for (n, label, samples) in &o.aggregates {
+            out.line(format!(
+                "{n:>4} {label:>18} {:>10.2} {:>8.2}",
+                mean(samples),
+                std_dev(samples)
+            ));
+        }
+        for n in 3..=6 {
+            let get = |l: &str| {
+                o.aggregates
+                    .iter()
+                    .find(|(on, ol, _)| *on == n && ol == l)
+                    .map(|(_, _, s)| mean(s))
+            };
+            if let (Some(cs), Some(cmap)) = (get("CS, acks"), get("CMAP")) {
+                out.line(format!("N={n}: CMAP/CS = {:.2}x", cmap / cs));
+                out.metric(format!("n{n}_cs_mbps"), cs);
+                out.metric(format!("n{n}_cmap_mbps"), cmap);
+                out.metric(format!("n{n}_gain"), cmap / cs);
+            }
+        }
+        let curves: Vec<Curve> = o
+            .per_sender
+            .iter()
+            .map(|(l, s)| Curve {
+                label: l.clone(),
+                samples: s.clone(),
+            })
+            .collect();
+        out.line("");
+        out.line("per-sender throughput across the AP experiments (Fig 18):");
+        for c in &curves {
+            out.line(format!(
+                "{}: median {:.2} Mbit/s",
+                c.label,
+                Cdf::new(c.samples.clone()).median()
+            ));
+        }
+        let med = |l: &str| {
+            curves
+                .iter()
+                .find(|c| c.label == l)
+                .map(|c| Cdf::new(c.samples.clone()).median())
+                .unwrap_or(f64::NAN)
+        };
+        let (cs, cmap) = (med("CS, acks"), med("CMAP"));
+        out.line(format!(
+            "CMAP/CS median ratio: {:.2}x (paper 1.8x)",
+            cmap / cs
+        ));
+        out.line("");
+        out.text
+            .push_str(&render_cdfs("Mbit/s", &curves, 0.0, 6.0, 25));
+        out.metric("median_cs_mbps", cs);
+        out.metric("median_cmap_mbps", cmap);
+        out.metric("median_gain", cmap / cs);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 19 — header/trailer reception vs concurrency
+// ---------------------------------------------------------------------------
+
+/// Fig 19 (§5.6): header-or-trailer reception vs concurrent senders.
+pub struct Fig19;
+
+impl Figure for Fig19 {
+    fn name(&self) -> &'static str {
+        "fig19_hdr_vs_senders"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 19 — header-or-trailer reception vs concurrent senders"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "median stays high as concurrency grows; the 10th percentile drops sharply"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(10)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["rows"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let per_k = match cli.effort {
+            Effort::Quick => 2,
+            _ => 5,
+        };
+        let rows = header_trailer::fig19(&spec, per_k);
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "{:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "senders", "mean", "median", "p10", "p25", "p75", "p90"
+        ));
+        for r in &rows {
+            let s = &r.summary;
+            out.line(format!(
+                "{:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                r.senders, s.mean, s.median, s.p10, s.p25, s.p75, s.p90
+            ));
+            out.metric(format!("s{}_median", r.senders), s.median);
+            out.metric(format!("s{}_p10", r.senders), s.p10);
+        }
+        out.metric("rows", rows.len());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 20 — exposed terminals at higher bit-rates
+// ---------------------------------------------------------------------------
+
+/// Fig 20 (§5.8): exposed terminals at 6, 12 and 18 Mbit/s.
+pub struct Fig20;
+
+impl Figure for Fig20 {
+    fn name(&self) -> &'static str {
+        "fig20_bitrates"
+    }
+    fn title(&self) -> &'static str {
+        "Fig 20 — exposed terminals at higher bit-rates"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP keeps its gains at 12 and 18 Mbit/s; opportunities shrink as the SINR requirement grows"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(25)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["at6_cs_mbps", "at6_cmap_mbps"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let curves = exposed::fig20(&spec);
+        let mut out = FigureOutput::new();
+        out.line(medians_line(&curves));
+        for mbps in [6u64, 12, 18] {
+            let med = |l: String| {
+                curves
+                    .iter()
+                    .find(|c| c.label == l)
+                    .map(|c| Cdf::new(c.samples.clone()).median())
+            };
+            if let (Some(cs), Some(cmap)) = (med(format!("CS@{mbps}")), med(format!("CMAP@{mbps}")))
+            {
+                out.line(format!("@{mbps} Mbit/s: CMAP/CS = {:.2}x", cmap / cs));
+                out.metric(format!("at{mbps}_cs_mbps"), cs);
+                out.metric(format!("at{mbps}_cmap_mbps"), cmap);
+                out.metric(format!("at{mbps}_gain"), cmap / cs);
+            }
+        }
+        out.line("");
+        out.text
+            .push_str(&render_cdfs("Mbit/s", &curves, 0.0, 25.0, 26));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5.7 mesh
+// ---------------------------------------------------------------------------
+
+/// §5.7: two-hop content-dissemination mesh.
+pub struct Mesh;
+
+impl Figure for Mesh {
+    fn name(&self) -> &'static str {
+        "mesh_dissemination"
+    }
+    fn title(&self) -> &'static str {
+        "§5.7 — two-hop content dissemination mesh (S -> A1..A3 -> B1..B3)"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "CMAP +52% aggregate leaf throughput over CS-on across 10 topologies"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(10)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["cs_mbps", "cmap_mbps"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let o = mesh::mesh(&spec, 3);
+        let get = |l: &str| {
+            o.aggregates
+                .iter()
+                .find(|(ol, _)| ol == l)
+                .map(|(_, s)| mean(s))
+                .unwrap_or(f64::NAN)
+        };
+        let mut out = FigureOutput::new();
+        for (label, samples) in &o.aggregates {
+            out.line(format!("{label}: per-topology aggregates {samples:?}"));
+            out.line(format!("{label}: mean {:.2} Mbit/s", mean(samples)));
+        }
+        let (cs, cmap) = (get("CS, acks"), get("CMAP"));
+        out.line(format!("CMAP/CS = {:.2}x (paper 1.52x)", cmap / cs));
+        out.metric("cs_mbps", cs);
+        out.metric("cmap_mbps", cmap);
+        out.metric("gain", cmap / cs);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §5.1 testbed link population
+// ---------------------------------------------------------------------------
+
+/// §5.1: the testbed's link population (analysis only; no simulation).
+pub struct TestbedStats;
+
+impl Figure for TestbedStats {
+    fn name(&self) -> &'static str {
+        "testbed_stats"
+    }
+    fn title(&self) -> &'static str {
+        "§5.1 — testbed link population"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "2162 connected pairs; 68% PRR<0.1, 12% intermediate, 20% PRR=1; mean degree 15.2, median 17"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        Spec {
+            testbed_seed: cli.seed,
+            ..Spec::default()
+        }
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["connected_pairs", "mean_degree"]
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let tb = Testbed::office_floor(spec.testbed_seed);
+        let lm = LinkMeasurements::analyze(&tb, &radio_env(&PhyConfig::default()), Rate::R6, 1400);
+        let c = lm.connectivity();
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "measured: {} connected pairs; {:.0}% weak, {:.0}% intermediate, {:.0}% perfect;",
+            c.connected_pairs,
+            100.0 * c.frac_weak,
+            100.0 * c.frac_intermediate,
+            100.0 * c.frac_perfect
+        ));
+        out.line(format!(
+            "          mean degree {:.1}, median {:.1}",
+            c.mean_degree, c.median_degree
+        ));
+        let mut potential = 0usize;
+        let mut in_range = 0usize;
+        for a in 0..tb.len() {
+            for b in 0..tb.len() {
+                if a == b {
+                    continue;
+                }
+                if lm.potential_link(a, b) {
+                    potential += 1;
+                }
+                if lm.in_range(a, b) {
+                    in_range += 1;
+                }
+            }
+        }
+        out.line(format!(
+            "potential transmission links: {potential}; in-range pairs: {in_range}"
+        ));
+        out.metric("connected_pairs", c.connected_pairs);
+        out.metric("frac_weak", c.frac_weak);
+        out.metric("frac_intermediate", c.frac_intermediate);
+        out.metric("frac_perfect", c.frac_perfect);
+        out.metric("mean_degree", c.mean_degree);
+        out.metric("median_degree", c.median_degree);
+        out.metric("potential_links", potential);
+        out.metric("in_range_pairs", in_range);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergence sweep (extension)
+// ---------------------------------------------------------------------------
+
+/// Extension: conflict-map convergence time vs IL broadcast period.
+pub struct ConvergenceSweep;
+
+impl Figure for ConvergenceSweep {
+    fn name(&self) -> &'static str {
+        "convergence_sweep"
+    }
+    fn title(&self) -> &'static str {
+        "Convergence sweep (extension)"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "the paper notes transient loss before convergence but does not quantify it"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        cli.spec(10)
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["p1000_conv_rate"]
+    }
+    fn in_repro(&self) -> bool {
+        false
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let spec = self.spec(cli);
+        let sweeps = convergence::sweep(&spec, &[250, 500, 1000, 2000, 4000]);
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "{:>10} {:>12} {:>12} {:>12} {:>10}",
+            "period ms", "conv rate", "mean conv s", "transient", "steady"
+        ));
+        for s in &sweeps {
+            let conv: Vec<f64> = s.points.iter().filter_map(|p| p.converged_at_s).collect();
+            let transient: Vec<f64> = s.points.iter().map(|p| p.transient_mbps).collect();
+            let steady: Vec<f64> = s.points.iter().map(|p| p.steady_mbps).collect();
+            let rate = conv.len() as f64 / s.points.len() as f64;
+            let mean_conv = if conv.is_empty() {
+                f64::NAN
+            } else {
+                mean(&conv)
+            };
+            out.line(format!(
+                "{:>10} {:>12.2} {:>12.2} {:>12.2} {:>10.2}",
+                s.period_ms,
+                rate,
+                mean_conv,
+                mean(&transient),
+                mean(&steady),
+            ));
+            out.metric(format!("p{}_conv_rate", s.period_ms), rate);
+            out.metric(format!("p{}_mean_conv_s", s.period_ms), mean_conv);
+            out.metric(format!("p{}_transient_mbps", s.period_ms), mean(&transient));
+            out.metric(format!("p{}_steady_mbps", s.period_ms), mean(&steady));
+        }
+        out.line("");
+        out.line("Faster broadcasts converge sooner; steady state is insensitive");
+        out.line("(the ACK piggyback carries rule-1 entries regardless).");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4.3)
+// ---------------------------------------------------------------------------
+
+/// Ablation study of CMAP's design choices on the three canonical
+/// two-pair micro-topologies: exposed, conflicting, hidden.
+pub struct Ablations;
+
+struct Scenario {
+    name: &'static str,
+    rss: Vec<(usize, usize, f64)>,
+}
+
+fn sym(v: &mut Vec<(usize, usize, f64)>, a: usize, b: usize, rss: f64) {
+    v.push((a, b, rss));
+    v.push((b, a, rss));
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let mut exposed = Vec::new();
+    sym(&mut exposed, 0, 1, -60.0);
+    sym(&mut exposed, 2, 3, -60.0);
+    sym(&mut exposed, 0, 2, -75.0);
+    sym(&mut exposed, 0, 3, -93.0);
+    sym(&mut exposed, 2, 1, -93.0);
+    sym(&mut exposed, 1, 3, -95.0);
+    let mut conflicting = Vec::new();
+    sym(&mut conflicting, 0, 1, -60.0);
+    sym(&mut conflicting, 2, 3, -60.0);
+    sym(&mut conflicting, 0, 2, -65.0);
+    sym(&mut conflicting, 0, 3, -63.0);
+    sym(&mut conflicting, 2, 1, -63.0);
+    sym(&mut conflicting, 1, 3, -80.0);
+    let mut hidden = Vec::new();
+    sym(&mut hidden, 0, 1, -60.0);
+    sym(&mut hidden, 2, 3, -60.0);
+    sym(&mut hidden, 0, 3, -62.0);
+    sym(&mut hidden, 2, 1, -62.0);
+    sym(&mut hidden, 1, 3, -70.0);
+    vec![
+        Scenario {
+            name: "exposed",
+            rss: exposed,
+        },
+        Scenario {
+            name: "conflicting",
+            rss: conflicting,
+        },
+        Scenario {
+            name: "hidden",
+            rss: hidden,
+        },
+    ]
+}
+
+fn ablation_run(
+    rss: &[(usize, usize, f64)],
+    cfg: &CmapConfig,
+    phy: PhyConfig,
+    seed: u64,
+    dur_s: u64,
+) -> f64 {
+    let n = 4;
+    let mut gains = vec![f64::NEG_INFINITY; n * n];
+    for &(a, b, rss_dbm) in rss {
+        gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
+    }
+    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
+    let mut w = World::new(medium, phy, seed);
+    let f1 = w.add_flow(0, 1, 1400);
+    let f2 = w.add_flow(2, 3, 1400);
+    for node in 0..n {
+        w.set_mac(node, Box::new(CmapMac::new(cfg.clone())));
+    }
+    w.run_until(secs(dur_s));
+    let from = secs(dur_s * 2 / 5);
+    w.stats().flow_throughput_mbps(f1, 1400, from, secs(dur_s))
+        + w.stats().flow_throughput_mbps(f2, 1400, from, secs(dur_s))
+}
+
+impl Ablations {
+    fn duration_s(cli: &Cli) -> u64 {
+        match cli.effort {
+            Effort::Quick => 10,
+            Effort::Standard => 25,
+            Effort::Full => 60,
+        }
+    }
+}
+
+impl Figure for Ablations {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+    fn title(&self) -> &'static str {
+        "Ablations — CMAP design choices on exposed/conflicting/hidden micro-topologies"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "each mechanism (sliding window, trailers, backoff, IL-in-ACKs, MIM capture) earns its keep"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        Spec {
+            testbed_seed: cli.seed,
+            duration: secs(Ablations::duration_s(cli)),
+            configs: 24, // 8 variants x 3 scenarios
+            ..Spec::default()
+        }
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["cmap_full_exposed_mbps"]
+    }
+    fn in_repro(&self) -> bool {
+        false
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let dur = Ablations::duration_s(cli);
+        let variants: Vec<(&str, CmapConfig, PhyConfig)> = vec![
+            ("CMAP (full)", CmapConfig::default(), PhyConfig::default()),
+            (
+                "win=1",
+                CmapConfig::default().stop_and_wait(),
+                PhyConfig::default(),
+            ),
+            (
+                "no trailers",
+                CmapConfig::default().without_trailers(),
+                PhyConfig::default(),
+            ),
+            (
+                "no backoff",
+                CmapConfig::default().without_backoff(),
+                PhyConfig::default(),
+            ),
+            (
+                "no IL-in-ACKs",
+                CmapConfig {
+                    il_in_acks: false,
+                    ..CmapConfig::default()
+                },
+                PhyConfig::default(),
+            ),
+            (
+                "no MIM capture",
+                CmapConfig::default(),
+                PhyConfig {
+                    mim_capture: false,
+                    ..PhyConfig::default()
+                },
+            ),
+            (
+                "l_interf=0.25",
+                CmapConfig {
+                    l_interf: 0.25,
+                    ..CmapConfig::default()
+                },
+                PhyConfig::default(),
+            ),
+            (
+                "l_interf=0.75",
+                CmapConfig {
+                    l_interf: 0.75,
+                    ..CmapConfig::default()
+                },
+                PhyConfig::default(),
+            ),
+        ];
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "Aggregate Mbit/s over two saturated pairs ({dur}s runs, seed {}):\n",
+            cli.seed
+        ));
+        let mut header = format!("{:<16}", "variant");
+        for s in scenarios() {
+            let _ = write!(header, " {:>12}", s.name);
+        }
+        out.line(header);
+        for (name, cfg, phy) in &variants {
+            let mut row = format!("{name:<16}");
+            for s in scenarios() {
+                let agg = ablation_run(&s.rss, cfg, phy.clone(), cli.seed ^ 0xAB1, dur);
+                let _ = write!(row, " {agg:>12.2}");
+                let key = match *name {
+                    "CMAP (full)" => format!("cmap_full_{}_mbps", s.name),
+                    other => format!("{}_{}_mbps", slug(other), s.name),
+                };
+                out.metric(key, agg);
+            }
+            out.line(row);
+        }
+        out.line("\nReference points: single link ~5.4; perfect exposed concurrency ~10.7.");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak (gating)
+// ---------------------------------------------------------------------------
+
+/// Robustness gauntlet: fault plans × seeds over the exposed-terminal
+/// topology; violations land in `FigureOutput::failures`.
+pub struct ChaosSoak;
+
+/// CMAP goodput under a fault plan must stay within this factor of the
+/// DCF baseline under the *same* plan.
+const CMAP_VS_DCF_MIN: f64 = 0.5;
+/// ... and within this factor of the clean CMAP reference.
+const FAULT_VS_CLEAN_MIN: f64 = 0.25;
+
+const SOAK_NODES: usize = 4;
+
+/// The Fig 12 exposed-terminal topology: two pairs that can (and should)
+/// run concurrently — the configuration where CMAP has the most to lose
+/// when its conflict map degrades.
+pub fn exposed_world(seed: u64) -> (World, Vec<u16>) {
+    let phy = PhyConfig::default();
+    let rss: &[(usize, usize, f64)] = &[
+        (0, 1, -60.0),
+        (2, 3, -60.0),
+        (0, 2, -75.0),
+        (0, 3, -93.0),
+        (2, 1, -93.0),
+        (1, 3, -95.0),
+    ];
+    let mut gains = vec![f64::NEG_INFINITY; SOAK_NODES * SOAK_NODES];
+    for &(a, b, rss_dbm) in rss {
+        gains[a * SOAK_NODES + b] = rss_dbm - phy.tx_power_dbm;
+        gains[b * SOAK_NODES + a] = rss_dbm - phy.tx_power_dbm;
+    }
+    let delays = vec![100u64; SOAK_NODES * SOAK_NODES];
+    let medium = Medium::from_gains_db(SOAK_NODES, &gains, &delays, &phy);
+    let mut w = World::new(medium, phy, seed);
+    let f1 = w.add_flow(0, 1, 1400);
+    let f2 = w.add_flow(2, 3, 1400);
+    (w, vec![f1, f2])
+}
+
+enum Proto {
+    Cmap,
+    Dcf,
+}
+
+struct SoakRun {
+    goodput: f64,
+    violations: u64,
+    snapshot: String,
+}
+
+fn soak_one(proto: &Proto, plan: &FaultPlan, seed: u64, duration: u64) -> SoakRun {
+    let (mut w, flows) = exposed_world(seed);
+    for n in 0..SOAK_NODES {
+        match proto {
+            Proto::Cmap => w.set_mac(n, Box::new(CmapMac::new(CmapConfig::default()))),
+            Proto::Dcf => w.set_mac(n, Box::new(DcfMac::new(DcfConfig::status_quo()))),
+        }
+    }
+    if !plan.is_clean() {
+        w.install_faults(plan.clone());
+    }
+    w.run_until(duration);
+    let from = duration / 4;
+    let goodput = flows
+        .iter()
+        .map(|&f| {
+            w.stats()
+                .flow_throughput_mbps(f, w.flow(f).payload_len, from, duration)
+        })
+        .sum();
+    SoakRun {
+        goodput,
+        violations: w.watchdog_violations(),
+        snapshot: w.stats().snapshot(),
+    }
+}
+
+impl ChaosSoak {
+    fn params(cli: &Cli) -> (u64, usize) {
+        let (duration, seeds) = match cli.effort {
+            Effort::Quick => (secs(4), 10),
+            Effort::Standard => (secs(8), 10),
+            Effort::Full => (secs(20), 25),
+        };
+        (duration, cli.runs.unwrap_or(seeds))
+    }
+}
+
+impl Figure for ChaosSoak {
+    fn name(&self) -> &'static str {
+        "chaos_soak"
+    }
+    fn title(&self) -> &'static str {
+        "Chaos soak — fault plans × seeds, exposed-terminal topology"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "graceful degradation: no panics, no watchdog violations, goodput within stated bounds of DCF"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        let (duration, seeds) = ChaosSoak::params(cli);
+        Spec {
+            testbed_seed: cli.seed,
+            duration,
+            configs: seeds,
+            ..Spec::default()
+        }
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["failures"]
+    }
+    fn in_repro(&self) -> bool {
+        false
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let (duration, seeds) = ChaosSoak::params(cli);
+        let plans = FaultPlan::canonical(SOAK_NODES, duration);
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "{} fault plans x {seeds} seeds, {:.0}s runs, base seed {}",
+            plans.len(),
+            duration as f64 / 1e9,
+            cli.seed,
+        ));
+        out.line(format!(
+            "bounds: cmap/dcf >= {CMAP_VS_DCF_MIN}, fault/clean >= {FAULT_VS_CLEAN_MIN}; \
+             zero violations; byte-identical same-seed snapshots"
+        ));
+        for (name, plan) in &plans {
+            let mut cmap_fault = Vec::new();
+            let mut dcf_fault = Vec::new();
+            let mut cmap_clean = Vec::new();
+            for i in 0..seeds {
+                let seed = cli.seed + i as u64;
+                let a = soak_one(&Proto::Cmap, plan, seed, duration);
+                let b = soak_one(&Proto::Cmap, plan, seed, duration);
+                let d = soak_one(&Proto::Dcf, plan, seed, duration);
+                let c = soak_one(&Proto::Cmap, &FaultPlan::clean(), seed, duration);
+                if a.snapshot != b.snapshot {
+                    out.failures
+                        .push(format!("[{name}] seed {seed}: same-seed snapshots differ"));
+                }
+                let viol = a.violations + b.violations + d.violations + c.violations;
+                if viol > 0 {
+                    out.failures
+                        .push(format!("[{name}] seed {seed}: {viol} watchdog violations"));
+                }
+                cmap_fault.push(a.goodput);
+                dcf_fault.push(d.goodput);
+                cmap_clean.push(c.goodput);
+            }
+            let (cf, df, cc) = (mean(&cmap_fault), mean(&dcf_fault), mean(&cmap_clean));
+            out.line(format!(
+                "[{name:>14}] cmap {cf:5.2} | dcf {df:5.2} | cmap-clean {cc:5.2} Mbit/s \
+                 | cmap/dcf {:.2} | fault/clean {:.2}",
+                cf / df.max(1e-9),
+                cf / cc.max(1e-9),
+            ));
+            out.metric(format!("{}_cmap_mbps", slug(name)), cf);
+            out.metric(format!("{}_dcf_mbps", slug(name)), df);
+            out.metric(format!("{}_clean_mbps", slug(name)), cc);
+            if cf < CMAP_VS_DCF_MIN * df {
+                out.failures.push(format!(
+                    "[{name}]: cmap under faults {cf:.2} < {CMAP_VS_DCF_MIN} x dcf {df:.2}"
+                ));
+            }
+            if cf < FAULT_VS_CLEAN_MIN * cc {
+                out.failures.push(format!(
+                    "[{name}]: cmap under faults {cf:.2} < {FAULT_VS_CLEAN_MIN} x clean {cc:.2}"
+                ));
+            }
+        }
+        if out.failures.is_empty() {
+            out.line("chaos soak: all invariants held");
+        } else {
+            out.line(format!("chaos soak: {} FAILURES", out.failures.len()));
+        }
+        out.metric("failures", out.failures.len());
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop self-profile
+// ---------------------------------------------------------------------------
+
+/// Step a canonical exposed-terminal CMAP world in slices, timing each
+/// slice from the harness shell, and return the aggregated profile. The
+/// engine itself never reads a clock — wall time is measured out here and
+/// fed to [`LoopProfile::record_slice`]; the dispatch mix comes from the
+/// engine's deterministic per-kind counters.
+pub fn profile_event_loop() -> LoopProfile {
+    let (mut w, _flows) = exposed_world(7);
+    for n in 0..SOAK_NODES {
+        w.set_mac(n, Box::new(CmapMac::new(CmapConfig::default())));
+    }
+    let mut profile = LoopProfile::new();
+    let slice = cmap_sim::time::millis(100);
+    let mut prev_events = 0u64;
+    for i in 1..=20u64 {
+        // cmap-lint: allow(wall-clock) — harness-side slice timing; feeds only the profile, never the simulation
+        let t0 = std::time::Instant::now();
+        w.run_until(i * slice);
+        let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let events = w.events_processed();
+        profile.record_slice(events - prev_events, wall_ns);
+        prev_events = events;
+    }
+    profile.set_dispatch(&w.event_counts());
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_repro_subset_is_stable() {
+        let figs = registry();
+        let names: Vec<&str> = figs.iter().map(|f| f.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            names.len(),
+            "duplicate figure names: {names:?}"
+        );
+        let repro: Vec<&str> = figs
+            .iter()
+            .filter(|f| f.in_repro())
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(
+            repro,
+            [
+                "calib_single_link",
+                "fig12_exposed",
+                "fig13_in_range",
+                "fig14_hidden_interferers",
+                "fig15_hidden_terminals",
+                "fig16_header_trailer",
+                "fig17_18_ap",
+                "fig19_hdr_vs_senders",
+                "fig20_bitrates",
+                "mesh_dissemination",
+                "testbed_stats",
+            ]
+        );
+        for f in &figs {
+            assert!(
+                !f.required_metrics().is_empty(),
+                "{} declares no required metrics",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn testbed_stats_report_passes_its_own_validation() {
+        let cli = Cli {
+            effort: Effort::Quick,
+            ..Cli::default()
+        };
+        let fig = TestbedStats;
+        let spec = fig.spec(&cli);
+        let out = fig.run(&cli);
+        assert!(out.text.contains("connected pairs"));
+        assert!(out.failures.is_empty());
+        let report = report_for(&fig, &cli, &spec, &out, Some(0.5));
+        report.validate(fig.required_metrics()).unwrap();
+        let det = report.to_json(false);
+        assert!(det.contains("\"figure\":\"testbed_stats\""));
+        assert!(det.contains("\"effort\":\"quick\""));
+        assert!(!det.contains("timing"));
+        assert!(report.to_json(true).contains("\"timing\""));
+    }
+
+    #[test]
+    fn slug_compresses_labels_to_metric_keys() {
+        assert_eq!(slug("CMAP (full)"), "cmap_full");
+        assert_eq!(slug("no IL-in-ACKs"), "no_il_in_acks");
+        assert_eq!(slug("l_interf=0.25"), "l_interf_0_25");
+        assert_eq!(slug("CS, acks"), "cs_acks");
+    }
+}

@@ -20,10 +20,18 @@
 //! | `repro_all` | everything above, written to EXPERIMENTS-style text |
 //! | `chaos_soak` | robustness: fault plans × seeds, degradation bounds |
 //!
+//! Every binary is a thin wrapper around an entry of the scenario registry
+//! in [`figures`] — the figure's parameters, run logic, printed text and
+//! machine-readable metrics live in one place, and `repro_all` iterates the
+//! same registry instead of duplicating it.
+//!
 //! All binaries accept `--quick` (shorter runs, fewer configurations),
 //! `--full` (the paper's 100-second runs and full configuration counts),
-//! `--seed N` (testbed seed) and `--runs N` (configuration count).
+//! `--seed N` (testbed seed), `--runs N` (configuration count) and
+//! `--json PATH` (write a machine-readable [`cmap_obs::RunReport`]).
 //! Criterion micro-benchmarks (`cargo bench`) live in `benches/`.
+
+pub mod figures;
 
 use cmap_experiments::exposed::Curve;
 use cmap_experiments::Spec;
@@ -41,6 +49,30 @@ pub enum Effort {
     Full,
 }
 
+impl Effort {
+    /// Lower-case label for reports (`quick` / `standard` / `full`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Effort::Quick => "quick",
+            Effort::Standard => "standard",
+            Effort::Full => "full",
+        }
+    }
+}
+
+/// The usage string every binary prints on `--help` or a parse error.
+pub const USAGE: &str =
+    "usage: <bin> [--quick|--full] [--seed N] [--runs N] [--json PATH] [--out PATH]";
+
+/// Why [`Cli::try_parse_from`] rejected a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` was requested: print usage, exit 0.
+    Help,
+    /// Malformed arguments: print the message plus usage, exit 2.
+    Bad(String),
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone)]
 pub struct Cli {
@@ -50,39 +82,76 @@ pub struct Cli {
     pub seed: u64,
     /// Override for the number of configurations, if given.
     pub runs: Option<usize>,
+    /// Write a machine-readable report (`RunReport`, or `SuiteReport` for
+    /// `repro_all`) to this path.
+    pub json: Option<String>,
+    /// `repro_all`: also write the text report to this path.
+    pub out: Option<String>,
 }
 
-impl Cli {
-    /// Parse `std::env::args`; exits with usage on unknown flags.
-    pub fn parse() -> Cli {
-        let mut cli = Cli {
+impl Default for Cli {
+    fn default() -> Cli {
+        Cli {
             effort: Effort::Standard,
             seed: 42,
             runs: None,
+            json: None,
+            out: None,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse an argument list (without the program name). Pure function so
+    /// error paths are unit-testable; [`Cli::parse`] is the exiting shell.
+    pub fn try_parse_from<I>(args: I) -> Result<Cli, CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut cli = Cli::default();
+        let mut args = args.into_iter();
+        let value = |flag: &str, v: Option<String>| {
+            v.ok_or_else(|| CliError::Bad(format!("{flag} needs a value")))
         };
-        let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => cli.effort = Effort::Quick,
                 "--full" => cli.effort = Effort::Full,
                 "--seed" => {
-                    cli.seed = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage("--seed needs a number"))
+                    cli.seed = value("--seed", args.next())?
+                        .parse()
+                        .map_err(|_| CliError::Bad("--seed needs a number".into()))?;
                 }
                 "--runs" => {
                     cli.runs = Some(
-                        args.next()
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or_else(|| usage("--runs needs a number")),
-                    )
+                        value("--runs", args.next())?
+                            .parse()
+                            .map_err(|_| CliError::Bad("--runs needs a number".into()))?,
+                    );
                 }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag {other}")),
+                "--json" => cli.json = Some(value("--json", args.next())?),
+                "--out" => cli.out = Some(value("--out", args.next())?),
+                "--help" | "-h" => return Err(CliError::Help),
+                other => return Err(CliError::Bad(format!("unknown flag {other}"))),
             }
         }
-        cli
+        Ok(cli)
+    }
+
+    /// Parse `std::env::args`; exits with usage on `--help` or bad flags.
+    pub fn parse() -> Cli {
+        match Cli::try_parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(CliError::Help) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(CliError::Bad(msg)) => {
+                eprintln!("error: {msg}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Build the experiment spec for this CLI at a given default
@@ -100,14 +169,6 @@ impl Cli {
             ..Spec::default()
         }
     }
-}
-
-fn usage(msg: &str) -> ! {
-    if !msg.is_empty() {
-        eprintln!("error: {msg}");
-    }
-    eprintln!("usage: <bin> [--quick|--full] [--seed N] [--runs N]");
-    std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
 /// Render labelled sample sets as a CDF table over `[lo, hi]`.
@@ -170,18 +231,64 @@ pub fn banner(figure: &str, paper_claim: &str, spec: &Spec) {
 mod tests {
     use super::*;
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let cli = Cli::try_parse_from(args(&[])).unwrap();
+        assert_eq!(cli.effort, Effort::Standard);
+        assert_eq!(cli.seed, 42);
+        assert!(cli.runs.is_none() && cli.json.is_none() && cli.out.is_none());
+
+        let cli = Cli::try_parse_from(args(&[
+            "--quick", "--seed", "7", "--runs", "9", "--json", "r.json", "--out", "r.md",
+        ]))
+        .unwrap();
+        assert_eq!(cli.effort, Effort::Quick);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.runs, Some(9));
+        assert_eq!(cli.json.as_deref(), Some("r.json"));
+        assert_eq!(cli.out.as_deref(), Some("r.md"));
+    }
+
+    #[test]
+    fn parse_errors_are_reportable_not_fatal() {
+        let unknown = Cli::try_parse_from(args(&["--frobnicate"])).unwrap_err();
+        assert_eq!(unknown, CliError::Bad("unknown flag --frobnicate".into()));
+
+        let missing = Cli::try_parse_from(args(&["--seed"])).unwrap_err();
+        assert_eq!(missing, CliError::Bad("--seed needs a value".into()));
+
+        let non_numeric = Cli::try_parse_from(args(&["--runs", "many"])).unwrap_err();
+        assert_eq!(non_numeric, CliError::Bad("--runs needs a number".into()));
+
+        let dangling = Cli::try_parse_from(args(&["--json"])).unwrap_err();
+        assert_eq!(dangling, CliError::Bad("--json needs a value".into()));
+
+        assert_eq!(
+            Cli::try_parse_from(args(&["--help"])).unwrap_err(),
+            CliError::Help
+        );
+        assert_eq!(
+            Cli::try_parse_from(args(&["-h"])).unwrap_err(),
+            CliError::Help
+        );
+    }
+
     #[test]
     fn spec_scales_with_effort() {
         let quick = Cli {
             effort: Effort::Quick,
             seed: 1,
-            runs: None,
+            ..Cli::default()
         }
         .spec(50);
         let full = Cli {
             effort: Effort::Full,
             seed: 1,
-            runs: None,
+            ..Cli::default()
         }
         .spec(50);
         assert!(quick.duration < full.duration);
@@ -192,11 +299,17 @@ mod tests {
     #[test]
     fn runs_override_wins() {
         let cli = Cli {
-            effort: Effort::Standard,
-            seed: 1,
             runs: Some(7),
+            ..Cli::default()
         };
         assert_eq!(cli.spec(50).configs, 7);
+    }
+
+    #[test]
+    fn effort_labels_are_stable() {
+        assert_eq!(Effort::Quick.label(), "quick");
+        assert_eq!(Effort::Standard.label(), "standard");
+        assert_eq!(Effort::Full.label(), "full");
     }
 
     #[test]

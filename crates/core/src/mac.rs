@@ -26,7 +26,7 @@
 use rand::Rng;
 
 use cmap_sim::time::{micros, millis, ns_to_us_ceil, Time};
-use cmap_sim::{Mac, NodeCtx, RxInfo};
+use cmap_sim::{CounterId, Mac, NodeCtx, RxInfo, TraceEvent};
 use cmap_wire::cmap::{self, HeaderTrailer};
 use cmap_wire::{Frame, MacAddr};
 
@@ -236,7 +236,7 @@ impl CmapMac {
             // timeout (Fig 6's blocking point).
             let window_pkts = self.cfg.n_window * self.cfg.n_vpkt;
             if self.window.is_full(window_pkts) && !self.window.has_rtx() {
-                ctx.stats().bump("cmap.rtx_stall");
+                ctx.stats().bump(CounterId::CmapRtxStall);
                 self.state = SState::RtxWait;
                 self.sender_gen += 1;
                 let payload = 1400; // τ is defined on nominal packets (§3.3)
@@ -248,7 +248,7 @@ impl CmapMac {
             }
             self.cur = if let Some((dst, pkts, rounds)) = self.window.pop_rtx() {
                 let seq = self.window.alloc_seq(dst);
-                ctx.stats().add("cmap.rtx_vpkt", 1);
+                ctx.stats().add(CounterId::CmapRtxVpkt, 1);
                 let rate = self.rate_ctl.choose(dst, ctx.now(), ctx.rng());
                 Some(CurVpkt {
                     dst,
@@ -301,10 +301,11 @@ impl CmapMac {
         let dst = self.cur.as_ref().expect("set above").dst;
         match self.check_defer(ctx, dst) {
             Some(until) => {
-                ctx.stats().bump("cmap.defer");
+                ctx.stats().bump(CounterId::CmapDefer);
                 let now = ctx.now();
-                if self.csma_fallback_active(now) {
-                    ctx.stats().bump("cmap.csma_fallback");
+                let fallback = self.csma_fallback_active(now);
+                if fallback {
+                    ctx.stats().bump(CounterId::CmapCsmaFallback);
                 }
                 self.state = SState::Deferring;
                 self.sender_gen += 1;
@@ -320,6 +321,14 @@ impl CmapMac {
                 // transmitter that died mid-burst; never sleep on it for
                 // longer than max_defer_wait.
                 let wait = (until.saturating_sub(now) + jitter).min(self.cfg.max_defer_wait);
+                if ctx.trace_enabled() {
+                    ctx.trace(TraceEvent::DeferDecision {
+                        node: u32::try_from(ctx.node()).unwrap_or(u32::MAX),
+                        dst: dst.node_index().unwrap_or(u16::MAX),
+                        wait_ns: wait,
+                        fallback,
+                    });
+                }
                 ctx.set_timer(wait, token(CLASS_DEFER, self.sender_gen));
             }
             None => self.begin_vpkt(ctx),
@@ -403,14 +412,14 @@ impl CmapMac {
         if ctx.transmit(header, self.cfg.control_rate) {
             self.in_flight = Some(InFlight::Header);
             self.state = SState::TxVpkt;
-            ctx.stats().bump("cmap.tx_vpkt");
+            ctx.stats().bump(CounterId::CmapTxVpkt);
             if let Some(dst_node) = dst.node_index() {
                 let me = ctx.node();
                 ctx.stats().vpkt_sent(me, dst_node as usize);
             }
         } else {
             // Radio race (e.g. our own ACK just started): retry shortly.
-            ctx.stats().bump("cmap.tx_blocked");
+            ctx.stats().bump(CounterId::CmapTxBlocked);
             self.state = SState::Deferring;
             self.sender_gen += 1;
             ctx.set_timer(millis(1), token(CLASS_DEFER, self.sender_gen));
@@ -464,7 +473,7 @@ impl CmapMac {
     /// Mid-virtual-packet transmit failure (should not happen; kept
     /// graceful): packets go back through the retransmission queue.
     fn abort_vpkt(&mut self, ctx: &mut NodeCtx<'_>) {
-        ctx.stats().bump("cmap.vpkt_abort");
+        ctx.stats().bump(CounterId::CmapVpktAbort);
         if let Some(cur) = self.cur.take() {
             self.window.push_sent(SentVpkt {
                 dst: cur.dst,
@@ -483,7 +492,7 @@ impl CmapMac {
     fn vpkt_complete(&mut self, ctx: &mut NodeCtx<'_>) {
         let cur = self.cur.take().expect("trailer done without vpkt");
         if cur.is_rtx {
-            ctx.stats().bump("cmap.rtx_vpkt_done");
+            ctx.stats().bump(CounterId::CmapRtxVpktDone);
         }
         self.window.push_sent(SentVpkt {
             dst: cur.dst,
@@ -538,17 +547,24 @@ impl CmapMac {
             } else {
                 (self.cw * 2).min(self.cfg.cw_max)
             };
-            ctx.stats().bump("cmap.cw_increase");
+            ctx.stats().bump(CounterId::CmapCwIncrease);
         } else {
             self.cw = 0;
         }
     }
 
     fn handle_ack(&mut self, ctx: &mut NodeCtx<'_>, ack: &cmap::Ack) {
-        ctx.stats().bump("cmap.ack_rx");
+        ctx.stats().bump(CounterId::CmapAckRx);
         self.consecutive_ack_timeouts = 0;
         let newly = self.window.on_ack(ack.src, ack.base_vpkt_seq, &ack.bitmaps);
-        ctx.stats().add("cmap.pkts_acked", newly as u64);
+        ctx.stats().add(CounterId::CmapPktsAcked, newly as u64);
+        if newly > 0 && ctx.trace_enabled() {
+            ctx.trace(TraceEvent::AckWindowSlide {
+                node: u32::try_from(ctx.node()).unwrap_or(u32::MAX),
+                peer: ack.src.node_index().unwrap_or(u16::MAX),
+                newly_acked: newly as u32,
+            });
+        }
         self.drain_rate_feedback(ctx);
         self.update_cw(ctx, ack.loss_rate_fraction());
         match self.state {
@@ -586,7 +602,7 @@ impl CmapMac {
                 .rx
                 .looks_rebooted(h.vpkt_seq, 2 * self.cfg.n_window as u32)
             {
-                ctx.stats().bump("cmap.peer_reset");
+                ctx.stats().bump(CounterId::CmapPeerReset);
                 peer.rx = PeerRx::new();
             }
             peer.rx.on_header(h.vpkt_seq, h.pkt_count, info.end);
@@ -693,7 +709,7 @@ impl CmapMac {
                 }
             }
         } else {
-            ctx.stats().bump("cmap.dup_finalize");
+            ctx.stats().bump(CounterId::CmapDupFinalize);
         }
         let (base, bitmaps, loss) = {
             let peer = self.peers.get_mut(&src).expect("created above");
@@ -745,14 +761,14 @@ impl CmapMac {
             return;
         };
         if self.in_flight.is_some() {
-            ctx.stats().bump("cmap.ack_blocked");
+            ctx.stats().bump(CounterId::CmapAckBlocked);
             return;
         }
         if ctx.transmit(Frame::CmapAck(ack), self.cfg.control_rate) {
             self.in_flight = Some(InFlight::Ack);
-            ctx.stats().bump("cmap.ack_tx");
+            ctx.stats().bump(CounterId::CmapAckTx);
         } else {
-            ctx.stats().bump("cmap.ack_blocked");
+            ctx.stats().bump(CounterId::CmapAckBlocked);
         }
     }
 
@@ -797,14 +813,16 @@ impl CmapMac {
             + self.defer.prune(now)
             + self.ongoing.prune(now);
         if evicted > 0 {
-            ctx.stats().add("cmap.expired_evicted", evicted as u64);
+            ctx.stats()
+                .add(CounterId::CmapExpiredEvicted, evicted as u64);
         }
         let peers_before = self.peers.len();
         let peer_cutoff = now.saturating_sub(self.cfg.peer_state_timeout);
         self.peers.retain(|_, p| p.last_heard >= peer_cutoff);
         let peers_evicted = peers_before - self.peers.len();
         if peers_evicted > 0 {
-            ctx.stats().add("cmap.peer_evicted", peers_evicted as u64);
+            ctx.stats()
+                .add(CounterId::CmapPeerEvicted, peers_evicted as u64);
         }
         let entries: Vec<_> = self
             .tracker
@@ -824,9 +842,9 @@ impl CmapMac {
             });
             if ctx.transmit(frame, self.cfg.control_rate) {
                 self.in_flight = Some(InFlight::Broadcast);
-                ctx.stats().bump("cmap.il_broadcast");
+                ctx.stats().bump(CounterId::CmapIlBroadcast);
             } else {
-                ctx.stats().bump("cmap.il_blocked");
+                ctx.stats().bump(CounterId::CmapIlBlocked);
             }
         }
         // Re-arm with jitter to avoid network-wide phase lock.
@@ -870,7 +888,7 @@ impl Mac for CmapMac {
         self.sender_gen += 1;
         self.rx_gen += 1;
         self.bcast_gen += 1;
-        ctx.stats().bump("cmap.restart");
+        ctx.stats().bump(CounterId::CmapRestart);
         let jitter = ctx.rng().gen_range(0..self.cfg.broadcast_period);
         ctx.set_timer(jitter, token(CLASS_BCAST, self.bcast_gen));
         self.try_send(ctx);
@@ -897,7 +915,19 @@ impl Mac for CmapMac {
                 // update on mere ACK absence). Count it towards the
                 // stale-map carrier-sense fallback, though.
                 self.consecutive_ack_timeouts = self.consecutive_ack_timeouts.saturating_add(1);
-                ctx.stats().bump("cmap.ack_timeout");
+                ctx.stats().bump(CounterId::CmapAckTimeout);
+                // Trace the moment the streak crosses into the conservative
+                // carrier-sense regime (the map-staleness leg may engage it
+                // later; DeferDecision.fallback reflects the live state).
+                if self.consecutive_ack_timeouts == self.cfg.csma_fallback_after
+                    && self.csma_fallback_active(ctx.now())
+                    && ctx.trace_enabled()
+                {
+                    ctx.trace(TraceEvent::FallbackToCsma {
+                        node: u32::try_from(ctx.node()).unwrap_or(u32::MAX),
+                        timeout_streak: self.consecutive_ack_timeouts,
+                    });
+                }
                 self.enter_backoff(ctx);
             }
             CLASS_BACKOFF if gen == self.sender_gen && self.state == SState::Backoff => {
@@ -912,9 +942,9 @@ impl Mac for CmapMac {
                 let (requeued, gave_up) = self
                     .window
                     .repack_for_rtx(self.cfg.n_vpkt, self.cfg.max_rtx_rounds);
-                ctx.stats().add("cmap.rtx_pkt", requeued as u64);
+                ctx.stats().add(CounterId::CmapRtxPkt, requeued as u64);
                 if gave_up > 0 {
-                    ctx.stats().add("cmap.rtx_give_up", gave_up as u64);
+                    ctx.stats().add(CounterId::CmapRtxGiveUp, gave_up as u64);
                 }
                 self.drain_rate_feedback(ctx);
                 self.state = SState::Idle;
@@ -994,7 +1024,7 @@ impl Mac for CmapMac {
                 }
             }
             None => {
-                ctx.stats().bump("cmap.unexpected_tx_done");
+                ctx.stats().bump(CounterId::CmapUnexpectedTxDone);
             }
         }
     }
@@ -1088,8 +1118,8 @@ mod tests {
         let agg = tput(&w, f1, secs(2), secs(10)) + tput(&w, f2, secs(2), secs(10));
         assert!(agg > 8.0, "CMAP exposed aggregate only {agg} Mbit/s");
         // Senders should essentially never defer to each other here.
-        let defers = w.stats().counter("cmap.defer");
-        let vpkts = w.stats().counter("cmap.tx_vpkt");
+        let defers = w.stats().counter(CounterId::CmapDefer);
+        let vpkts = w.stats().counter(CounterId::CmapTxVpkt);
         assert!(defers < vpkts / 4, "{defers} defers for {vpkts} vpkts");
     }
 
@@ -1119,11 +1149,11 @@ mod tests {
         );
         // The defer machinery must actually be engaging.
         assert!(
-            w.stats().counter("cmap.defer") > 20,
+            w.stats().counter(CounterId::CmapDefer) > 20,
             "defers: {}",
-            w.stats().counter("cmap.defer")
+            w.stats().counter(CounterId::CmapDefer)
         );
-        assert!(w.stats().counter("cmap.il_broadcast") > 0);
+        assert!(w.stats().counter(CounterId::CmapIlBroadcast) > 0);
         // Senders' defer tables hold entries.
         let d0 = w
             .mac_ref(0)
@@ -1165,7 +1195,7 @@ mod tests {
         // zero.
         assert!(agg > 1.5, "hidden-terminal aggregate collapsed: {agg}");
         assert!(
-            w.stats().counter("cmap.cw_increase") > 0,
+            w.stats().counter(CounterId::CmapCwIncrease) > 0,
             "backoff never engaged"
         );
     }
@@ -1392,7 +1422,7 @@ mod tests {
         w.run_until(secs(8));
         assert_eq!(w.watchdog_violations(), 0);
         assert!(
-            w.stats().counter("cmap.dup_finalize") > 0,
+            w.stats().counter(CounterId::CmapDupFinalize) > 0,
             "duplicate-finalise path never exercised"
         );
         assert!(
@@ -1428,9 +1458,12 @@ mod tests {
         w.install_faults(plan);
         w.run_until(secs(9));
         assert_eq!(w.watchdog_violations(), 0);
-        assert!(w.stats().counter("cmap.restart") >= 1, "restart never ran");
         assert!(
-            w.stats().counter("cmap.peer_reset") >= 1,
+            w.stats().counter(CounterId::CmapRestart) >= 1,
+            "restart never ran"
+        );
+        assert!(
+            w.stats().counter(CounterId::CmapPeerReset) >= 1,
             "receiver never detected the sender reboot"
         );
         let late = tput(&w, f, secs(5), secs(9));
@@ -1449,6 +1482,6 @@ mod tests {
         assert_eq!(w.stats().flow(f).duplicates, 0);
         let mac = w.mac_ref(0).as_any().downcast_ref::<CmapMac>().unwrap();
         assert_eq!(mac.contention_window(), 0);
-        assert!(w.stats().counter("cmap.ack_tx") > 50);
+        assert!(w.stats().counter(CounterId::CmapAckTx) > 50);
     }
 }

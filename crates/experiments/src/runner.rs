@@ -1,7 +1,7 @@
 //! Shared run machinery: specs, world construction, measurement.
 
 use cmap_sim::time::{secs, Time};
-use cmap_sim::{Medium, PhyConfig, World};
+use cmap_sim::{CounterId, Medium, PhyConfig, World};
 use cmap_topo::{LinkMeasurements, RadioEnv, Testbed};
 
 use crate::protocol::Protocol;
@@ -159,8 +159,8 @@ pub fn run_links(
     RunOutput {
         per_flow_mbps,
         hdr_rates,
-        defers: world.stats().counter("cmap.defer"),
-        txs: world.stats().counter("sim.tx"),
+        defers: world.stats().counter(CounterId::CmapDefer),
+        txs: world.stats().counter(CounterId::SimTx),
     }
 }
 

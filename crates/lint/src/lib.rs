@@ -136,6 +136,7 @@ impl Default for Config {
                 "crates/stats/src",
                 "crates/mac80211/src",
                 "crates/experiments/src",
+                "crates/obs/src",
                 "tests/fixtures",
             ]),
             hot_markers: v(&["crates/core/src/mac.rs", "crates/sim/src", "tests/fixtures"]),

@@ -15,7 +15,7 @@ use rand::Rng;
 
 use cmap_sim::app::AppPacket;
 use cmap_sim::time::{ns_to_u32_saturating, whole_slots, Time};
-use cmap_sim::{Mac, NodeCtx, RxInfo};
+use cmap_sim::{CounterId, Mac, NodeCtx, RxInfo};
 use cmap_wire::{dot11, Frame, MacAddr};
 
 use crate::config::DcfConfig;
@@ -219,7 +219,7 @@ impl DcfMac {
         if ctx.transmit(frame, self.cfg.rate) {
             self.state = TxState::Transmitting;
             self.in_flight = Some(InFlight::Data);
-            ctx.stats().bump("dcf.tx_data");
+            ctx.stats().bump(CounterId::DcfTxData);
         } else {
             self.state = TxState::WaitMedium;
         }
@@ -251,18 +251,18 @@ impl DcfMac {
     }
 
     fn on_ack_timeout(&mut self, ctx: &mut NodeCtx<'_>) {
-        ctx.stats().bump("dcf.ack_timeout");
+        ctx.stats().bump(CounterId::DcfAckTimeout);
         let drop = {
             let cur = self.cur.as_mut().expect("ack timeout without packet");
             cur.retries += 1;
             cur.retries > self.cfg.retry_limit
         };
         if drop {
-            ctx.stats().bump("dcf.drop");
+            ctx.stats().bump(CounterId::DcfDrop);
             self.cw = self.cfg.cw_min;
             self.finish_packet(ctx);
         } else {
-            ctx.stats().bump("dcf.retx");
+            ctx.stats().bump(CounterId::DcfRetx);
             self.cw = ((self.cw + 1) * 2 - 1).min(self.cfg.cw_max);
             self.backoff_slots = ctx.rng().gen_range(0..=self.cw);
             self.state = TxState::Idle;
@@ -273,7 +273,7 @@ impl DcfMac {
     fn on_ack_received(&mut self, ctx: &mut NodeCtx<'_>) {
         self.sender_gen += 1; // invalidate the pending ACK timeout
         self.cw = self.cfg.cw_min;
-        ctx.stats().bump("dcf.ack_ok");
+        ctx.stats().bump(CounterId::DcfAckOk);
         self.finish_packet(ctx);
     }
 
@@ -311,7 +311,7 @@ impl Mac for DcfMac {
         // stale, and generations only ever grow.
         self.sender_gen += 1;
         self.rx_gen += 1;
-        ctx.stats().bump("dcf.restart");
+        ctx.stats().bump(CounterId::DcfRestart);
         self.kick(ctx);
     }
 
@@ -323,9 +323,9 @@ impl Mac for DcfMac {
                     let frame = Frame::Dot11Ack(dot11::Ack { dst });
                     if ctx.transmit(frame, self.cfg.ack_rate) {
                         self.in_flight = Some(InFlight::Ack);
-                        ctx.stats().bump("dcf.ack_tx");
+                        ctx.stats().bump(CounterId::DcfAckTx);
                     } else {
-                        ctx.stats().bump("dcf.ack_tx_blocked");
+                        ctx.stats().bump(CounterId::DcfAckTxBlocked);
                     }
                 }
             }
@@ -401,7 +401,7 @@ impl Mac for DcfMac {
                 // busy->idle edge that follows this TxEnd.
             }
             None => {
-                ctx.stats().bump("dcf.unexpected_tx_done");
+                ctx.stats().bump(CounterId::DcfUnexpectedTxDone);
             }
         }
     }
@@ -409,7 +409,7 @@ impl Mac for DcfMac {
     fn on_rx_error(&mut self, ctx: &mut NodeCtx<'_>, _err: cmap_sim::RxErrorInfo) {
         if self.cfg.carrier_sense && self.cfg.eifs {
             self.eifs_until = ctx.now() + EIFS_NS;
-            ctx.stats().bump("dcf.eifs");
+            ctx.stats().bump(CounterId::DcfEifs);
             if matches!(self.state, TxState::WaitDifs | TxState::Backoff { .. }) {
                 self.pause(ctx);
             }
@@ -479,8 +479,8 @@ mod tests {
         let mbps = tput(&w, f, secs(1), secs(5));
         assert!((4.6..5.8).contains(&mbps), "single-link DCF {mbps} Mbit/s");
         // Virtually no retransmissions on a clean link.
-        let retx = w.stats().counter("dcf.retx");
-        let txs = w.stats().counter("dcf.tx_data");
+        let retx = w.stats().counter(CounterId::DcfRetx);
+        let txs = w.stats().counter(CounterId::DcfTxData);
         assert!(retx * 50 < txs, "retx {retx} of {txs}");
     }
 
@@ -510,7 +510,7 @@ mod tests {
         w.install_faults(plan);
         w.run_until(secs(8));
         assert_eq!(w.watchdog_violations(), 0);
-        assert_eq!(w.stats().counter("dcf.restart"), 2);
+        assert_eq!(w.stats().counter(CounterId::DcfRestart), 2);
         let late = tput(&w, f, secs(5), secs(8));
         assert!(late > 3.5, "DCF did not recover after churn: {late}");
     }
@@ -526,8 +526,8 @@ mod tests {
         w.run_until(secs(5));
         let mbps = tput(&w, f, secs(1), secs(5));
         assert!((4.8..6.0).contains(&mbps), "blast throughput {mbps}");
-        assert_eq!(w.stats().counter("dcf.retx"), 0);
-        assert_eq!(w.stats().counter("dcf.ack_tx"), 0);
+        assert_eq!(w.stats().counter(CounterId::DcfRetx), 0);
+        assert_eq!(w.stats().counter(CounterId::DcfAckTx), 0);
     }
 
     #[test]
@@ -639,8 +639,8 @@ mod tests {
             w.set_mac(n, Box::new(DcfMac::new(DcfConfig::status_quo())));
         }
         w.run_until(secs(5));
-        let timeouts = w.stats().counter("dcf.ack_timeout");
-        let acked = w.stats().counter("dcf.ack_ok");
+        let timeouts = w.stats().counter(CounterId::DcfAckTimeout);
+        let acked = w.stats().counter(CounterId::DcfAckOk);
         assert!(acked > 1000, "acked {acked}");
         assert!(timeouts * 20 < acked, "{timeouts} timeouts vs {acked} acks");
         assert!(tput(&w, f1, secs(1), secs(5)) > 1.5);
@@ -655,8 +655,8 @@ mod tests {
         w.set_mac(0, Box::new(DcfMac::new(DcfConfig::status_quo())));
         // Node 1 keeps the NullMac: receives but never ACKs.
         w.run_until(secs(2));
-        let drops = w.stats().counter("dcf.drop");
-        let retx = w.stats().counter("dcf.retx");
+        let drops = w.stats().counter(CounterId::DcfDrop);
+        let retx = w.stats().counter(CounterId::DcfRetx);
         assert!(drops > 10, "drops {drops}");
         // Every drop is preceded by RETRY_LIMIT retransmissions (the run may
         // end mid-sequence, so allow one partial round).
@@ -680,8 +680,8 @@ mod tests {
         w.set_mac(1, Box::new(DcfMac::new(DcfConfig::cs_off_no_acks())));
         w.run_until(secs(2));
         assert!(w.stats().flow(f).arrivals.len() > 500);
-        assert_eq!(w.stats().counter("dcf.ack_tx"), 0);
-        assert_eq!(w.stats().counter("dcf.ack_timeout"), 0);
+        assert_eq!(w.stats().counter(CounterId::DcfAckTx), 0);
+        assert_eq!(w.stats().counter(CounterId::DcfAckTimeout), 0);
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # cmap-obs — structured observability for the CMAP reproduction
+//!
+//! The harness-wide backbone for everything a run can tell you about
+//! itself, designed around three contracts:
+//!
+//! * **Typed, not stringly-typed.** Counters and gauges are enum keys
+//!   ([`CounterId`], [`GaugeId`]) with static names; the hot path indexes a
+//!   flat array instead of probing a string-keyed map, and a typo in a
+//!   metric name is a compile error instead of a silent zero.
+//! * **Deterministic by construction.** Trace dumps ([`TraceSink`]) and run
+//!   reports ([`RunReport`], [`SuiteReport`]) serialize in a fixed field
+//!   order with deterministic number formatting, so two same-seed runs
+//!   produce byte-identical artifacts. Wall-clock derived data is confined
+//!   to the `timing` block, which every writer can exclude.
+//! * **Off the simulation path.** Nothing in this crate reads a clock or
+//!   an entropy source (cmap-lint's R2 holds crate-wide); the event-loop
+//!   profiler ([`LoopProfile`]) is *fed* wall-clock durations by the
+//!   harness shell and only does arithmetic on them.
+//!
+//! | Module | Provides |
+//! |---|---|
+//! | [`metrics`] | `CounterId` / `GaugeId` registries with static names |
+//! | [`trace`] | typed ring-buffer trace sink with deterministic JSONL dump |
+//! | [`profile`] | event-loop dispatch/wall-clock profile, events/sec meter |
+//! | [`report`] | `RunReport` / `SuiteReport` manifest writers (`--json`) |
+//! | [`json`] | minimal deterministic JSON encoding helpers |
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{CounterId, GaugeId};
+pub use profile::LoopProfile;
+pub use report::{MetricValue, RunReport, SpecBlock, SuiteReport, TimingBlock, SCHEMA};
+pub use trace::{TraceEvent, TraceRecord, TraceSink};

@@ -1,0 +1,223 @@
+//! Event-loop self-profiling.
+//!
+//! The profile answers "how fast is the engine, and where do its events
+//! go?" without touching the deterministic simulation path: the harness
+//! shell steps a world in slices, reads the wall clock *outside* the
+//! engine, and feeds each slice's `(events, wall_ns)` pair in here. This
+//! module only does arithmetic — it never reads a clock itself, so the
+//! whole crate stays clean under cmap-lint's wall-clock rule.
+//!
+//! Per-event-type dispatch counts come from the engine's own deterministic
+//! counters (`World::event_counts`) and are attached via
+//! [`LoopProfile::set_dispatch`].
+
+use crate::json;
+
+/// Number of log2 buckets in the slice wall-time histogram (covers 1 ns to
+/// ~584 years per slice).
+const HIST_BUCKETS: usize = 64;
+
+/// Aggregated event-loop profile: dispatch mix, slice wall-time histogram,
+/// and an events/sec meter.
+#[derive(Debug, Clone)]
+pub struct LoopProfile {
+    slices: u64,
+    total_events: u64,
+    total_wall_ns: u64,
+    min_slice_ns: u64,
+    max_slice_ns: u64,
+    /// `hist[i]` counts slices whose wall time fell in `[2^i, 2^(i+1))` ns.
+    hist: [u64; HIST_BUCKETS],
+    /// Per-event-type dispatch counts, in the order the engine reports them.
+    dispatch: Vec<(String, u64)>,
+}
+
+impl Default for LoopProfile {
+    fn default() -> LoopProfile {
+        LoopProfile {
+            slices: 0,
+            total_events: 0,
+            total_wall_ns: 0,
+            min_slice_ns: u64::MAX,
+            max_slice_ns: 0,
+            hist: [0; HIST_BUCKETS],
+            dispatch: Vec::new(),
+        }
+    }
+}
+
+impl LoopProfile {
+    /// An empty profile.
+    pub fn new() -> LoopProfile {
+        LoopProfile::default()
+    }
+
+    /// Record one harness-timed slice: `events` processed in `wall_ns`
+    /// nanoseconds of wall-clock time.
+    pub fn record_slice(&mut self, events: u64, wall_ns: u64) {
+        self.slices += 1;
+        self.total_events += events;
+        self.total_wall_ns += wall_ns;
+        self.min_slice_ns = self.min_slice_ns.min(wall_ns);
+        self.max_slice_ns = self.max_slice_ns.max(wall_ns);
+        let bucket = (u64::BITS - 1)
+            .saturating_sub(wall_ns.max(1).leading_zeros())
+            .min(HIST_BUCKETS as u32 - 1) as usize;
+        self.hist[bucket] += 1;
+    }
+
+    /// Attach the engine's deterministic per-event-type dispatch counts.
+    pub fn set_dispatch<S: AsRef<str>>(&mut self, counts: &[(S, u64)]) {
+        self.dispatch = counts
+            .iter()
+            .map(|(name, c)| (name.as_ref().to_string(), *c))
+            .collect();
+    }
+
+    /// Slices recorded.
+    pub fn slices(&self) -> u64 {
+        self.slices
+    }
+
+    /// Total events across all slices.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Total wall-clock time across all slices, ns.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.total_wall_ns
+    }
+
+    /// The events/sec meter: total events over total wall time (NaN before
+    /// the first nonzero slice).
+    pub fn events_per_sec(&self) -> f64 {
+        // cmap-lint: allow(unit-cast) — wall-clock ns fed by the harness shell; plain meter arithmetic, off the sim path
+        self.total_events as f64 / (self.total_wall_ns as f64 / 1e9)
+    }
+
+    /// Per-event-type dispatch counts, as attached.
+    pub fn dispatch(&self) -> &[(String, u64)] {
+        &self.dispatch
+    }
+
+    /// Nonzero histogram buckets as `(bucket_floor_ns, slice_count)`.
+    pub fn hist_buckets(&self) -> Vec<(u64, u64)> {
+        self.hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+
+    /// JSON object for the report's timing block (wall-clock derived, so it
+    /// lives inside `timing` and is excluded from determinism comparisons).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"slices\":{},\"events\":{},\"wall_ns\":{},\"events_per_sec\":{}",
+            self.slices,
+            self.total_events,
+            self.total_wall_ns,
+            json::fmt_f64(self.events_per_sec()),
+        ));
+        if self.slices > 0 {
+            s.push_str(&format!(
+                ",\"min_slice_ns\":{},\"max_slice_ns\":{}",
+                self.min_slice_ns, self.max_slice_ns
+            ));
+        }
+        s.push_str(",\"dispatch\":{");
+        for (i, (name, c)) in self.dispatch.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_key(&mut s, name);
+            s.push_str(&c.to_string());
+        }
+        s.push_str("},\"slice_wall_hist\":{");
+        for (i, (floor, c)) in self.hist_buckets().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_key(&mut s, &floor.to_string());
+            s.push_str(&c.to_string());
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Small human-readable rendering for harness stderr/stdout.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "event loop: {} events in {:.3}s wall over {} slices -> {:.0} events/sec\n",
+            self.total_events,
+            // cmap-lint: allow(unit-cast) — wall-clock ns rendered for humans; off the sim path
+            self.total_wall_ns as f64 / 1e9,
+            self.slices,
+            self.events_per_sec(),
+        ));
+        for (name, c) in &self.dispatch {
+            let share = if self.total_events > 0 {
+                100.0 * *c as f64 / self.total_events as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!("  {name:<12} {c:>10}  ({share:5.1}%)\n"));
+        }
+        if self.slices > 0 {
+            out.push_str("  slice wall-time histogram (log2 buckets):\n");
+            for (floor, c) in self.hist_buckets() {
+                out.push_str(&format!("    >= {floor:>12} ns: {c}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_and_histogram() {
+        let mut p = LoopProfile::new();
+        p.record_slice(1000, 1_000_000); // 1 ms -> bucket 2^19
+        p.record_slice(3000, 1_000_000);
+        assert_eq!(p.slices(), 2);
+        assert_eq!(p.total_events(), 4000);
+        // 4000 events in 2 ms = 2M events/sec.
+        assert!((p.events_per_sec() - 2_000_000.0).abs() < 1e-6);
+        let hist = p.hist_buckets();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].1, 2);
+        assert_eq!(hist[0].0, 1 << 19);
+    }
+
+    #[test]
+    fn extreme_slices_stay_in_range() {
+        let mut p = LoopProfile::new();
+        p.record_slice(1, 0); // clamps to bucket 0
+        p.record_slice(1, u64::MAX); // clamps to the top bucket
+        let hist = p.hist_buckets();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].0, 1);
+        assert_eq!(hist[1].0, 1 << 63);
+    }
+
+    #[test]
+    fn json_includes_dispatch_and_meter() {
+        let mut p = LoopProfile::new();
+        p.record_slice(500, 2_000_000);
+        p.set_dispatch(&[("timer", 300u64), ("frame_start", 200)]);
+        let j = p.to_json();
+        assert!(j.contains("\"events\":500"), "{j}");
+        assert!(j.contains("\"dispatch\":{\"timer\":300,\"frame_start\":200}"));
+        assert!(j.contains("\"events_per_sec\":250000"));
+        let text = p.render_text();
+        assert!(text.contains("250000 events/sec"));
+        assert!(text.contains("timer"));
+    }
+}

@@ -1,0 +1,349 @@
+//! Machine-readable run reports (the `--json PATH` artifact).
+//!
+//! A [`RunReport`] is one figure/experiment's manifest: what was run (spec,
+//! seeds, effort), what came out (named metric values), and how long it
+//! took (the `timing` block). A [`SuiteReport`] aggregates many figure
+//! reports plus an event-loop profile — `repro_all` writes one as
+//! `BENCH_repro.json` to seed the repo's perf trajectory.
+//!
+//! **Determinism contract:** everything outside the `timing` blocks derives
+//! from simulation state only, keys serialize sorted (`BTreeMap`) and
+//! fields in fixed order, so two same-seed runs produce byte-identical
+//! reports when serialized with `include_timing = false`. The `timing`
+//! block is always the *last* key of its object, and the only place
+//! wall-clock-derived numbers may appear.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+use crate::profile::LoopProfile;
+
+/// Report schema identifier (bump on breaking shape changes).
+pub const SCHEMA: &str = "cmap-obs/v1";
+
+/// The run parameters block: which testbed, which seeds, how long.
+#[derive(Debug, Clone, Default)]
+pub struct SpecBlock {
+    /// Testbed-generation seed (the "building").
+    pub testbed_seed: u64,
+    /// Run-randomness seed.
+    pub run_seed: u64,
+    /// Effort label (`quick` / `standard` / `full`).
+    pub effort: String,
+    /// Number of configurations evaluated (0 when not applicable).
+    pub configs: u64,
+    /// Simulated duration per run, seconds.
+    pub duration_s: f64,
+    /// Application payload bytes per packet.
+    pub payload: u64,
+}
+
+impl SpecBlock {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"testbed_seed\":{},\"run_seed\":{},\"effort\":{},\"configs\":{},\
+             \"duration_s\":{},\"payload\":{}}}",
+            self.testbed_seed,
+            self.run_seed,
+            {
+                let mut s = String::new();
+                json::push_str_lit(&mut s, &self.effort);
+                s
+            },
+            self.configs,
+            json::fmt_f64(self.duration_s),
+            self.payload,
+        )
+    }
+}
+
+/// One named metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Unsigned count.
+    Uint(u64),
+    /// Measurement.
+    Float(f64),
+    /// Label / enum-ish value.
+    Text(String),
+}
+
+impl MetricValue {
+    fn to_json(&self) -> String {
+        match self {
+            MetricValue::Uint(v) => v.to_string(),
+            MetricValue::Float(v) => json::fmt_f64(*v),
+            MetricValue::Text(v) => {
+                let mut s = String::new();
+                json::push_str_lit(&mut s, v);
+                s
+            }
+        }
+    }
+}
+
+impl From<u64> for MetricValue {
+    fn from(v: u64) -> MetricValue {
+        MetricValue::Uint(v)
+    }
+}
+
+impl From<usize> for MetricValue {
+    fn from(v: usize) -> MetricValue {
+        MetricValue::Uint(v as u64)
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> MetricValue {
+        MetricValue::Float(v)
+    }
+}
+
+impl From<&str> for MetricValue {
+    fn from(v: &str) -> MetricValue {
+        MetricValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for MetricValue {
+    fn from(v: String) -> MetricValue {
+        MetricValue::Text(v)
+    }
+}
+
+/// Wall-clock timing of one figure run. Excluded from determinism
+/// comparisons by construction (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct TimingBlock {
+    /// Wall-clock seconds the figure took.
+    pub wall_secs: f64,
+}
+
+impl TimingBlock {
+    fn to_json(&self) -> String {
+        format!("{{\"wall_secs\":{}}}", json::fmt_f64(self.wall_secs))
+    }
+}
+
+/// One figure/experiment's machine-readable manifest.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Registry/bin name (e.g. `fig12_exposed`).
+    pub figure: String,
+    /// Human title (the banner heading).
+    pub title: String,
+    /// Run parameters.
+    pub spec: SpecBlock,
+    /// Named results, sorted by key at serialization.
+    pub metrics: BTreeMap<String, MetricValue>,
+    /// Wall-clock block (filled by the harness shell; `None` in library
+    /// contexts).
+    pub timing: Option<TimingBlock>,
+}
+
+impl RunReport {
+    /// An empty report for `figure`.
+    pub fn new(figure: &str, title: &str, spec: SpecBlock) -> RunReport {
+        RunReport {
+            figure: figure.to_string(),
+            title: title.to_string(),
+            spec,
+            metrics: BTreeMap::new(),
+            timing: None,
+        }
+    }
+
+    /// Insert (or overwrite) a metric.
+    pub fn metric(&mut self, key: &str, value: impl Into<MetricValue>) {
+        self.metrics.insert(key.to_string(), value.into());
+    }
+
+    /// Check that every required metric key is present.
+    pub fn validate(&self, required: &[&str]) -> Result<(), String> {
+        let missing: Vec<&str> = required
+            .iter()
+            .filter(|k| !self.metrics.contains_key(**k))
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "report `{}` is missing required metrics: {}",
+                self.figure,
+                missing.join(", ")
+            ))
+        }
+    }
+
+    /// Serialize; `include_timing = false` yields the deterministic view.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut s = String::from("{\"schema\":");
+        json::push_str_lit(&mut s, SCHEMA);
+        s.push_str(",\"figure\":");
+        json::push_str_lit(&mut s, &self.figure);
+        s.push_str(",\"title\":");
+        json::push_str_lit(&mut s, &self.title);
+        s.push_str(",\"spec\":");
+        s.push_str(&self.spec.to_json());
+        s.push_str(",\"metrics\":{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::push_key(&mut s, k);
+            s.push_str(&v.to_json());
+        }
+        s.push('}');
+        if include_timing {
+            if let Some(t) = &self.timing {
+                s.push_str(",\"timing\":");
+                s.push_str(&t.to_json());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Aggregate of many figure reports (what `repro_all --json` writes).
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Suite name (e.g. `repro_all`).
+    pub suite: String,
+    /// The shared CLI-level spec the suite ran under.
+    pub spec: SpecBlock,
+    /// Per-figure reports, in run order.
+    pub figures: Vec<RunReport>,
+    /// Suite wall-clock, if measured.
+    pub timing: Option<TimingBlock>,
+    /// Event-loop profile, if the harness ran one (wall-clock derived, so
+    /// serialized inside the timing region).
+    pub profile: Option<LoopProfile>,
+}
+
+impl SuiteReport {
+    /// An empty suite report.
+    pub fn new(suite: &str, spec: SpecBlock) -> SuiteReport {
+        SuiteReport {
+            suite: suite.to_string(),
+            spec,
+            figures: Vec::new(),
+            timing: None,
+            profile: None,
+        }
+    }
+
+    /// Serialize; `include_timing = false` yields the deterministic view
+    /// (per-figure timing blocks and the loop profile are dropped too).
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut s = String::from("{\"schema\":");
+        json::push_str_lit(&mut s, SCHEMA);
+        s.push_str(",\"suite\":");
+        json::push_str_lit(&mut s, &self.suite);
+        s.push_str(",\"spec\":");
+        s.push_str(&self.spec.to_json());
+        s.push_str(",\"figures\":[");
+        for (i, f) in self.figures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&f.to_json(include_timing));
+        }
+        s.push(']');
+        if include_timing {
+            s.push_str(",\"timing\":{");
+            let mut first = true;
+            if let Some(t) = &self.timing {
+                s.push_str("\"wall_secs\":");
+                s.push_str(&json::fmt_f64(t.wall_secs));
+                first = false;
+            }
+            if let Some(p) = &self.profile {
+                if !first {
+                    s.push(',');
+                }
+                s.push_str("\"loop_profile\":");
+                s.push_str(&p.to_json());
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SpecBlock {
+        SpecBlock {
+            testbed_seed: 42,
+            run_seed: 1,
+            effort: "quick".to_string(),
+            configs: 12,
+            duration_s: 10.0,
+            payload: 1400,
+        }
+    }
+
+    #[test]
+    fn run_report_shape_and_key_order() {
+        let mut r = RunReport::new("fig12_exposed", "Fig 12", spec());
+        r.metric("median_cmap_mbps", 8.25);
+        r.metric("median_cs_mbps", 4.0);
+        r.metric("configs_run", 12usize);
+        r.timing = Some(TimingBlock { wall_secs: 3.5 });
+        let det = r.to_json(false);
+        assert!(det.starts_with("{\"schema\":\"cmap-obs/v1\",\"figure\":\"fig12_exposed\""));
+        // BTreeMap: keys sorted regardless of insertion order.
+        let a = det.find("configs_run").unwrap();
+        let b = det.find("median_cmap_mbps").unwrap();
+        let c = det.find("median_cs_mbps").unwrap();
+        assert!(a < b && b < c, "{det}");
+        assert!(!det.contains("timing"));
+        let full = r.to_json(true);
+        assert!(full.contains("\"timing\":{\"wall_secs\":3.5}"));
+        // Timing is the last key by construction.
+        assert!(full.ends_with("\"timing\":{\"wall_secs\":3.5}}"));
+    }
+
+    #[test]
+    fn validate_reports_missing_keys() {
+        let mut r = RunReport::new("f", "t", spec());
+        r.metric("present", 1u64);
+        assert!(r.validate(&["present"]).is_ok());
+        let err = r.validate(&["present", "absent"]).unwrap_err();
+        assert!(err.contains("absent"), "{err}");
+        assert!(!err.contains("present,"), "{err}");
+    }
+
+    #[test]
+    fn suite_report_drops_all_timing_in_deterministic_view() {
+        let mut s = SuiteReport::new("repro_all", spec());
+        let mut f = RunReport::new("fig12_exposed", "Fig 12", spec());
+        f.metric("m", 1.5);
+        f.timing = Some(TimingBlock { wall_secs: 2.0 });
+        s.figures.push(f);
+        s.timing = Some(TimingBlock { wall_secs: 9.0 });
+        let mut p = LoopProfile::new();
+        p.record_slice(10, 100);
+        s.profile = Some(p);
+        let det = s.to_json(false);
+        assert!(!det.contains("timing"), "{det}");
+        assert!(!det.contains("loop_profile"), "{det}");
+        let full = s.to_json(true);
+        assert!(full.contains("\"wall_secs\":9"));
+        assert!(full.contains("\"loop_profile\":{"));
+        assert!(full.contains("\"wall_secs\":2"));
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let mut r = RunReport::new("f", "t", SpecBlock::default());
+        r.metric("nan", f64::NAN);
+        assert!(r.to_json(false).contains("\"nan\":null"));
+    }
+}

@@ -33,6 +33,38 @@ pub enum Event {
     Audit,
 }
 
+impl Event {
+    /// Number of event kinds (dense index space for dispatch counters).
+    pub const KIND_COUNT: usize = 6;
+
+    /// Kind names in `kind_idx` order, for dispatch-profile reporting.
+    pub const KIND_NAMES: [&'static str; Event::KIND_COUNT] = [
+        "tx_end",
+        "frame_start",
+        "frame_end",
+        "timer",
+        "fault",
+        "audit",
+    ];
+
+    /// Dense index of this event's kind.
+    pub const fn kind_idx(&self) -> usize {
+        match self {
+            Event::TxEnd { .. } => 0,
+            Event::FrameStart { .. } => 1,
+            Event::FrameEnd { .. } => 2,
+            Event::Timer { .. } => 3,
+            Event::Fault { .. } => 4,
+            Event::Audit => 5,
+        }
+    }
+
+    /// This event's kind name.
+    pub const fn kind_name(&self) -> &'static str {
+        Event::KIND_NAMES[self.kind_idx()]
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Scheduled {
     at: Time,
@@ -59,6 +91,7 @@ pub struct Scheduler {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
     processed: u64,
+    processed_by_kind: [u64; Event::KIND_COUNT],
 }
 
 impl Scheduler {
@@ -83,6 +116,7 @@ impl Scheduler {
     pub fn pop(&mut self) -> Option<(Time, Event)> {
         let s = self.heap.pop()?;
         self.processed += 1;
+        self.processed_by_kind[s.event.kind_idx()] += 1;
         Some((s.at, s.event))
     }
 
@@ -99,6 +133,17 @@ impl Scheduler {
     /// Total events processed so far (for perf reporting).
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Events processed per kind, `(kind_name, count)` in kind order.
+    /// Deterministic: derived purely from the event stream, so it also
+    /// feeds the dispatch section of the event-loop profile.
+    pub fn processed_by_kind(&self) -> Vec<(&'static str, u64)> {
+        Event::KIND_NAMES
+            .iter()
+            .zip(self.processed_by_kind.iter())
+            .map(|(&n, &c)| (n, c))
+            .collect()
     }
 }
 
@@ -145,5 +190,21 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.processed(), 1);
         assert_eq!(s.peek_time(), Some(2));
+    }
+
+    #[test]
+    fn per_kind_counts_track_the_mix() {
+        let mut s = Scheduler::new();
+        s.schedule(1, timer(0, 0));
+        s.schedule(2, Event::Audit);
+        s.schedule(3, timer(1, 1));
+        while s.pop().is_some() {}
+        let by_kind: std::collections::BTreeMap<&str, u64> =
+            s.processed_by_kind().into_iter().collect();
+        assert_eq!(by_kind["timer"], 2);
+        assert_eq!(by_kind["audit"], 1);
+        assert_eq!(by_kind["tx_end"], 0);
+        let total: u64 = s.processed_by_kind().iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, s.processed());
     }
 }

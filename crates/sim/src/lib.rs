@@ -11,7 +11,8 @@
 //!   implement, with all effects funnelled through [`NodeCtx`],
 //! * saturated and relay application [`app`] flows,
 //! * run statistics ([`stats`]): windowed per-flow throughput, virtual-packet
-//!   header/trailer reception bookkeeping, and named counters, and
+//!   header/trailer reception bookkeeping, typed counters/gauges from the
+//!   `cmap-obs` registry, and an optional structured trace sink, and
 //! * deterministic fault injection ([`faults`]): node churn, radio lockups,
 //!   Gilbert–Elliott burst loss, stepped shadowing, clock skew and frame
 //!   corruption, plus a runtime invariant watchdog.
@@ -46,6 +47,7 @@ pub mod time;
 pub mod world;
 
 pub use app::AppPacket;
+pub use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 pub use config::PhyConfig;
 pub use faults::{FaultPlan, GilbertElliott, Lockup, Outage, Shadowing, WatchdogConfig};
 pub use mac::{Mac, NodeCtx, NullMac, RxErrorInfo, RxInfo};

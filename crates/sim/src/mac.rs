@@ -161,6 +161,21 @@ impl NodeCtx<'_> {
         self.stats
     }
 
+    /// Emit a structured trace event at the current simulation time. One
+    /// branch and no work when tracing is disabled; protocol decision
+    /// points call this unconditionally.
+    #[inline]
+    pub fn trace(&mut self, ev: cmap_obs::TraceEvent) {
+        self.stats.emit(self.now, ev);
+    }
+
+    /// Whether structured tracing is enabled (lets callers skip building
+    /// costly event payloads; the typed events themselves are all `Copy`).
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.stats.trace_enabled()
+    }
+
     /// Arrange for [`Mac::on_timer`] with `token` after `delay` ns.
     ///
     /// There is no cancellation: supersede timers by versioning the token

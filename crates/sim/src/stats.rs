@@ -3,12 +3,21 @@
 //! Everything the evaluation section needs is recorded here during a run:
 //! per-flow non-duplicate deliveries with timestamps (for windowed
 //! throughput, §5.1 measures the last 60 of 100 seconds), per-link virtual-
-//! packet header/trailer reception (Figs 16 and 19), and free-form named
-//! counters that protocols bump for diagnosis and tests.
+//! packet header/trailer reception (Figs 16 and 19), typed run counters and
+//! gauges from the [`cmap_obs`] registry, and — when enabled — a bounded
+//! structured trace of protocol decision points.
+//!
+//! Counters are a flat `[u64; CounterId::COUNT]` indexed by the dense
+//! [`CounterId`]: the hot path is one array write, no map lookup. The old
+//! string-keyed API survives as `*_named` compat shims (deprecated); names
+//! outside the registry fall into a side map so third-party experiment code
+//! keeps working during migration.
 
 // BTreeMap/BTreeSet throughout: statistics feed figure output and test
 // assertions, so their iteration order must not depend on hash seeds.
 use std::collections::{BTreeMap, BTreeSet};
+
+use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 
 use crate::time::Time;
 use crate::world::NodeId;
@@ -94,11 +103,33 @@ impl VpktStats {
 }
 
 /// All statistics for one simulation run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Stats {
     flows: Vec<FlowStats>,
     vpkt: BTreeMap<(NodeId, NodeId), VpktStats>,
-    counters: BTreeMap<&'static str, u64>,
+    /// Typed counters, indexed by `CounterId::idx()`.
+    counters: [u64; CounterId::COUNT],
+    /// Typed gauges, indexed by `GaugeId::idx()`.
+    gauges: [u64; GaugeId::COUNT],
+    /// Overflow for deprecated `*_named` calls whose name is not in the
+    /// registry (third-party experiment code mid-migration).
+    dynamic: BTreeMap<&'static str, u64>,
+    /// Structured trace sink; `None` (the default) keeps every emit site to
+    /// a single branch.
+    trace: Option<TraceSink>,
+}
+
+impl Default for Stats {
+    fn default() -> Stats {
+        Stats {
+            flows: Vec::new(),
+            vpkt: BTreeMap::new(),
+            counters: [0; CounterId::COUNT],
+            gauges: [0; GaugeId::COUNT],
+            dynamic: BTreeMap::new(),
+            trace: None,
+        }
+    }
 }
 
 impl Stats {
@@ -164,7 +195,7 @@ impl Stats {
             // Oldest seq first: ACK windows only ever look forward.
             v.got.pop_first();
             v.evicted += 1;
-            *self.counters.entry("stats.vpkt_evicted").or_insert(0) += 1;
+            self.counters[CounterId::StatsVpktEvicted.idx()] += 1;
         }
     }
 
@@ -178,34 +209,121 @@ impl Stats {
         self.vpkt.iter()
     }
 
-    /// Bump a named counter.
-    pub fn bump(&mut self, name: &'static str) {
-        *self.counters.entry(name).or_insert(0) += 1;
+    /// Bump a typed counter by one.
+    #[inline]
+    pub fn bump(&mut self, id: CounterId) {
+        self.counters[id.idx()] += 1;
     }
 
-    /// Add to a named counter.
-    pub fn add(&mut self, name: &'static str, v: u64) {
-        *self.counters.entry(name).or_insert(0) += v;
+    /// Add to a typed counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, v: u64) {
+        self.counters[id.idx()] += v;
     }
 
-    /// Read a named counter (0 if never bumped).
-    pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+    /// Read a typed counter.
+    #[inline]
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.idx()]
     }
 
-    /// All named counters, sorted by name (for debugging dumps).
+    /// Set a typed gauge (last write wins).
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: u64) {
+        self.gauges[id.idx()] = v;
+    }
+
+    /// Read a typed gauge.
+    #[inline]
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.gauges[id.idx()]
+    }
+
+    /// Bump a counter by name.
+    #[deprecated(since = "0.1.0", note = "use `bump(CounterId::...)`")]
+    pub fn bump_named(&mut self, name: &'static str) {
+        match CounterId::from_name(name) {
+            Some(id) => self.counters[id.idx()] += 1,
+            None => *self.dynamic.entry(name).or_insert(0) += 1,
+        }
+    }
+
+    /// Add to a counter by name.
+    #[deprecated(since = "0.1.0", note = "use `add(CounterId::..., v)`")]
+    pub fn add_named(&mut self, name: &'static str, v: u64) {
+        match CounterId::from_name(name) {
+            Some(id) => self.counters[id.idx()] += v,
+            None => *self.dynamic.entry(name).or_insert(0) += v,
+        }
+    }
+
+    /// Read a counter by name (0 if never bumped).
+    #[deprecated(since = "0.1.0", note = "use `counter(CounterId::...)`")]
+    pub fn counter_named(&self, name: &str) -> u64 {
+        match CounterId::from_name(name) {
+            Some(id) => self.counters[id.idx()],
+            None => self.dynamic.get(name).copied().unwrap_or(0),
+        }
+    }
+
+    /// All nonzero counters (typed and legacy dynamic), sorted by name.
     pub fn counters_sorted(&self) -> Vec<(&'static str, u64)> {
-        self.counters.iter().map(|(&k, &c)| (k, c)).collect()
+        let mut out: Vec<(&'static str, u64)> = CounterId::ALL
+            .iter()
+            .filter_map(|&id| {
+                let c = self.counters[id.idx()];
+                (c != 0).then_some((id.name(), c))
+            })
+            .collect();
+        out.extend(
+            self.dynamic
+                .iter()
+                .filter(|&(_, &c)| c != 0)
+                .map(|(&k, &c)| (k, c)),
+        );
+        out.sort_unstable_by_key(|&(name, _)| name);
+        out
+    }
+
+    /// Enable structured tracing with a ring buffer of `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceSink::new(capacity));
+    }
+
+    /// Whether a trace sink is attached.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Emit a trace event at simulation time `at_ns`. One branch and no
+    /// work when tracing is disabled.
+    #[inline]
+    pub fn emit(&mut self, at_ns: u64, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(at_ns, ev);
+        }
+    }
+
+    /// The attached trace sink, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Detach and return the trace sink (tracing stops).
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
     }
 
     /// Canonical text serialization of the complete run statistics.
     ///
     /// Every piece of state this type records appears in the output in a
-    /// fixed order (flow index, link key, counter name — all `BTreeMap`
-    /// ordered), so two runs are behaviourally identical if and only if
-    /// their snapshots are byte-for-byte equal. The determinism regression
-    /// test (`tests/determinism_snapshot.rs`) relies on exactly that
-    /// property.
+    /// fixed order (flow index, link key, counter/gauge name — all sorted),
+    /// so two runs are behaviourally identical if and only if their
+    /// snapshots are byte-for-byte equal. The determinism regression test
+    /// (`tests/determinism_snapshot.rs`) relies on exactly that property.
+    /// Trace contents are intentionally excluded: the trace is a bounded
+    /// *view* of behaviour, not extra behaviour.
     pub fn snapshot(&self) -> String {
         let mut out = String::new();
         for (i, f) in self.flows.iter().enumerate() {
@@ -226,8 +344,14 @@ impl Stats {
             }
             out.push('\n');
         }
-        for (name, c) in &self.counters {
+        for (name, c) in self.counters_sorted() {
             out.push_str(&format!("counter {name}={c}\n"));
+        }
+        for id in GaugeId::ALL {
+            let v = self.gauges[id.idx()];
+            if v != 0 {
+                out.push_str(&format!("gauge {}={v}\n", id.name()));
+            }
         }
         out
     }
@@ -332,7 +456,7 @@ mod tests {
         );
         assert_eq!(v.trailer_count(), 0);
         assert_eq!(v.evicted, u64::from(extra));
-        assert_eq!(s.counter("stats.vpkt_evicted"), u64::from(extra));
+        assert_eq!(s.counter(CounterId::StatsVpktEvicted), u64::from(extra));
         // Re-flagging an evicted seq recreates an entry but does not
         // double-count the header.
         let before = s.vpkt_stats(0, 1).unwrap().header_count();
@@ -343,14 +467,74 @@ mod tests {
     }
 
     #[test]
-    fn named_counters() {
+    fn typed_counters_and_gauges() {
         let mut s = Stats::default();
-        s.bump("x");
-        s.bump("x");
-        s.add("y", 5);
-        assert_eq!(s.counter("x"), 2);
-        assert_eq!(s.counter("y"), 5);
-        assert_eq!(s.counter("z"), 0);
-        assert_eq!(s.counters_sorted(), vec![("x", 2), ("y", 5)]);
+        s.bump(CounterId::SimTx);
+        s.bump(CounterId::SimTx);
+        s.add(CounterId::CmapDefer, 5);
+        assert_eq!(s.counter(CounterId::SimTx), 2);
+        assert_eq!(s.counter(CounterId::CmapDefer), 5);
+        assert_eq!(s.counter(CounterId::DcfDrop), 0);
+        assert_eq!(s.counters_sorted(), vec![("cmap.defer", 5), ("sim.tx", 2)]);
+        s.set_gauge(GaugeId::SimSchedPending, 7);
+        assert_eq!(s.gauge(GaugeId::SimSchedPending), 7);
+        assert_eq!(s.gauge(GaugeId::SimInflightTx), 0);
+        let snap = s.snapshot();
+        assert!(snap.contains("counter cmap.defer=5\n"), "{snap}");
+        assert!(snap.contains("gauge sim.sched_pending=7\n"), "{snap}");
+        assert!(!snap.contains("sim.inflight_tx"), "{snap}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn named_shims_route_registry_names_to_typed_storage() {
+        let mut s = Stats::default();
+        s.bump_named("sim.tx");
+        s.bump_named("sim.tx");
+        s.add_named("not.in.registry", 5);
+        assert_eq!(s.counter(CounterId::SimTx), 2);
+        assert_eq!(s.counter_named("sim.tx"), 2);
+        assert_eq!(s.counter_named("not.in.registry"), 5);
+        assert_eq!(s.counter_named("never.bumped"), 0);
+        // Dynamic names interleave alphabetically with typed ones.
+        assert_eq!(
+            s.counters_sorted(),
+            vec![("not.in.registry", 5), ("sim.tx", 2)]
+        );
+        let snap = s.snapshot();
+        assert!(snap.contains("counter not.in.registry=5\n"), "{snap}");
+    }
+
+    #[test]
+    fn trace_sink_is_off_by_default_and_bounded_when_on() {
+        let mut s = Stats::default();
+        assert!(!s.trace_enabled());
+        s.emit(
+            10,
+            TraceEvent::FallbackToCsma {
+                node: 0,
+                timeout_streak: 1,
+            },
+        );
+        assert!(s.trace().is_none());
+        s.enable_trace(2);
+        assert!(s.trace_enabled());
+        for i in 0..5u64 {
+            s.emit(
+                i,
+                TraceEvent::FallbackToCsma {
+                    node: 0,
+                    timeout_streak: 1,
+                },
+            );
+        }
+        let t = s.trace().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        // Trace contents never appear in the behavioural snapshot.
+        assert!(!s.snapshot().contains("fallback_to_csma"));
+        let sink = s.take_trace().unwrap();
+        assert_eq!(sink.emitted(), 5);
+        assert!(!s.trace_enabled());
     }
 }

@@ -25,9 +25,10 @@ use crate::radio::{LockOutcome, Radio, RadioPhase, RxCompletion};
 use crate::rng::{normal, stream_rng};
 use crate::stats::Stats;
 use crate::time::Time;
+use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 use cmap_phy::units::db_to_ratio;
 use cmap_phy::{mw_to_dbm, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
-use cmap_wire::{Frame, MacAddr};
+use cmap_wire::{Frame, FrameKind, MacAddr};
 
 /// Index of a node in the world.
 pub type NodeId = usize;
@@ -262,6 +263,25 @@ impl World {
         self.sched.processed()
     }
 
+    /// Deterministic per-event-kind dispatch counts (`(kind_name, count)`),
+    /// for the event-loop profile.
+    pub fn event_counts(&self) -> Vec<(&'static str, u64)> {
+        self.sched.processed_by_kind()
+    }
+
+    /// Enable structured tracing: protocol/engine decision points are
+    /// recorded into a ring buffer of at most `capacity` records. Tracing
+    /// observes the run without perturbing it — enabling it changes no
+    /// behavioural statistics.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.stats.enable_trace(capacity);
+    }
+
+    /// Detach the trace sink (if tracing was enabled) for dumping.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.stats.take_trace()
+    }
+
     /// Call every MAC's `on_start`. Idempotent guard: panics on double start.
     pub fn start(&mut self) {
         assert!(!self.started, "world already started");
@@ -296,13 +316,20 @@ impl World {
             if at < self.time {
                 // Event-time monotonicity violation: the watchdog records
                 // it and the clock holds instead of running backwards.
-                self.stats.bump("watchdog.time_regress");
+                self.stats.bump(CounterId::WatchdogTimeRegress);
             } else {
                 self.time = at;
             }
             self.handle_event(ev);
         }
         self.time = t;
+        // Level readings at the (deterministic) stop point.
+        self.stats
+            .set_gauge(GaugeId::SimInflightTx, self.txs.len() as u64);
+        self.stats
+            .set_gauge(GaugeId::SimSchedPending, self.sched.len() as u64);
+        let dropped = self.stats.trace().map_or(0, |tr| tr.dropped());
+        self.stats.set_gauge(GaugeId::TraceDropped, dropped);
     }
 
     fn handle_event(&mut self, ev: Event) {
@@ -313,7 +340,7 @@ impl World {
             }
             Event::TxEnd { node, tx_id } => {
                 if !self.radios[node].end_tx() {
-                    self.stats.bump("watchdog.radio_state");
+                    self.stats.bump(CounterId::WatchdogRadioState);
                 }
                 self.release_tx(tx_id);
                 self.dispatch(node, |mac, ctx| mac.on_tx_done(ctx));
@@ -345,8 +372,8 @@ impl World {
                     &mut self.rngs[rx],
                 );
                 match outcome {
-                    LockOutcome::Locked => self.stats.bump("sim.lock"),
-                    LockOutcome::Captured { .. } => self.stats.bump("sim.capture"),
+                    LockOutcome::Locked => self.stats.bump(CounterId::SimLock),
+                    LockOutcome::Captured { .. } => self.stats.bump(CounterId::SimCapture),
                     LockOutcome::Interference => {}
                 }
                 self.check_channel_edge(rx);
@@ -369,41 +396,57 @@ impl World {
         match action {
             FaultAction::NodeDown(node) => {
                 if self.radios[node].power_off() {
-                    self.stats.bump("fault.rx_dropped");
+                    self.stats.bump(CounterId::FaultRxDropped);
                 }
                 self.faults.as_deref_mut().expect("checked").node_up[node] = false;
-                self.stats.bump("fault.node_down");
+                self.stats.bump(CounterId::FaultNodeDown);
+                self.trace_fault("node_down", node);
             }
             FaultAction::NodeUp(node) => {
                 self.radios[node].power_on();
                 let f = self.faults.as_deref_mut().expect("checked");
                 f.node_up[node] = true;
                 f.last_dispatch[node] = self.time;
-                self.stats.bump("fault.node_up");
+                self.stats.bump(CounterId::FaultNodeUp);
+                self.trace_fault("node_up", node);
                 self.dispatch(node, |mac, ctx| mac.on_restart(ctx));
                 self.check_channel_edge(node);
             }
             FaultAction::LockupStart(node) => {
                 if self.radios[node].power_off() {
-                    self.stats.bump("fault.rx_dropped");
+                    self.stats.bump(CounterId::FaultRxDropped);
                 }
-                self.stats.bump("fault.lockup");
+                self.stats.bump(CounterId::FaultLockup);
+                self.trace_fault("lockup", node);
                 // The MAC keeps running and observes carrier stuck busy.
                 self.check_channel_edge(node);
             }
             FaultAction::LockupEnd(node) => {
                 self.radios[node].power_on();
-                self.stats.bump("fault.lockup_end");
+                self.stats.bump(CounterId::FaultLockupEnd);
+                self.trace_fault("lockup_end", node);
                 // Busy -> idle recovery edge wakes carrier-waiting MACs.
                 self.check_channel_edge(node);
             }
         }
     }
 
+    fn trace_fault(&mut self, kind: &'static str, node: NodeId) {
+        if self.stats.trace_enabled() {
+            self.stats.emit(
+                self.time,
+                TraceEvent::FaultInjected {
+                    kind,
+                    node: u32::try_from(node).unwrap_or(u32::MAX),
+                },
+            );
+        }
+    }
+
     fn handle_audit(&mut self) {
         for node in 0..self.node_count() {
             if !self.radios[node].invariants_ok() {
-                self.stats.bump("watchdog.radio_state");
+                self.stats.bump(CounterId::WatchdogRadioState);
             }
         }
         // MAC liveness: an up node with pending data must have had *some*
@@ -422,7 +465,7 @@ impl World {
             }
         }
         if stalled > 0 {
-            self.stats.add("watchdog.stalled", stalled);
+            self.stats.add(CounterId::WatchdogStalled, stalled);
         }
         self.sched
             .schedule(self.time + self.watchdog.audit_period, Event::Audit);
@@ -445,10 +488,10 @@ impl World {
                 _ => false,
             };
         if corrupted {
-            self.stats.bump("fault.corrupted");
+            self.stats.bump(CounterId::FaultCorrupted);
         }
         if decoded && !corrupted {
-            self.stats.bump("sim.rx_ok");
+            self.stats.bump(CounterId::SimRxOk);
             let info = RxInfo {
                 rss_dbm,
                 start: c.lock_time,
@@ -463,11 +506,11 @@ impl World {
                 _ => false,
             };
             if duplicated {
-                self.stats.bump("fault.dup_delivered");
+                self.stats.bump(CounterId::FaultDupDelivered);
                 self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &frame, info));
             }
         } else {
-            self.stats.bump("sim.rx_fail");
+            self.stats.bump(CounterId::SimRxFail);
             let err = RxErrorInfo {
                 start: c.lock_time,
                 end: self.time,
@@ -495,7 +538,7 @@ impl World {
             if !fs.node_up[node] {
                 // A crashed node's MAC gets no callbacks; pending timers
                 // from before the crash are swallowed here.
-                self.stats.bump("fault.dispatch_suppressed");
+                self.stats.bump(CounterId::FaultDispatchSuppressed);
                 return;
             }
             fs.last_dispatch[node] = self.time;
@@ -573,7 +616,7 @@ impl World {
             // `NodeCtx::transmit` already gates on this; belt-and-braces so
             // a fault landing between callback and apply can't raise a dead
             // node's antenna.
-            self.stats.bump("fault.tx_blocked");
+            self.stats.bump(CounterId::FaultTxBlocked);
             return;
         }
         debug_assert!(
@@ -595,7 +638,7 @@ impl World {
         if !self.radios[node].begin_tx(tx_id) {
             // Half-duplex violation: refuse the transmission and record it
             // rather than corrupting the radio state machine.
-            self.stats.bump("watchdog.half_duplex");
+            self.stats.bump(CounterId::WatchdogHalfDuplex);
             return;
         }
         // No notification for our own busy edge: the MAC knows it started
@@ -615,6 +658,17 @@ impl World {
             sched.schedule(end + d, Event::FrameEnd { rx, tx_id });
             ends += 1;
         }
+        if self.stats.trace_enabled() {
+            self.stats.emit(
+                self.time,
+                TraceEvent::TxStart {
+                    node: u32::try_from(node).unwrap_or(u32::MAX),
+                    kind: frame_kind_tag(frame.kind()),
+                    bytes: u32::try_from(wire_len).unwrap_or(u32::MAX),
+                    rate_mbps: u32::try_from(rate.bits_per_sec() / 1_000_000).unwrap_or(u32::MAX),
+                },
+            );
+        }
         self.txs.insert(
             tx_id,
             TxRecord {
@@ -626,16 +680,16 @@ impl World {
                 ends_remaining: ends,
             },
         );
-        self.stats.bump("sim.tx");
+        self.stats.bump(CounterId::SimTx);
     }
 
     fn handle_deliver(&mut self, node: NodeId, flow: u16, seq: u32) {
         if flow as usize >= self.flows.len() {
-            self.stats.bump("sim.unknown_flow");
+            self.stats.bump(CounterId::SimUnknownFlow);
             return;
         }
         if self.flows[flow as usize].dst != node {
-            self.stats.bump("sim.misdelivered");
+            self.stats.bump(CounterId::SimMisdelivered);
             return;
         }
         if !self.stats.record_delivery(flow, seq, self.time) {
@@ -671,6 +725,19 @@ impl World {
             self.radios[node].last_busy = busy;
             self.dispatch(node, |mac, ctx| mac.on_channel_state(ctx, busy));
         }
+    }
+}
+
+/// Stable snake_case tag for a frame kind (the trace `kind` field).
+const fn frame_kind_tag(k: FrameKind) -> &'static str {
+    match k {
+        FrameKind::CmapHeader => "cmap_header",
+        FrameKind::CmapTrailer => "cmap_trailer",
+        FrameKind::CmapData => "cmap_data",
+        FrameKind::CmapAck => "cmap_ack",
+        FrameKind::CmapInterfererList => "cmap_interferer_list",
+        FrameKind::Dot11Data => "dot11_data",
+        FrameKind::Dot11Ack => "dot11_ack",
     }
 }
 
@@ -814,7 +881,7 @@ mod tests {
         let got = w.stats().flow(flow).arrivals.len() as u64;
         // The final frame may still be in flight when the clock stops.
         assert!(got >= sent - 1 && got <= sent, "{got} of {sent}");
-        assert_eq!(w.stats().counter("sim.rx_fail"), 0);
+        assert_eq!(w.stats().counter(CounterId::SimRxFail), 0);
     }
 
     #[test]
@@ -858,7 +925,7 @@ mod tests {
             "expected mostly collision loss, got {} of {sent} frames",
             sn.frames
         );
-        assert!(w.stats().counter("sim.rx_fail") > sent / 5);
+        assert!(w.stats().counter(CounterId::SimRxFail) > sent / 5);
     }
 
     #[test]
@@ -1175,6 +1242,70 @@ mod tests {
     }
 
     #[test]
+    fn tracing_observes_without_perturbing() {
+        let run = |traced: bool| {
+            let mut w = strong_pair_world(17);
+            w.add_flow(0, 1, 100);
+            w.set_mac(
+                0,
+                Box::new(Blaster {
+                    dst: MacAddr::from_node_index(1),
+                    period: millis(2),
+                    payload: 100,
+                    sent: 0,
+                }),
+            );
+            w.set_mac(1, Box::new(Sniffer::default()));
+            if traced {
+                w.enable_trace(1 << 16);
+            }
+            w.run_until(crate::time::secs(1));
+            let trace = w.take_trace();
+            (w.stats().snapshot(), w.events_processed(), trace)
+        };
+        let (snap_off, ev_off, tr_off) = run(false);
+        let (snap_on, ev_on, tr_on) = run(true);
+        assert!(tr_off.is_none());
+        let tr = tr_on.unwrap();
+        assert!(tr.emitted() > 400, "{}", tr.emitted());
+        assert!(tr.records().all(|r| matches!(
+            r.ev,
+            TraceEvent::TxStart {
+                kind: "dot11_data",
+                ..
+            }
+        )));
+        // Tracing is an observer: behavioural stats and the event stream
+        // are untouched by turning it on.
+        assert_eq!(snap_off, snap_on);
+        assert_eq!(ev_off, ev_on);
+    }
+
+    #[test]
+    fn event_counts_partition_processed_events() {
+        let mut w = strong_pair_world(18);
+        w.add_flow(0, 1, 100);
+        w.set_mac(
+            0,
+            Box::new(Blaster {
+                dst: MacAddr::from_node_index(1),
+                period: millis(2),
+                payload: 100,
+                sent: 0,
+            }),
+        );
+        w.set_mac(1, Box::new(Sniffer::default()));
+        w.run_until(crate::time::secs(1));
+        let counts = w.event_counts();
+        let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, w.events_processed());
+        let by: BTreeMap<&str, u64> = counts.into_iter().collect();
+        assert!(by["timer"] > 400, "{by:?}");
+        assert!(by["frame_start"] > 400, "{by:?}");
+        assert_eq!(by["fault"], 0);
+    }
+
+    #[test]
     fn misdelivery_is_counted_not_crashing() {
         struct Bad;
         impl Mac for Bad {
@@ -1189,6 +1320,6 @@ mod tests {
         w.add_flow(0, 1, 64);
         w.set_mac(0, Box::new(Bad));
         w.run_until(millis(1));
-        assert_eq!(w.stats().counter("sim.misdelivered"), 1);
+        assert_eq!(w.stats().counter(CounterId::SimMisdelivered), 1);
     }
 }

@@ -44,7 +44,7 @@ fn main() {
         let t2 = world
             .stats()
             .flow_throughput_mbps(f2, 1400, time::secs(sec - 1), time::secs(sec));
-        let defers = world.stats().counter("cmap.defer");
+        let defers = world.stats().counter(CounterId::CmapDefer);
         let table_len = |node: usize| {
             world
                 .mac_ref(node)

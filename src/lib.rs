@@ -56,6 +56,7 @@
 pub use cmap_core as cmap;
 pub use cmap_experiments as experiments;
 pub use cmap_mac80211 as mac80211;
+pub use cmap_obs as obs;
 pub use cmap_phy as phy;
 pub use cmap_sim as sim;
 pub use cmap_stats as stats;
@@ -66,6 +67,7 @@ pub use cmap_wire as wire;
 pub mod prelude {
     pub use cmap_core::{CmapConfig, CmapMac};
     pub use cmap_mac80211::{DcfConfig, DcfMac};
+    pub use cmap_obs::{CounterId, GaugeId, RunReport, SuiteReport, TraceEvent, TraceSink};
     pub use cmap_phy::Rate;
     pub use cmap_sim::time;
     pub use cmap_sim::{FaultPlan, Mac, Medium, NodeCtx, PhyConfig, World};

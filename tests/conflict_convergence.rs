@@ -81,7 +81,7 @@ fn conflicting_pair_converges_within_seconds() {
     assert!(at <= 6, "convergence took {at}s");
     // And deferral must actually be happening.
     w.run_until(time::secs(12));
-    assert!(w.stats().counter("cmap.defer") > 10);
+    assert!(w.stats().counter(CounterId::CmapDefer) > 10);
 }
 
 #[test]
@@ -90,8 +90,8 @@ fn exposed_pair_never_learns_false_conflicts() {
     w.run_until(time::secs(12));
     // A handful of transient entries are tolerable; sustained deferral on
     // an exposed pair would throw away the concurrency gain.
-    let defers = w.stats().counter("cmap.defer");
-    let vpkts = w.stats().counter("cmap.tx_vpkt");
+    let defers = w.stats().counter(CounterId::CmapDefer);
+    let vpkts = w.stats().counter(CounterId::CmapTxVpkt);
     assert!(
         defers * 5 < vpkts,
         "{defers} defers vs {vpkts} vpkts on an exposed pair"
