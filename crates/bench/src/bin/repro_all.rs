@@ -3,12 +3,17 @@
 //!
 //! ```text
 //! cargo run --release -p cmap-bench --bin repro_all -- \
-//!     [--quick|--full] [--seed N] [--out PATH] [--json PATH]
+//!     [--quick|--full] [--seed N] [--jobs N] [--out PATH] [--json PATH] \
+//!     [--perf-out PATH] [--perf-baseline PATH]
 //! ```
 //!
 //! * stdout / `--out PATH`: the EXPERIMENTS-style text report,
 //! * `--json PATH` (default `BENCH_repro.json`): a `SuiteReport` with one
-//!   `RunReport` per figure, suite wall-clock, and an event-loop profile.
+//!   `RunReport` per figure, suite wall-clock, and an event-loop profile,
+//! * `--perf-out PATH` (default `BENCH_perf.json`): the tracked perf
+//!   baseline — per-figure wall-clock, events/sec, BER-cache hit rate and
+//!   pool utilization; with `--perf-baseline` pointing at a `--jobs 1`
+//!   artifact it also carries `speedup_vs_jobs1` fields.
 //!
 //! The suite self-validates: every figure's report must contain its
 //! declared required metrics, and any figure failure makes the run exit
@@ -17,6 +22,7 @@
 use std::fmt::Write as _;
 
 use cmap_bench::figures::{profile_event_loop, registry, report_for, spec_block};
+use cmap_bench::perf_baseline::{parse_serial_baseline, FigurePerf, PerfReport};
 use cmap_bench::Cli;
 use cmap_obs::{SuiteReport, TimingBlock};
 
@@ -26,10 +32,17 @@ fn main() {
         .json
         .clone()
         .unwrap_or_else(|| "BENCH_repro.json".to_string());
+    let perf_path = cli
+        .perf_out
+        .clone()
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let jobs = cli.effective_jobs();
 
     let mut report = String::new();
     // cmap-lint: allow(wall-clock) — progress timing of the harness itself; never feeds simulation state
     let t0 = std::time::Instant::now();
+    cmap_sim::perf::reset();
+    cmap_exec::reset_pool_stats();
 
     // The suite-level spec block: figures override configs/duration per
     // entry, so only the seed/effort fields are meaningful here.
@@ -37,16 +50,19 @@ fn main() {
     suite_spec.configs = 0;
     let mut suite = SuiteReport::new("repro_all", suite_spec);
     let mut failures: Vec<String> = Vec::new();
+    let mut perf_figures: Vec<FigurePerf> = Vec::new();
 
     for fig in registry() {
         if !fig.in_repro() {
             continue;
         }
         let spec = fig.spec(&cli);
+        let engine0 = cmap_sim::perf::totals();
         // cmap-lint: allow(wall-clock) — per-figure wall timing for the report's timing block only
         let f0 = std::time::Instant::now();
         let out = fig.run(&cli);
         let wall_secs = f0.elapsed().as_secs_f64();
+        let engine = cmap_sim::perf::totals();
 
         let _ = writeln!(report, "\n### {}\n", fig.title());
         report.push_str(&out.text);
@@ -60,15 +76,40 @@ fn main() {
             failures.push(e);
         }
         suite.figures.push(r);
+        perf_figures.push(FigurePerf {
+            name: fig.name().to_string(),
+            wall_secs,
+            events: engine.events - engine0.events,
+            ber_hits: engine.ber_hits - engine0.ber_hits,
+            ber_misses: engine.ber_misses - engine0.ber_misses,
+        });
         eprintln!("[{}s] {} done", t0.elapsed().as_secs(), fig.name());
     }
 
-    let profile = profile_event_loop();
+    let pool = cmap_exec::pool_stats();
+    let mut profile = profile_event_loop();
+    profile.set_pool(jobs, pool.batches, pool.jobs_executed, pool.busy_ns);
     eprint!("{}", profile.render_text());
     suite.profile = Some(profile);
     suite.timing = Some(TimingBlock {
         wall_secs: t0.elapsed().as_secs_f64(),
     });
+
+    let baseline = cli.perf_baseline.as_ref().and_then(|path| {
+        let text = std::fs::read_to_string(path).ok()?;
+        let walls = parse_serial_baseline(&text);
+        if walls.is_none() {
+            eprintln!("warning: {path} is not a --jobs 1 perf artifact; skipping speedups");
+        }
+        walls
+    });
+    let perf = PerfReport {
+        jobs,
+        suite_wall_secs: t0.elapsed().as_secs_f64(),
+        pool,
+        figures: perf_figures,
+        baseline,
+    };
 
     println!("{report}");
     if let Some(path) = &cli.out {
@@ -77,6 +118,11 @@ fn main() {
     }
     std::fs::write(&json_path, suite.to_json(true)).expect("write suite report");
     eprintln!("suite report written to {json_path}");
+    std::fs::write(&perf_path, perf.to_json()).expect("write perf artifact");
+    eprintln!("perf artifact written to {perf_path}");
+    if let Some(speedup) = perf.suite_speedup() {
+        eprintln!("suite speedup vs --jobs 1: {speedup:.2}x at --jobs {jobs}");
+    }
     eprintln!("total: {}s", t0.elapsed().as_secs());
 
     if !failures.is_empty() {

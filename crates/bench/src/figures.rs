@@ -1018,14 +1018,25 @@ impl Figure for Ablations {
             cli.seed
         ));
         let mut header = format!("{:<16}", "variant");
-        for s in scenarios() {
+        let scens = scenarios();
+        for s in &scens {
             let _ = write!(header, " {:>12}", s.name);
         }
         out.line(header);
-        for (name, cfg, phy) in &variants {
+        // The (variant × scenario) grid is embarrassingly parallel; the
+        // pool returns results in grid order, so rows/metrics below read
+        // back deterministically at any `--jobs` width.
+        let grid: Vec<(usize, usize)> = (0..variants.len())
+            .flat_map(|v| (0..scens.len()).map(move |s| (v, s)))
+            .collect();
+        let aggs = cmap_exec::Pool::new(cli.effective_jobs()).map(&grid, |&(v, s)| {
+            let (_, cfg, phy) = &variants[v];
+            ablation_run(&scens[s].rss, cfg, phy.clone(), cli.seed ^ 0xAB1, dur)
+        });
+        for (v, (name, _, _)) in variants.iter().enumerate() {
             let mut row = format!("{name:<16}");
-            for s in scenarios() {
-                let agg = ablation_run(&s.rss, cfg, phy.clone(), cli.seed ^ 0xAB1, dur);
+            for (si, s) in scens.iter().enumerate() {
+                let agg = aggs[v * scens.len() + si];
                 let _ = write!(row, " {agg:>12.2}");
                 let key = match *name {
                     "CMAP (full)" => format!("cmap_full_{}_mbps", s.name),
@@ -1170,16 +1181,23 @@ impl Figure for ChaosSoak {
             "bounds: cmap/dcf >= {CMAP_VS_DCF_MIN}, fault/clean >= {FAULT_VS_CLEAN_MIN}; \
              zero violations; byte-identical same-seed snapshots"
         ));
+        let pool = cmap_exec::Pool::new(cli.effective_jobs());
         for (name, plan) in &plans {
             let mut cmap_fault = Vec::new();
             let mut dcf_fault = Vec::new();
             let mut cmap_clean = Vec::new();
-            for i in 0..seeds {
-                let seed = cli.seed + i as u64;
+            // Each seed's four runs are independent of every other seed's;
+            // the pool joins them back in seed order, so the text report
+            // and failure list are identical at any `--jobs` width.
+            let seed_list: Vec<u64> = (0..seeds).map(|i| cli.seed + i as u64).collect();
+            let per_seed = pool.map(&seed_list, |&seed| {
                 let a = soak_one(&Proto::Cmap, plan, seed, duration);
                 let b = soak_one(&Proto::Cmap, plan, seed, duration);
                 let d = soak_one(&Proto::Dcf, plan, seed, duration);
                 let c = soak_one(&Proto::Cmap, &FaultPlan::clean(), seed, duration);
+                (seed, a, b, d, c)
+            });
+            for (seed, a, b, d, c) in per_seed {
                 if a.snapshot != b.snapshot {
                     out.failures
                         .push(format!("[{name}] seed {seed}: same-seed snapshots differ"));

@@ -32,6 +32,7 @@
 //! Criterion micro-benchmarks (`cargo bench`) live in `benches/`.
 
 pub mod figures;
+pub mod perf_baseline;
 
 use cmap_experiments::exposed::Curve;
 use cmap_experiments::Spec;
@@ -61,8 +62,8 @@ impl Effort {
 }
 
 /// The usage string every binary prints on `--help` or a parse error.
-pub const USAGE: &str =
-    "usage: <bin> [--quick|--full] [--seed N] [--runs N] [--json PATH] [--out PATH]";
+pub const USAGE: &str = "usage: <bin> [--quick|--full] [--seed N] [--runs N] [--jobs N] \
+     [--json PATH] [--out PATH] [--perf-out PATH] [--perf-baseline PATH]";
 
 /// Why [`Cli::try_parse_from`] rejected a command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,11 +83,20 @@ pub struct Cli {
     pub seed: u64,
     /// Override for the number of configurations, if given.
     pub runs: Option<usize>,
+    /// Worker-pool width (`--jobs N`); `None` means "probe the machine"
+    /// ([`effective_jobs`](Cli::effective_jobs)). Results are identical for
+    /// every width — see `cmap_exec`.
+    pub jobs: Option<usize>,
     /// Write a machine-readable report (`RunReport`, or `SuiteReport` for
     /// `repro_all`) to this path.
     pub json: Option<String>,
     /// `repro_all`: also write the text report to this path.
     pub out: Option<String>,
+    /// `repro_all`: path for the perf artifact (default `BENCH_perf.json`).
+    pub perf_out: Option<String>,
+    /// `repro_all`: a `BENCH_perf.json` from a `--jobs 1` run of the same
+    /// suite; enables `speedup_vs_jobs1` fields in the perf artifact.
+    pub perf_baseline: Option<String>,
 }
 
 impl Default for Cli {
@@ -95,8 +105,11 @@ impl Default for Cli {
             effort: Effort::Standard,
             seed: 42,
             runs: None,
+            jobs: None,
             json: None,
             out: None,
+            perf_out: None,
+            perf_baseline: None,
         }
     }
 }
@@ -129,8 +142,21 @@ impl Cli {
                             .map_err(|_| CliError::Bad("--runs needs a number".into()))?,
                     );
                 }
+                "--jobs" => {
+                    let n: usize = value("--jobs", args.next())?
+                        .parse()
+                        .map_err(|_| CliError::Bad("--jobs needs a number".into()))?;
+                    if n == 0 {
+                        return Err(CliError::Bad("--jobs must be >= 1".into()));
+                    }
+                    cli.jobs = Some(n);
+                }
                 "--json" => cli.json = Some(value("--json", args.next())?),
                 "--out" => cli.out = Some(value("--out", args.next())?),
+                "--perf-out" => cli.perf_out = Some(value("--perf-out", args.next())?),
+                "--perf-baseline" => {
+                    cli.perf_baseline = Some(value("--perf-baseline", args.next())?);
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::Bad(format!("unknown flag {other}"))),
             }
@@ -154,6 +180,15 @@ impl Cli {
         }
     }
 
+    /// The worker-pool width this invocation runs with: `--jobs N` if
+    /// given, otherwise the machine's available parallelism. The probed
+    /// value sizes the pool only — it is never serialized into report
+    /// bytes, so the same seeds produce byte-identical artifacts on any
+    /// machine (see `cmap_exec::default_jobs`).
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(cmap_exec::default_jobs)
+    }
+
     /// Build the experiment spec for this CLI at a given default
     /// configuration count.
     pub fn spec(&self, default_configs: usize) -> Spec {
@@ -166,6 +201,7 @@ impl Cli {
             testbed_seed: self.seed,
             duration,
             configs: self.runs.unwrap_or(configs),
+            jobs: self.effective_jobs(),
             ..Spec::default()
         }
     }
@@ -251,6 +287,16 @@ mod tests {
         assert_eq!(cli.runs, Some(9));
         assert_eq!(cli.json.as_deref(), Some("r.json"));
         assert_eq!(cli.out.as_deref(), Some("r.md"));
+
+        let cli = Cli::try_parse_from(args(&[
+            "--perf-out",
+            "p.json",
+            "--perf-baseline",
+            "serial.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.perf_out.as_deref(), Some("p.json"));
+        assert_eq!(cli.perf_baseline.as_deref(), Some("serial.json"));
     }
 
     #[test]
@@ -263,6 +309,12 @@ mod tests {
 
         let non_numeric = Cli::try_parse_from(args(&["--runs", "many"])).unwrap_err();
         assert_eq!(non_numeric, CliError::Bad("--runs needs a number".into()));
+
+        let bad_jobs = Cli::try_parse_from(args(&["--jobs", "zero"])).unwrap_err();
+        assert_eq!(bad_jobs, CliError::Bad("--jobs needs a number".into()));
+
+        let zero_jobs = Cli::try_parse_from(args(&["--jobs", "0"])).unwrap_err();
+        assert_eq!(zero_jobs, CliError::Bad("--jobs must be >= 1".into()));
 
         let dangling = Cli::try_parse_from(args(&["--json"])).unwrap_err();
         assert_eq!(dangling, CliError::Bad("--json needs a value".into()));
@@ -303,6 +355,17 @@ mod tests {
             ..Cli::default()
         };
         assert_eq!(cli.spec(50).configs, 7);
+    }
+
+    #[test]
+    fn jobs_flag_reaches_the_spec() {
+        let cli = Cli::try_parse_from(args(&["--jobs", "4"])).unwrap();
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.effective_jobs(), 4);
+        assert_eq!(cli.spec(50).jobs, 4);
+        // Unpinned: the probe only sizes the pool, so any positive width
+        // is acceptable (and never appears in report bytes).
+        assert!(Cli::default().effective_jobs() >= 1);
     }
 
     #[test]

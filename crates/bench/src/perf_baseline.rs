@@ -1,0 +1,279 @@
+//! The tracked perf baseline (`BENCH_perf.json`).
+//!
+//! `repro_all` measures each figure's wall-clock and pulls the engine's
+//! process-wide totals (`cmap_sim::perf`) to report events/sec and the BER
+//! memo-cache hit rate, plus the executor's pool utilization. The whole
+//! file is wall-clock derived — it is a *performance* artifact, explicitly
+//! excluded from determinism comparisons (those compare the suite report,
+//! which never contains pool width or timings outside its `timing` block).
+//!
+//! Speedup tracking: pass `--perf-baseline PATH` pointing at a
+//! `BENCH_perf.json` produced by a `--jobs 1` run of the same suite and the
+//! report gains `speedup_vs_jobs1` fields (serial wall over this run's
+//! wall). The baseline is parsed with a purpose-built scanner over the
+//! format this module itself emits — no JSON dependency.
+//!
+//! This module does no timing itself: walls are fed in by the harness
+//! shell, keeping the crate clean under cmap-lint's wall-clock rule.
+
+use std::fmt::Write as _;
+
+use cmap_obs::json::fmt_f64;
+
+/// Schema tag stamped into the artifact.
+pub const PERF_SCHEMA: &str = "cmap-perf/v1";
+
+/// One figure's measured performance.
+#[derive(Debug, Clone)]
+pub struct FigurePerf {
+    /// Registry name of the figure.
+    pub name: String,
+    /// Wall-clock seconds for the figure at the configured width.
+    pub wall_secs: f64,
+    /// Engine events processed during the figure (all runs, all workers).
+    pub events: u64,
+    /// BER memo-cache hits during the figure.
+    pub ber_hits: u64,
+    /// BER memo-cache misses during the figure.
+    pub ber_misses: u64,
+}
+
+impl FigurePerf {
+    /// Events per wall-clock second (0 for a zero-length wall).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            // cmap-lint: allow(unit-cast) — event count over harness wall seconds; plain meter arithmetic, off the sim path
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Cache hit rate in [0, 1], or 0 when there were no lookups.
+    pub fn ber_hit_rate(&self) -> f64 {
+        let total = self.ber_hits + self.ber_misses;
+        if total == 0 {
+            0.0
+        } else {
+            // cmap-lint: allow(unit-cast) — hit/lookup ratio for the perf artifact; off the sim path
+            self.ber_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Wall-clock figures extracted from a serial (`--jobs 1`) baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineWalls {
+    /// The baseline suite's total wall-clock seconds.
+    pub suite_wall_secs: f64,
+    /// `(figure_name, wall_secs)` in file order.
+    pub figures: Vec<(String, f64)>,
+}
+
+impl BaselineWalls {
+    /// Serial wall for one figure, if the baseline measured it.
+    pub fn figure_wall(&self, name: &str) -> Option<f64> {
+        self.figures
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, w)| w)
+    }
+}
+
+/// The complete perf artifact.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Worker-pool width this suite ran with.
+    pub jobs: usize,
+    /// Total suite wall-clock seconds.
+    pub suite_wall_secs: f64,
+    /// Executor pool utilization over the whole suite.
+    pub pool: cmap_exec::PoolStats,
+    /// Per-figure measurements, in run order.
+    pub figures: Vec<FigurePerf>,
+    /// Serial walls to compute speedups against, when provided.
+    pub baseline: Option<BaselineWalls>,
+}
+
+impl PerfReport {
+    /// Suite-level speedup vs the serial baseline, if one was provided.
+    pub fn suite_speedup(&self) -> Option<f64> {
+        let b = self.baseline.as_ref()?;
+        if self.suite_wall_secs > 0.0 {
+            Some(b.suite_wall_secs / self.suite_wall_secs)
+        } else {
+            None
+        }
+    }
+
+    /// Render the artifact. Key order is fixed; `speedup_vs_jobs1` fields
+    /// are `null` when no baseline was provided.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or_else(|| "null".to_string(), fmt_f64);
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{}\",\"jobs\":{},\"suite_wall_secs\":{},\"speedup_vs_jobs1\":{}",
+            PERF_SCHEMA,
+            self.jobs,
+            fmt_f64(self.suite_wall_secs),
+            opt(self.suite_speedup()),
+        );
+        let _ = write!(
+            s,
+            ",\"pool\":{{\"batches\":{},\"jobs_executed\":{},\"busy_ns\":{},\"max_workers\":{}}}",
+            self.pool.batches, self.pool.jobs_executed, self.pool.busy_ns, self.pool.max_workers,
+        );
+        s.push_str(",\"figures\":[");
+        for (i, f) in self.figures.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let speedup = self
+                .baseline
+                .as_ref()
+                .and_then(|b| b.figure_wall(&f.name))
+                .and_then(|serial| {
+                    if f.wall_secs > 0.0 {
+                        Some(serial / f.wall_secs)
+                    } else {
+                        None
+                    }
+                });
+            let _ = write!(
+                s,
+                "{{\"name\":\"{}\",\"wall_secs\":{},\"events\":{},\"events_per_sec\":{},\
+                 \"ber_hits\":{},\"ber_misses\":{},\"ber_cache_hit_rate\":{},\
+                 \"speedup_vs_jobs1\":{}}}",
+                f.name,
+                fmt_f64(f.wall_secs),
+                f.events,
+                fmt_f64(f.events_per_sec()),
+                f.ber_hits,
+                f.ber_misses,
+                fmt_f64(f.ber_hit_rate()),
+                opt(speedup),
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Scan a `BENCH_perf.json` produced by this module for its walls.
+///
+/// Returns `None` unless the file carries the expected schema tag *and*
+/// was produced by a `--jobs 1` run (anything else is not a serial
+/// baseline, and a speedup against it would be meaningless).
+pub fn parse_serial_baseline(text: &str) -> Option<BaselineWalls> {
+    if !text.contains(&format!("\"schema\":\"{PERF_SCHEMA}\"")) {
+        return None;
+    }
+    // Emitted as `"jobs":N,` — match the serial width textually.
+    if !text.contains("\"jobs\":1,") {
+        return None;
+    }
+    let suite_wall_secs = scan_num(text, "\"suite_wall_secs\":")?;
+    let mut figures = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"name\":\"") {
+        let tail = &rest[at + "\"name\":\"".len()..];
+        let name_end = tail.find('"')?;
+        let name = tail[..name_end].to_string();
+        let wall = scan_num(tail, "\"wall_secs\":")?;
+        figures.push((name, wall));
+        rest = &tail[name_end..];
+    }
+    Some(BaselineWalls {
+        suite_wall_secs,
+        figures,
+    })
+}
+
+/// The number right after the first occurrence of `key`.
+fn scan_num(text: &str, key: &str) -> Option<f64> {
+    let at = text.find(key)? + key.len();
+    let tail = &text[at..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(jobs: usize) -> PerfReport {
+        PerfReport {
+            jobs,
+            suite_wall_secs: 10.0,
+            pool: cmap_exec::PoolStats {
+                batches: 5,
+                jobs_executed: 40,
+                busy_ns: 9_000_000,
+                max_workers: jobs as u64,
+            },
+            figures: vec![
+                FigurePerf {
+                    name: "fig12_exposed".into(),
+                    wall_secs: 4.0,
+                    events: 8_000,
+                    ber_hits: 900,
+                    ber_misses: 100,
+                },
+                FigurePerf {
+                    name: "fig15_hidden".into(),
+                    wall_secs: 6.0,
+                    events: 12_000,
+                    ber_hits: 0,
+                    ber_misses: 0,
+                },
+            ],
+            baseline: None,
+        }
+    }
+
+    #[test]
+    fn json_shape_and_meters() {
+        let r = sample(2);
+        let j = r.to_json();
+        assert!(j.starts_with("{\"schema\":\"cmap-perf/v1\",\"jobs\":2,"));
+        assert!(j.contains("\"events_per_sec\":2000"), "{j}");
+        assert!(j.contains("\"ber_cache_hit_rate\":0.9"), "{j}");
+        assert!(j.contains("\"speedup_vs_jobs1\":null"), "{j}");
+        assert!(j.contains("\"max_workers\":2"), "{j}");
+    }
+
+    #[test]
+    fn serial_baseline_round_trips_through_the_scanner() {
+        let serial = sample(1);
+        let walls = parse_serial_baseline(&serial.to_json()).expect("parses");
+        assert!((walls.suite_wall_secs - 10.0).abs() < 1e-12);
+        assert_eq!(walls.figures.len(), 2);
+        let w = walls.figure_wall("fig12_exposed").expect("measured");
+        assert!((w - 4.0).abs() < 1e-12);
+        assert!(walls.figure_wall("no_such_figure").is_none());
+    }
+
+    #[test]
+    fn speedups_appear_with_a_baseline() {
+        let serial = sample(1);
+        let walls = parse_serial_baseline(&serial.to_json()).unwrap();
+        let mut parallel = sample(4);
+        parallel.suite_wall_secs = 5.0;
+        parallel.figures[0].wall_secs = 2.0;
+        parallel.baseline = Some(walls);
+        assert!((parallel.suite_speedup().unwrap() - 2.0).abs() < 1e-12);
+        let j = parallel.to_json();
+        assert!(j.contains("\"speedup_vs_jobs1\":2"), "{j}");
+    }
+
+    #[test]
+    fn non_serial_files_are_rejected_as_baselines() {
+        let parallel = sample(2);
+        assert!(parse_serial_baseline(&parallel.to_json()).is_none());
+        assert!(parse_serial_baseline("{\"schema\":\"other\"}").is_none());
+        assert!(parse_serial_baseline("not json at all").is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! The workspace's single approved threading module: a deterministic
+//! parallel run executor.
+//!
+//! Every figure in the reproduction suite is a grid of *independent*
+//! (parameter-point × seed) simulations. Each job owns its own
+//! single-threaded [`World`](../cmap_sim/world/struct.World.html), so the
+//! simulations themselves stay strictly deterministic; the only thing the
+//! pool parallelises is *which core* a given job happens to run on. Results
+//! are joined and reduced in **job-index order**, never completion order,
+//! so every downstream artifact (figure reports, `BENCH_repro.json`, trace
+//! JSONL) is byte-identical between `jobs = 1` and `jobs = N`.
+//!
+//! Design constraints (see DESIGN.md §9 "Performance architecture"):
+//!
+//! * std-only — a fixed-size pool of `std::thread` scoped workers pulling
+//!   job indices from a shared cursor and returning `(index, result)`
+//!   pairs over an `mpsc` channel. No rayon, no vendored executor.
+//! * `jobs == 1` takes a thread-free serial path that is *exactly* the
+//!   `items.iter().map(f).collect()` loop the suite ran before the pool
+//!   existed, so `--jobs 1` is today's behavior by construction.
+//! * The core-count probe ([`default_jobs`]) may consult the machine, but
+//!   its answer must never leak into report bytes — callers only use it to
+//!   size the pool, and `cmap-lint`'s `thread-spawn` rule confines all
+//!   threading primitives to this crate so that stays auditable.
+//!
+//! Wall-clock use below is confined to harness-side utilization metering
+//! (busy-ns per worker) that feeds the `timing`/`loop_profile` section of
+//! run reports — the one place wall-clock-derived numbers are allowed.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads to use when the caller does not pin one: the
+/// machine's available parallelism. Determinism note: this probe influences
+/// *scheduling only*; job results are index-joined, so the value never
+/// affects (and is never written into) deterministic report bytes.
+pub fn default_jobs() -> usize {
+    // cmap-lint: allow(thread-spawn) — the approved executor's core probe
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Cumulative pool-utilization counters, kept process-global so the bench
+/// harness can report them without threading a handle through every figure.
+/// Order-independent sums of per-job contributions: deterministic in value
+/// for a fixed workload, except `busy_ns` which is wall-clock-derived and
+/// therefore only ever reported inside `timing`-scoped report sections.
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+static MAX_WORKERS: AtomicU64 = AtomicU64::new(1);
+
+/// Snapshot of the global pool-utilization counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel batches dispatched (serial `jobs == 1` batches included).
+    pub batches: u64,
+    /// Total jobs executed across all batches.
+    pub jobs_executed: u64,
+    /// Summed wall-clock nanoseconds workers spent inside job closures.
+    /// Harness-side metering only — never part of deterministic output.
+    pub busy_ns: u64,
+    /// Largest worker count any batch ran with.
+    pub max_workers: u64,
+}
+
+/// Read the global utilization counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        batches: BATCHES.load(Ordering::Relaxed),
+        jobs_executed: JOBS_EXECUTED.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+        max_workers: MAX_WORKERS.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the global utilization counters (test isolation).
+pub fn reset_pool_stats() {
+    BATCHES.store(0, Ordering::Relaxed);
+    JOBS_EXECUTED.store(0, Ordering::Relaxed);
+    BUSY_NS.store(0, Ordering::Relaxed);
+    MAX_WORKERS.store(1, Ordering::Relaxed);
+}
+
+fn note_batch(workers: usize, jobs: usize) {
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+    JOBS_EXECUTED.fetch_add(jobs as u64, Ordering::Relaxed);
+    MAX_WORKERS.fetch_max(workers as u64, Ordering::Relaxed);
+}
+
+/// A fixed-size deterministic worker pool.
+///
+/// The pool is cheap to construct (it holds only the configured job count);
+/// worker threads are scoped to each [`Pool::map`] call so no threads
+/// outlive a batch and borrowed inputs need no `'static` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool that runs up to `jobs` jobs concurrently (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Pool {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The configured concurrency.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Map `f` over `items`, returning outputs in **input order** regardless
+    /// of which worker finished first. With `jobs == 1` this is a plain
+    /// serial loop on the calling thread — byte-for-byte today's behavior.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len().max(1));
+        if workers <= 1 {
+            note_batch(1, items.len());
+            // cmap-lint: allow(wall-clock) — harness-side pool busy metering, timing-scoped only
+            let t0 = std::time::Instant::now();
+            let out: Vec<R> = items.iter().map(&f).collect();
+            BUSY_NS.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
+            return out;
+        }
+        note_batch(workers, items.len());
+
+        // Work distribution: a shared cursor hands out job indices first-
+        // come-first-served (pure scheduling — no effect on results), and
+        // each worker sends `(index, result)` back over the channel. The
+        // receive side slots results by index, which is what makes the
+        // join deterministic.
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let f = &f;
+        let cursor = &cursor;
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        // cmap-lint: allow(thread-spawn) — this is the approved executor pool
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        // cmap-lint: allow(wall-clock) — harness-side pool busy metering, timing-scoped only
+                        let t0 = std::time::Instant::now();
+                        let r = f(item);
+                        BUSY_NS.fetch_add(elapsed_ns(t0), Ordering::Relaxed);
+                        if tx.send((i, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            // Drain inside the scope: if a worker panics, the unfinished
+            // channel closes, we fall out of the loop, and the scope
+            // re-raises the worker's panic at join.
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} produced no result")))
+            .collect()
+    }
+}
+
+// cmap-lint: allow(wall-clock) — harness-side pool busy metering, timing-scoped only
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pool_matches_plain_map() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(Pool::new(1).map(&items, |&x| x * 3 + 1), expect);
+    }
+
+    #[test]
+    fn parallel_pool_preserves_input_order() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [2, 3, 4, 8] {
+            assert_eq!(Pool::new(jobs).map(&items, |&x| x * x), expect);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_stateful_work() {
+        // Each job derives from its index only, as real runs derive from
+        // their (point, seed) — cross-checks the index-ordered join.
+        let items: Vec<usize> = (0..64).collect();
+        let work = |&i: &usize| -> u64 {
+            let mut acc = i as u64 + 0x9E37_79B9;
+            for _ in 0..1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        assert_eq!(
+            Pool::new(4).map(&items, work),
+            Pool::new(1).map(&items, work)
+        );
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+        assert_eq!(
+            Pool::new(0).map(&[1, 2, 3], |&x: &i32| x + 1),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let empty: [u32; 0] = [];
+        assert!(Pool::new(8).map(&empty, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn pool_stats_accumulate() {
+        reset_pool_stats();
+        let items: Vec<u32> = (0..10).collect();
+        let _ = Pool::new(2).map(&items, |&x| x);
+        let _ = Pool::new(1).map(&items, |&x| x);
+        // Other tests in this binary may bump the global counters
+        // concurrently, so assert lower bounds only.
+        let s = pool_stats();
+        assert!(s.batches >= 2);
+        assert!(s.jobs_executed >= 20);
+        assert!(s.max_workers >= 1);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -77,7 +77,7 @@ fn run_pairs(
         .iter()
         .enumerate()
         .map(|(pi, proto)| {
-            let samples = parallel_map(&pairs, |pair| {
+            let samples = parallel_map(spec.jobs, &pairs, |pair| {
                 let links = [(pair.s1, pair.r1), (pair.s2, pair.r2)];
                 let stream = 0xF12_0000u64
                     ^ ((pi as u64) << 20)

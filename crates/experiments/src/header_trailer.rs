@@ -99,7 +99,7 @@ pub fn fig19(spec: &Spec, experiments_per_k: usize) -> Vec<Fig19Row> {
                 link_sets.push(set);
             }
         }
-        let rates: Vec<f64> = parallel_map(&link_sets, |set| {
+        let rates: Vec<f64> = parallel_map(spec.jobs, &link_sets, |set| {
             let stream = 0xF19_0000u64
                 ^ ((k as u64) << 16)
                 ^ set.iter().fold(0u64, |acc, &(s, r)| {

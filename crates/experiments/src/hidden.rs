@@ -57,7 +57,7 @@ pub fn fig14(spec: &Spec) -> Fig14Output {
         .collect();
 
     let blast = Protocol::cs_off_no_acks();
-    let points = parallel_map(&with_dst, |&(t, i_dst)| {
+    let points = parallel_map(spec.jobs, &with_dst, |&(t, i_dst)| {
         let stream = 0xF14_0000u64 ^ ((t.s as u64) << 14) ^ ((t.r as u64) << 7) ^ t.i as u64;
         let seed = derive_seed(spec.run_seed, stream);
         let alone = run_links(&ctx, &[(t.s, t.r)], &blast, spec, seed).per_flow_mbps[0];
@@ -105,7 +105,7 @@ pub fn fig15(spec: &Spec) -> Vec<Curve> {
         .iter()
         .enumerate()
         .map(|(pi, proto)| {
-            let samples = parallel_map(&pairs, |pair| {
+            let samples = parallel_map(spec.jobs, &pairs, |pair| {
                 let links = [(pair.s1, pair.r1), (pair.s2, pair.r2)];
                 let stream = 0xF15_0000u64
                     ^ ((pi as u64) << 20)
@@ -138,7 +138,7 @@ pub(crate) fn cmap_hdr_rates(
     stream_tag: u64,
 ) -> Vec<(f64, f64)> {
     let cmap = Protocol::cmap();
-    let per_pair = parallel_map(pairs, |pair| {
+    let per_pair = parallel_map(spec.jobs, pairs, |pair| {
         let links = [(pair.s1, pair.r1), (pair.s2, pair.r2)];
         let stream =
             stream_tag ^ ((pair.s1 as u64) << 12) ^ ((pair.s2 as u64) << 4) ^ pair.r1 as u64;

@@ -29,7 +29,7 @@ pub fn mesh(spec: &Spec, fanout: usize) -> MeshOutput {
     let protocols = [Protocol::cs_on(), Protocol::cmap()];
     let mut aggregates = Vec::new();
     for (pi, proto) in protocols.iter().enumerate() {
-        let samples = parallel_map(&topos, |topo| {
+        let samples = parallel_map(spec.jobs, &topos, |topo| {
             let stream = 0xF57_0000u64
                 ^ ((pi as u64) << 20)
                 ^ ((topo.source as u64) << 12)

@@ -22,6 +22,11 @@ pub struct Spec {
     pub payload: usize,
     /// Number of configurations (link pairs, topologies, ...) to evaluate.
     pub configs: usize,
+    /// Worker-pool width for fanning independent runs across cores. `1`
+    /// (the default) runs everything serially on the calling thread. Runs
+    /// are joined in job-index order, so this knob never changes results —
+    /// it is deliberately *not* serialized into report spec blocks.
+    pub jobs: usize,
 }
 
 impl Default for Spec {
@@ -33,6 +38,7 @@ impl Default for Spec {
             warmup_frac: 0.4,
             payload: 1400,
             configs: 50,
+            jobs: 1,
         }
     }
 }
@@ -164,35 +170,18 @@ pub fn run_links(
     }
 }
 
-/// Map `f` over `items`, using every available core (on a single-core host
-/// this degenerates to a serial map with identical results: outputs are
-/// ordered by input index, and `f` receives only the item).
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// Map `f` over `items` on a deterministic worker pool of width `jobs`
+/// (see `spec.jobs`). Outputs are ordered by input index regardless of
+/// completion order, and `jobs == 1` is a plain serial loop, so results
+/// are identical for every pool width. All threading lives in the approved
+/// executor crate (`cmap-exec`); this is a thin delegation.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if threads <= 1 || items.is_empty() {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let f = &f;
-    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    per_chunk.into_iter().flatten().collect()
+    cmap_exec::Pool::new(jobs).map(items, f)
 }
 
 #[cfg(test)]
@@ -210,8 +199,16 @@ mod tests {
     #[test]
     fn parallel_map_preserves_order() {
         let items: Vec<u64> = (0..97).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        for jobs in [1, 4] {
+            assert_eq!(parallel_map(jobs, &items, |&x| x * 2), expect);
+        }
+    }
+
+    #[test]
+    fn default_spec_is_serial() {
+        assert_eq!(Spec::default().jobs, 1);
+        assert_eq!(Spec::quick().jobs, 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! The paper's evaluation (NSDI 2008, Figs 12–20) is only reproducible if
 //! the same seed yields the same packet trace. This tool enforces the
-//! source-level invariants that keep that true, as five rules:
+//! source-level invariants that keep that true, as six rules:
 //!
 //! * **R1 `hash-iter`** — iterating a `HashMap`/`HashSet` in a
 //!   deterministic crate leaks nondeterministic order into results. Use
@@ -20,6 +20,11 @@
 //! * **R5 `unit-cast`** — raw `as u64`/`as f64` casts on time/power values
 //!   outside the sanctioned conversion modules (`phy::units`, `phy::rate`,
 //!   `sim::time`, `sim::event`). Route through the unit helpers.
+//! * **R6 `thread-spawn`** — `thread::spawn`/`thread::scope`/
+//!   `available_parallelism` outside the approved executor module
+//!   (`crates/exec`). Ad-hoc threading sidesteps the executor's
+//!   determinism argument (index-ordered joins, per-run isolation); fan
+//!   work out through `cmap_exec::Pool` instead.
 //!
 //! A justified exception is written as a pragma comment on the offending
 //! line (or on a comment line directly above it):
@@ -45,7 +50,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The five enforced invariants.
+/// The six enforced invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: hash-ordered iteration in deterministic code.
@@ -58,16 +63,19 @@ pub enum Rule {
     PanicBudget,
     /// R5: raw unit-bearing casts outside conversion modules.
     UnitCast,
+    /// R6: thread spawns / parallelism probes outside the executor module.
+    ThreadSpawn,
 }
 
 impl Rule {
-    /// All rules, in R1..R5 order.
-    pub const ALL: [Rule; 5] = [
+    /// All rules, in R1..R6 order.
+    pub const ALL: [Rule; 6] = [
         Rule::HashIter,
         Rule::WallClock,
         Rule::FloatCmp,
         Rule::PanicBudget,
         Rule::UnitCast,
+        Rule::ThreadSpawn,
     ];
 
     /// The pragma / diagnostic code for the rule.
@@ -78,6 +86,7 @@ impl Rule {
             Rule::FloatCmp => "float-cmp",
             Rule::PanicBudget => "panic-budget",
             Rule::UnitCast => "unit-cast",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 
@@ -118,6 +127,9 @@ pub struct Config {
     pub hot_markers: Vec<String>,
     /// Sanctioned unit-conversion modules (R5 exempt).
     pub unit_cast_allowed: Vec<String>,
+    /// The approved executor module(s): the only places allowed to spawn
+    /// threads or probe machine parallelism (R6 exempt).
+    pub thread_spawn_allowed: Vec<String>,
     /// Never scanned when reached by directory walking (still scanned when
     /// named explicitly as a root — how the fixture self-tests run).
     pub skip_markers: Vec<String>,
@@ -146,6 +158,7 @@ impl Default for Config {
                 "crates/sim/src/time.rs",
                 "crates/sim/src/event.rs",
             ]),
+            thread_spawn_allowed: v(&["crates/exec/src"]),
             skip_markers: v(&["/target/", "/vendor/", "crates/lint/tests/fixtures"]),
         }
     }
@@ -252,6 +265,7 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
     let det = Config::matches(&cfg.det_markers, path);
     let hot = Config::matches(&cfg.hot_markers, path);
     let unit_ok = Config::matches(&cfg.unit_cast_allowed, path);
+    let spawn_ok = Config::matches(&cfg.thread_spawn_allowed, path);
     // Integration-test and bench targets are not simulation state; the
     // fixtures directory is exempt from this exemption so the self-tests
     // exercise every rule.
@@ -384,6 +398,24 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                         "raw `{cast}` on unit-bearing value `{unit}`; route \
                          through phy::units / sim::time helpers (or use \
                          `u64::from` for widening)"
+                    ),
+                    &lexed,
+                );
+            }
+        }
+
+        // R6 thread-spawn: everywhere (tests included — a test that spawns
+        // its own threads dodges the pool's ordered-join guarantee too),
+        // outside the approved executor module.
+        if !spawn_ok {
+            if let Some(tok) = thread_spawn_token(code) {
+                emit(
+                    line,
+                    Rule::ThreadSpawn,
+                    format!(
+                        "`{tok}` outside the approved executor; fan work out \
+                         through `cmap_exec::Pool` so joins stay index-ordered \
+                         and pool width never reaches artifact bytes"
                     ),
                     &lexed,
                 );
@@ -845,6 +877,20 @@ fn wall_clock_token(code: &str, raw: &str) -> Option<&'static str> {
         return Some("env::var(seed)");
     }
     None
+}
+
+// ---------------------------------------------------------------------------
+// R6: thread spawns / parallelism probes.
+// ---------------------------------------------------------------------------
+
+fn thread_spawn_token(code: &str) -> Option<&'static str> {
+    const TOKENS: [&str; 4] = [
+        "thread::spawn",
+        "thread::scope",
+        "thread::Builder",
+        "available_parallelism",
+    ];
+    TOKENS.into_iter().find(|t| code.contains(t))
 }
 
 // ---------------------------------------------------------------------------

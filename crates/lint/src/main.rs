@@ -62,6 +62,7 @@ fn print_usage() {
          \n\
          Scans .rs files under the given paths for determinism and\n\
          unit-safety violations (rules: hash-iter, wall-clock, float-cmp,\n\
-         panic-budget, unit-cast). See DESIGN.md \"Determinism invariants\"."
+         panic-budget, unit-cast, thread-spawn). See DESIGN.md\n\
+         \"Determinism invariants\"."
     );
 }

@@ -1,0 +1,12 @@
+//! R6 fixture: ad-hoc threading outside the approved executor.
+
+pub fn width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+pub fn fan_out() {
+    let h = std::thread::spawn(|| ());
+    h.join().ok();
+    std::thread::scope(|_s| {});
+    let _b = std::thread::Builder::new();
+}

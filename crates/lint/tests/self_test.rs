@@ -72,6 +72,33 @@ fn unit_cast_fixture() {
 }
 
 #[test]
+fn thread_spawn_fixture() {
+    assert_eq!(
+        findings("bad_thread_spawn.rs"),
+        vec![
+            (Rule::ThreadSpawn, 4),  // available_parallelism
+            (Rule::ThreadSpawn, 8),  // thread::spawn
+            (Rule::ThreadSpawn, 10), // thread::scope
+            (Rule::ThreadSpawn, 11), // thread::Builder
+        ]
+    );
+}
+
+/// The executor crate is the one sanctioned home for threads; the same
+/// line is a violation anywhere else.
+#[test]
+fn executor_module_may_spawn() {
+    let src = "pub fn go() {\n    std::thread::scope(|_s| {});\n}\n";
+    let cfg = Config::default();
+    let inside = cmap_lint::scan_source("crates/exec/src/lib.rs", src, &cfg);
+    assert!(inside.is_empty(), "executor path should be exempt");
+    let outside = cmap_lint::scan_source("crates/sim/src/world.rs", src, &cfg);
+    assert_eq!(outside.len(), 1);
+    assert_eq!(outside[0].rule, Rule::ThreadSpawn);
+    assert_eq!(outside[0].line, 2);
+}
+
+#[test]
 fn clean_fixture_has_no_findings() {
     assert_eq!(findings("clean.rs"), vec![]);
 }

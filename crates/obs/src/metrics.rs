@@ -72,6 +72,11 @@ define_ids! {
         SimUnknownFlow => "sim.unknown_flow",
         /// Deliveries at a node that is not the flow's destination.
         SimMisdelivered => "sim.misdelivered",
+        // PHY hot path (crates/phy cache, bumped by crates/sim).
+        /// BER memo-cache lookups answered from the cache.
+        PhyBerCacheHit => "phy.ber_cache_hit",
+        /// BER memo-cache lookups that had to compute.
+        PhyBerCacheMiss => "phy.ber_cache_miss",
         // Statistics bookkeeping (crates/sim).
         /// Per-seq vpkt flag entries evicted to honour the cap.
         StatsVpktEvicted => "stats.vpkt_evicted",

@@ -30,6 +30,9 @@ pub struct LoopProfile {
     hist: [u64; HIST_BUCKETS],
     /// Per-event-type dispatch counts, in the order the engine reports them.
     dispatch: Vec<(String, u64)>,
+    /// Worker-pool utilization `(jobs, batches, jobs_executed, busy_ns)`,
+    /// attached by the harness when runs were fanned out.
+    pool: Option<(usize, u64, u64, u64)>,
 }
 
 impl Default for LoopProfile {
@@ -42,6 +45,7 @@ impl Default for LoopProfile {
             max_slice_ns: 0,
             hist: [0; HIST_BUCKETS],
             dispatch: Vec::new(),
+            pool: None,
         }
     }
 }
@@ -101,6 +105,19 @@ impl LoopProfile {
         &self.dispatch
     }
 
+    /// Attach worker-pool utilization: configured width, batches fanned
+    /// out, jobs executed, and summed worker busy wall-time. `busy_ns` is
+    /// wall-clock derived, which is why the whole block renders inside the
+    /// report's `timing` section only.
+    pub fn set_pool(&mut self, jobs: usize, batches: u64, jobs_executed: u64, busy_ns: u64) {
+        self.pool = Some((jobs, batches, jobs_executed, busy_ns));
+    }
+
+    /// Worker-pool utilization, if attached.
+    pub fn pool(&self) -> Option<(usize, u64, u64, u64)> {
+        self.pool
+    }
+
     /// Nonzero histogram buckets as `(bucket_floor_ns, slice_count)`.
     pub fn hist_buckets(&self) -> Vec<(u64, u64)> {
         self.hist
@@ -144,7 +161,14 @@ impl LoopProfile {
             json::push_key(&mut s, &floor.to_string());
             s.push_str(&c.to_string());
         }
-        s.push_str("}}");
+        s.push('}');
+        if let Some((jobs, batches, executed, busy_ns)) = self.pool {
+            s.push_str(&format!(
+                ",\"pool\":{{\"jobs\":{jobs},\"batches\":{batches},\
+                 \"jobs_executed\":{executed},\"busy_ns\":{busy_ns}}}"
+            ));
+        }
+        s.push('}');
         s
     }
 
@@ -219,5 +243,19 @@ mod tests {
         let text = p.render_text();
         assert!(text.contains("250000 events/sec"));
         assert!(text.contains("timer"));
+    }
+
+    #[test]
+    fn pool_block_only_appears_when_attached() {
+        let mut p = LoopProfile::new();
+        p.record_slice(10, 1_000);
+        assert!(!p.to_json().contains("\"pool\""));
+        p.set_pool(4, 3, 12, 9_000);
+        let j = p.to_json();
+        assert!(
+            j.contains("\"pool\":{\"jobs\":4,\"batches\":3,\"jobs_executed\":12,\"busy_ns\":9000}"),
+            "{j}"
+        );
+        assert_eq!(p.pool(), Some((4, 3, 12, 9_000)));
     }
 }

@@ -135,15 +135,13 @@ impl Scheduler {
         self.processed
     }
 
-    /// Events processed per kind, `(kind_name, count)` in kind order.
-    /// Deterministic: derived purely from the event stream, so it also
-    /// feeds the dispatch section of the event-loop profile.
-    pub fn processed_by_kind(&self) -> Vec<(&'static str, u64)> {
-        Event::KIND_NAMES
-            .iter()
-            .zip(self.processed_by_kind.iter())
-            .map(|(&n, &c)| (n, c))
-            .collect()
+    /// Events processed per kind, indexed by [`Event::kind_idx`] (names in
+    /// [`Event::KIND_NAMES`]). Deterministic: derived purely from the event
+    /// stream, so it also feeds the dispatch section of the event-loop
+    /// profile. Borrowing the array keeps the per-slice profiling path
+    /// allocation-free.
+    pub fn processed_by_kind(&self) -> &[u64; Event::KIND_COUNT] {
+        &self.processed_by_kind
     }
 }
 
@@ -199,12 +197,15 @@ mod tests {
         s.schedule(2, Event::Audit);
         s.schedule(3, timer(1, 1));
         while s.pop().is_some() {}
-        let by_kind: std::collections::BTreeMap<&str, u64> =
-            s.processed_by_kind().into_iter().collect();
+        let by_kind: std::collections::BTreeMap<&str, u64> = Event::KIND_NAMES
+            .iter()
+            .zip(s.processed_by_kind().iter())
+            .map(|(&n, &c)| (n, c))
+            .collect();
         assert_eq!(by_kind["timer"], 2);
         assert_eq!(by_kind["audit"], 1);
         assert_eq!(by_kind["tx_end"], 0);
-        let total: u64 = s.processed_by_kind().iter().map(|&(_, c)| c).sum();
+        let total: u64 = s.processed_by_kind().iter().sum();
         assert_eq!(total, s.processed());
     }
 }

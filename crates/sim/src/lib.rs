@@ -15,7 +15,9 @@
 //!   `cmap-obs` registry, and an optional structured trace sink, and
 //! * deterministic fault injection ([`faults`]): node churn, radio lockups,
 //!   Gilbert–Elliott burst loss, stepped shadowing, clock skew and frame
-//!   corruption, plus a runtime invariant watchdog.
+//!   corruption, plus a runtime invariant watchdog, and
+//! * process-wide engine totals ([`perf`]) feeding the benchmark perf
+//!   baseline (events/sec, BER-cache hit rate) across parallel runs.
 //!
 //! Runs are bit-deterministic for a given (topology, MACs, seed): every
 //! random draw derives from the master seed via per-node streams.
@@ -40,6 +42,7 @@ pub mod event;
 pub mod faults;
 pub mod mac;
 pub mod medium;
+pub mod perf;
 pub mod radio;
 pub mod rng;
 pub mod stats;

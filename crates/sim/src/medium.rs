@@ -73,6 +73,11 @@ impl Medium {
 
     /// Linear gain from `tx` to `rx`.
     pub fn gain(&self, tx: NodeId, rx: NodeId) -> f64 {
+        debug_assert!(
+            tx < self.n && rx < self.n,
+            "gain({tx}, {rx}) out of bounds for {} nodes",
+            self.n
+        );
         self.gain[tx * self.n + rx]
     }
 
@@ -96,6 +101,11 @@ impl Medium {
 
     /// Propagation delay from `tx` to `rx` in nanoseconds.
     pub fn delay_ns(&self, tx: NodeId, rx: NodeId) -> u64 {
+        debug_assert!(
+            tx < self.n && rx < self.n,
+            "delay_ns({tx}, {rx}) out of bounds for {} nodes",
+            self.n
+        );
         self.delay_ns[tx * self.n + rx]
     }
 
@@ -150,5 +160,26 @@ mod tests {
         let m = Medium::from_gains_db(2, &gains, &[0, 33, 33, 0], &phy);
         assert!(m.rss_dbm(0, 1) > m.rss_dbm(1, 0));
         assert_eq!(m.delay_ns(0, 1), 33);
+    }
+
+    #[test]
+    fn delays_are_directional() {
+        // A waveguide-ish link: the two directions carry different delays
+        // (row-major [tx * n + rx]), and the accessor must not mix them up.
+        let phy = PhyConfig::default();
+        let gains = vec![f64::NEG_INFINITY, -70.0, -70.0, f64::NEG_INFINITY];
+        let m = Medium::from_gains_db(2, &gains, &[0, 120, 450, 0], &phy);
+        assert_eq!(m.delay_ns(0, 1), 120);
+        assert_eq!(m.delay_ns(1, 0), 450);
+        assert_eq!(m.delay_ns(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_delay_is_caught() {
+        let phy = PhyConfig::default();
+        let m = Medium::uniform(2, -70.0, &phy);
+        let _ = m.delay_ns(0, 2);
     }
 }

@@ -91,9 +91,31 @@ pub(crate) struct Radio {
     pub last_busy: bool,
     /// Receptions aborted because the MAC started transmitting over them.
     pub aborted_rx: u64,
+    /// Recycled interference-profile buffer: the next lock reuses the
+    /// capacity of the last completed (or dropped) one instead of
+    /// allocating per reception.
+    spare_profile: Vec<(Time, f64)>,
 }
 
 impl Radio {
+    /// A profile buffer seeded with the level at lock time, reusing the
+    /// spare buffer's capacity when one is parked.
+    fn fresh_profile(&mut self, at: Time, level: f64) -> Vec<(Time, f64)> {
+        let mut buf = std::mem::take(&mut self.spare_profile);
+        buf.clear();
+        buf.push((at, level));
+        buf
+    }
+
+    /// Park a used interference buffer for the next lock (keeps the larger
+    /// capacity when two race back).
+    pub(crate) fn recycle_profile(&mut self, mut buf: Vec<(Time, f64)>) {
+        buf.clear();
+        if buf.capacity() > self.spare_profile.capacity() {
+            self.spare_profile = buf;
+        }
+    }
+
     /// Current coarse phase.
     pub fn phase(&self) -> RadioPhase {
         if self.transmitting.is_some() {
@@ -141,7 +163,13 @@ impl Radio {
     pub fn power_off(&mut self) -> bool {
         self.disabled = true;
         self.incoming.clear();
-        self.lock.take().is_some()
+        match self.lock.take() {
+            Some(lock) => {
+                self.recycle_profile(lock.interference);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Fault injection: the radio comes back. Caller re-checks carrier
@@ -197,11 +225,12 @@ impl Radio {
             if power_mw >= dbm_to_mw(phy.sensitivity_dbm) {
                 let sinr = power_mw / (noise + interference_for_new);
                 if rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
+                    let interference = self.fresh_profile(now, interference_for_new);
                     self.lock = Some(RxLock {
                         tx_id,
                         lock_time: now,
                         signal_mw: power_mw,
-                        interference: vec![(now, interference_for_new)],
+                        interference,
                     });
                     return LockOutcome::Locked;
                 }
@@ -223,11 +252,16 @@ impl Radio {
             let interference_for_new = self.energy_mw(Some(tx_id));
             let sinr = power_mw / (noise + interference_for_new);
             if rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
+                // The displaced lock's buffer feeds the new one.
+                if let Some(old) = self.lock.take() {
+                    self.recycle_profile(old.interference);
+                }
+                let interference = self.fresh_profile(now, interference_for_new);
                 self.lock = Some(RxLock {
                     tx_id,
                     lock_time: now,
                     signal_mw: power_mw,
-                    interference: vec![(now, interference_for_new)],
+                    interference,
                 });
                 return LockOutcome::Captured {
                     displaced: lock_tx_id,
@@ -281,7 +315,8 @@ impl Radio {
             debug_assert!(false, "begin_tx while transmitting");
             return false;
         }
-        if self.lock.take().is_some() {
+        if let Some(lock) = self.lock.take() {
+            self.recycle_profile(lock.interference);
             self.aborted_rx += 1;
         }
         self.transmitting = Some(tx_id);
@@ -625,6 +660,34 @@ mod tests {
                 prop_assert!(!r.busy(&cfg));
             }
         }
+    }
+
+    #[test]
+    fn recycled_profile_buffer_feeds_next_lock_cleanly() {
+        let mut r = Radio::default();
+        let mut rng = stream_rng(1, 40);
+        assert_eq!(
+            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        // Grow the profile with some interference churn.
+        for k in 0..8u64 {
+            r.frame_start(10 + k, mw(-85.0), 100 + k, &phy(), &mut rng);
+            r.frame_end(10 + k, 200 + k);
+        }
+        let done = r.frame_end(1, 1000).unwrap();
+        let grown = done.interference.capacity();
+        assert!(grown >= 17);
+        r.recycle_profile(done.interference);
+        // The next lock starts from a clean single-entry profile but reuses
+        // the parked capacity.
+        assert_eq!(
+            r.frame_start(2, mw(-60.0), 2000, &phy(), &mut rng),
+            LockOutcome::Locked
+        );
+        let done2 = r.frame_end(2, 3000).unwrap();
+        assert_eq!(done2.interference.as_slice(), &[(2000, 0.0)]);
+        assert_eq!(done2.interference.capacity(), grown);
     }
 
     #[test]

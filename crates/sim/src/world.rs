@@ -27,7 +27,7 @@ use crate::stats::Stats;
 use crate::time::Time;
 use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 use cmap_phy::units::db_to_ratio;
-use cmap_phy::{mw_to_dbm, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
+use cmap_phy::{mw_to_dbm, BerCache, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
 use cmap_wire::{Frame, FrameKind, MacAddr};
 
 /// Index of a node in the world.
@@ -95,6 +95,14 @@ pub struct World {
     watchdog: WatchdogConfig,
     /// Recycled op buffers for MAC dispatch (dispatch can nest).
     ops_pool: Vec<Vec<Op>>,
+    /// Bit-exact memo over `cmap_phy::ber` for the grading hot path. Owned
+    /// per world: parallel runs never share cache state.
+    ber_cache: BerCache,
+    /// High-water marks already published to counters/perf totals (the
+    /// run_until tail syncs deltas, so partial runs stay consistent).
+    synced_events: u64,
+    synced_hits: u64,
+    synced_misses: u64,
 }
 
 impl World {
@@ -121,6 +129,10 @@ impl World {
             faults: None,
             watchdog: WatchdogConfig::default(),
             ops_pool: Vec::new(),
+            ber_cache: BerCache::default(),
+            synced_events: 0,
+            synced_hits: 0,
+            synced_misses: 0,
         }
     }
 
@@ -264,9 +276,16 @@ impl World {
     }
 
     /// Deterministic per-event-kind dispatch counts (`(kind_name, count)`),
-    /// for the event-loop profile.
-    pub fn event_counts(&self) -> Vec<(&'static str, u64)> {
-        self.sched.processed_by_kind()
+    /// for the event-loop profile. A fixed-size array (no allocation): it
+    /// coerces to the slice the profiler's `set_dispatch` wants.
+    pub fn event_counts(&self) -> [(&'static str, u64); Event::KIND_COUNT] {
+        let by_kind = self.sched.processed_by_kind();
+        std::array::from_fn(|i| (Event::KIND_NAMES[i], by_kind[i]))
+    }
+
+    /// `(hits, misses)` of the per-world BER memo cache so far.
+    pub fn ber_cache_stats(&self) -> (u64, u64) {
+        (self.ber_cache.hits(), self.ber_cache.misses())
     }
 
     /// Enable structured tracing: protocol/engine decision points are
@@ -322,7 +341,31 @@ impl World {
             }
             self.handle_event(ev);
         }
-        self.time = t;
+        if t >= self.time {
+            self.time = t;
+        } else {
+            // Caller asked to run *backwards* (or an event regression held
+            // the clock past `t`): record it and hold, never rewind.
+            self.stats.bump(CounterId::WatchdogTimeRegress);
+        }
+        // Publish hot-path deltas since the last sync: deterministic
+        // counters for reports plus process-wide perf totals for the
+        // benchmark baseline.
+        let events = self.sched.processed();
+        let (hits, misses) = (self.ber_cache.hits(), self.ber_cache.misses());
+        let ev_d = events - self.synced_events;
+        let hit_d = hits - self.synced_hits;
+        let miss_d = misses - self.synced_misses;
+        self.synced_events = events;
+        self.synced_hits = hits;
+        self.synced_misses = misses;
+        if hit_d > 0 {
+            self.stats.add(CounterId::PhyBerCacheHit, hit_d);
+        }
+        if miss_d > 0 {
+            self.stats.add(CounterId::PhyBerCacheMiss, miss_d);
+        }
+        crate::perf::note_run(ev_d, hit_d, miss_d);
         // Level readings at the (deterministic) stop point.
         self.stats
             .set_gauge(GaugeId::SimInflightTx, self.txs.len() as u64);
@@ -474,8 +517,16 @@ impl World {
     fn grade_and_deliver(&mut self, rx: NodeId, c: RxCompletion) {
         let rec = &self.txs[&c.tx_id];
         let rate = rec.rate;
+        let wire_len = rec.wire_len;
         let frame = Arc::clone(&rec.frame);
-        let p_success = grade_reception(&c, self.time, rate, rec.wire_len, &self.phy);
+        let p_success = grade_reception(
+            &c,
+            self.time,
+            rate,
+            wire_len,
+            &self.phy,
+            &mut self.ber_cache,
+        );
         let rss_dbm = mw_to_dbm(c.signal_mw);
         let decoded = self.rngs[rx].gen_bool(p_success.clamp(0.0, 1.0));
         // Fault injection: a decoded frame may be corrupted (CRC escape
@@ -518,6 +569,9 @@ impl World {
             };
             self.dispatch(rx, |mac, ctx| mac.on_rx_error(ctx, err));
         }
+        // The interference profile buffer goes back to the radio for the
+        // next lock — grading is the hottest allocation site otherwise.
+        self.radios[rx].recycle_profile(c.interference);
     }
 
     fn release_tx(&mut self, tx_id: TxId) {
@@ -623,15 +677,20 @@ impl World {
             self.radios[node].phase() != RadioPhase::Transmitting,
             "start_tx while transmitting"
         );
-        let bytes = frame.emit();
-        debug_assert_eq!(
-            Frame::parse(&bytes).as_ref(),
-            Ok(&frame),
-            "wire round-trip mismatch"
-        );
-        debug_assert_eq!(bytes.len(), frame.wire_len());
-        let wire_len = bytes.len();
-        drop(bytes);
+        // Release builds never materialise the bytes: `wire_len` is computed
+        // from the frame shape. Debug builds still emit and round-trip-check
+        // every transmitted frame.
+        #[cfg(debug_assertions)]
+        {
+            let bytes = frame.emit();
+            debug_assert_eq!(
+                Frame::parse(&bytes).as_ref(),
+                Ok(&frame),
+                "wire round-trip mismatch"
+            );
+            debug_assert_eq!(bytes.len(), frame.wire_len());
+        }
+        let wire_len = frame.wire_len();
         let airtime = rate.frame_airtime_ns(wire_len);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
@@ -753,6 +812,7 @@ fn grade_reception(
     rate: Rate,
     psdu_len: usize,
     phy: &PhyConfig,
+    cache: &mut BerCache,
 ) -> f64 {
     let payload_start = c.lock_time + PLCP_PREAMBLE_NS + PLCP_SIG_NS;
     if frame_end <= payload_start {
@@ -774,7 +834,7 @@ fn grade_reception(
         }
         let bits = total_bits * (hi - lo) as f64 / span;
         let sinr = c.signal_mw / (noise + level);
-        let ber = cmap_phy::ber(sinr, rate).min(0.5);
+        let ber = cache.ber(sinr, rate).min(0.5);
         ln_p += bits * (-ber).ln_1p();
     }
     ln_p.exp()

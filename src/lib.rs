@@ -18,6 +18,7 @@
 //! * [`cmap`] — the CMAP link layer itself
 //! * [`experiments`] — the paper's evaluation scenarios (§5)
 //! * [`stats`] — CDFs/percentiles used by the figure harness
+//! * [`exec`] — the deterministic parallel run executor (`--jobs`)
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 //! ```
 
 pub use cmap_core as cmap;
+pub use cmap_exec as exec;
 pub use cmap_experiments as experiments;
 pub use cmap_mac80211 as mac80211;
 pub use cmap_obs as obs;

@@ -66,4 +66,30 @@ proptest! {
         let bits = 16 + 8 * len as u64 + 6;
         prop_assert_eq!(symbols, bits.div_ceil(rate.n_dbps()));
     }
+
+    /// The BER memo cache is bit-transparent: for any lookup sequence —
+    /// random rates, log-spaced SINRs spanning denormal to huge, repeats
+    /// and all — every answer is bit-identical to the uncached function,
+    /// hits and evicted recomputes alike.
+    #[test]
+    fn ber_cache_is_bit_transparent(
+        lookups in prop::collection::vec((0u8..8, -120.0f64..60.0), 1..200),
+        slots in 0usize..128,
+    ) {
+        let mut cache = cmap_suite::phy::BerCache::new(slots);
+        for &(r, db) in &lookups {
+            let rate = Rate::from_u8(r).expect("rate");
+            let sinr = db_to_ratio(db);
+            let cached = cache.ber(sinr, rate);
+            let direct = error_model::ber(sinr, rate);
+            prop_assert_eq!(cached.to_bits(), direct.to_bits(),
+                "cache diverged at sinr={} rate={}", sinr, rate);
+            // A second lookup must be a hit with the same bits.
+            let hits_before = cache.hits();
+            let again = cache.ber(sinr, rate);
+            prop_assert_eq!(again.to_bits(), direct.to_bits());
+            prop_assert_eq!(cache.hits(), hits_before + 1);
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), 2 * lookups.len() as u64);
+    }
 }
