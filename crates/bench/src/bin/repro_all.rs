@@ -105,6 +105,7 @@ fn main() {
     });
     let perf = PerfReport {
         jobs,
+        cores_detected: cmap_exec::default_jobs(),
         suite_wall_secs: t0.elapsed().as_secs_f64(),
         pool,
         figures: perf_figures,

@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use cmap_obs::json::fmt_f64;
 
 /// Schema tag stamped into the artifact.
-pub const PERF_SCHEMA: &str = "cmap-perf/v1";
+pub const PERF_SCHEMA: &str = "cmap-perf/v2";
 
 /// One figure's measured performance.
 #[derive(Debug, Clone)]
@@ -42,7 +42,6 @@ impl FigurePerf {
     /// Events per wall-clock second (0 for a zero-length wall).
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
-            // cmap-lint: allow(unit-cast) — event count over harness wall seconds; plain meter arithmetic, off the sim path
             self.events as f64 / self.wall_secs
         } else {
             0.0
@@ -55,7 +54,6 @@ impl FigurePerf {
         if total == 0 {
             0.0
         } else {
-            // cmap-lint: allow(unit-cast) — hit/lookup ratio for the perf artifact; off the sim path
             self.ber_hits as f64 / total as f64
         }
     }
@@ -85,6 +83,10 @@ impl BaselineWalls {
 pub struct PerfReport {
     /// Worker-pool width this suite ran with.
     pub jobs: usize,
+    /// Cores the machine advertised (`cmap_exec::default_jobs`). CI reads
+    /// this to skip the `speedup_vs_jobs1` expectation on single-core
+    /// runners, where a pooled run cannot be faster than serial.
+    pub cores_detected: usize,
     /// Total suite wall-clock seconds.
     pub suite_wall_secs: f64,
     /// Executor pool utilization over the whole suite.
@@ -113,9 +115,10 @@ impl PerfReport {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"schema\":\"{}\",\"jobs\":{},\"suite_wall_secs\":{},\"speedup_vs_jobs1\":{}",
+            "{{\"schema\":\"{}\",\"jobs\":{},\"cores_detected\":{},\"suite_wall_secs\":{},\"speedup_vs_jobs1\":{}",
             PERF_SCHEMA,
             self.jobs,
+            self.cores_detected,
             fmt_f64(self.suite_wall_secs),
             opt(self.suite_speedup()),
         );
@@ -207,6 +210,7 @@ mod tests {
     fn sample(jobs: usize) -> PerfReport {
         PerfReport {
             jobs,
+            cores_detected: 8,
             suite_wall_secs: 10.0,
             pool: cmap_exec::PoolStats {
                 batches: 5,
@@ -238,7 +242,7 @@ mod tests {
     fn json_shape_and_meters() {
         let r = sample(2);
         let j = r.to_json();
-        assert!(j.starts_with("{\"schema\":\"cmap-perf/v1\",\"jobs\":2,"));
+        assert!(j.starts_with("{\"schema\":\"cmap-perf/v2\",\"jobs\":2,\"cores_detected\":8,"));
         assert!(j.contains("\"events_per_sec\":2000"), "{j}");
         assert!(j.contains("\"ber_cache_hit_rate\":0.9"), "{j}");
         assert!(j.contains("\"speedup_vs_jobs1\":null"), "{j}");

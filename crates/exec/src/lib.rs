@@ -35,7 +35,6 @@ use std::sync::mpsc;
 /// *scheduling only*; job results are index-joined, so the value never
 /// affects (and is never written into) deterministic report bytes.
 pub fn default_jobs() -> usize {
-    // cmap-lint: allow(thread-spawn) — the approved executor's core probe
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -141,7 +140,6 @@ impl Pool {
         let cursor = &cursor;
         let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
         slots.resize_with(items.len(), || None);
-        // cmap-lint: allow(thread-spawn) — this is the approved executor pool
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();

@@ -1,0 +1,319 @@
+//! Workspace analysis orchestration.
+//!
+//! The pipeline: collect `.rs` files → hash contents (FNV-1a) → serve
+//! unchanged files from the incremental cache, fan the rest through
+//! `cmap_exec::Pool` for token-layer scan + symbol-model build → run the
+//! interprocedural flow rules (always — whole-program, cheap) → audit
+//! stale pragmas → filter through the suppression baseline.
+//!
+//! The analyzer itself is exempt from the determinism rules it enforces
+//! on simulation code — its wall-clock metering (`wall_ns`) feeds only the
+//! stats artifact CI uses to assert the warm-cache speedup, never a
+//! simulation artifact.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{Baseline, BaselineEntry};
+use crate::cache::{fnv1a, Cache, CacheEntry};
+use crate::flow::{self, FlowFile};
+use crate::model::{build_model, FileModel};
+use crate::{collect_rs_files, Config, FileScan, Rule, Violation};
+
+/// Analysis options beyond the rule [`Config`].
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Worker count for the parse fan-out (0 = serial).
+    pub jobs: usize,
+    /// Incremental cache location; `None` disables caching.
+    pub cache_path: Option<PathBuf>,
+    /// Suppression baseline; `None` means every finding gates.
+    pub baseline_path: Option<PathBuf>,
+}
+
+/// The full analysis result.
+#[derive(Debug, Default)]
+pub struct AnalyzeReport {
+    /// Findings not pinned by the baseline, ordered by (path, line, rule).
+    pub violations: Vec<Violation>,
+    /// `(violation, reason)` pinned by the baseline.
+    pub pinned: Vec<(Violation, String)>,
+    /// Baseline entries that matched nothing (stale pins).
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// Files lexed+modelled this run.
+    pub files_parsed: usize,
+    /// Files served from the incremental cache.
+    pub files_from_cache: usize,
+    /// Wall time of the analysis (cache load → baseline filter). Metering
+    /// only: feeds the CI stats artifact, never a simulation artifact.
+    pub wall_ns: u128,
+}
+
+/// Analyze a set of roots.
+pub fn analyze(roots: &[PathBuf], cfg: &Config, opts: &Options) -> io::Result<AnalyzeReport> {
+    // cmap-lint: allow(wall-clock) — analyzer self-metering for the CI warm-cache assertion; never reaches simulation artifacts
+    let t0 = std::time::Instant::now();
+
+    // ---- collect ---------------------------------------------------------
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            collect_rs_files(root, cfg, &mut files)?;
+        } else if root.is_file() {
+            files.push(root.clone());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", root.display()),
+            ));
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    // ---- read + hash -----------------------------------------------------
+    let mut sources: Vec<(String, String, u64)> = Vec::with_capacity(files.len());
+    for file in &files {
+        let display = file.display().to_string().replace('\\', "/");
+        let text = fs::read_to_string(file)?;
+        let hash = fnv1a(text.as_bytes());
+        sources.push((display, text, hash));
+    }
+
+    // ---- cache partition -------------------------------------------------
+    let pool = cmap_exec::Pool::new(opts.jobs.max(1));
+    let mut cache = match &opts.cache_path {
+        Some(p) => Cache::load(p, &pool),
+        None => Cache::default(),
+    };
+    let mut parsed: Vec<Option<(FileScan, FileModel)>> = vec![None; sources.len()];
+    let mut to_parse: Vec<usize> = Vec::new();
+    let mut files_from_cache = 0;
+    for (i, (path, _, hash)) in sources.iter().enumerate() {
+        match cache.entries.get(path) {
+            Some(e) if e.hash == *hash => {
+                parsed[i] = Some((e.scan.clone(), e.model.clone()));
+                files_from_cache += 1;
+            }
+            _ => to_parse.push(i),
+        }
+    }
+
+    // ---- parallel parse --------------------------------------------------
+    let files_parsed = to_parse.len();
+    let fresh: Vec<(FileScan, FileModel)> = pool.map(&to_parse, |&i| {
+        let (path, text, _) = &sources[i];
+        let scan = crate::scan_file(path, text, cfg);
+        let model = build_model(path, text);
+        (scan, model)
+    });
+    for (&i, product) in to_parse.iter().zip(fresh) {
+        parsed[i] = Some(product);
+    }
+
+    // ---- flow rules ------------------------------------------------------
+    let products: Vec<&(FileScan, FileModel)> = parsed
+        .iter()
+        .map(|p| p.as_ref().expect("every file parsed or cached"))
+        .collect();
+    let flow_files: Vec<FlowFile> = products
+        .iter()
+        .zip(&sources)
+        .map(|(p, (_, text, _))| FlowFile {
+            model: &p.1,
+            scan: &p.0,
+            raw: text.lines().collect(),
+        })
+        .collect();
+    let flow_out = flow::run(&flow_files, cfg);
+
+    // ---- stale pragmas ---------------------------------------------------
+    let mut violations: Vec<Violation> = Vec::new();
+    for p in &products {
+        violations.extend(p.0.violations.iter().cloned());
+    }
+    violations.extend(flow_out.violations);
+
+    let mut used: std::collections::BTreeSet<(usize, usize, Rule)> =
+        std::collections::BTreeSet::new();
+    for (i, p) in products.iter().enumerate() {
+        for &(line, rule) in &p.0.used_pragmas {
+            used.insert((i, line, rule));
+        }
+    }
+    for (i, line, rule) in flow_out.pragma_uses {
+        used.insert((i, line, rule));
+    }
+    for (i, p) in products.iter().enumerate() {
+        for pragma in &p.0.pragmas {
+            for &rule in &pragma.rules {
+                if rule == Rule::StalePragma || used.contains(&(i, pragma.line, rule)) {
+                    continue;
+                }
+                let (path, text, _) = &sources[i];
+                violations.push(Violation {
+                    path: path.clone(),
+                    line: pragma.line,
+                    rule: Rule::StalePragma,
+                    message: format!(
+                        "allow({}) suppresses zero findings; remove the stale \
+                         pragma (dead suppressions rot the audit trail)",
+                        rule.code()
+                    ),
+                    snippet: text
+                        .lines()
+                        .nth(pragma.line - 1)
+                        .map_or("", str::trim)
+                        .to_string(),
+                    fix: None,
+                });
+            }
+        }
+    }
+
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    // ---- baseline --------------------------------------------------------
+    let mut report = AnalyzeReport {
+        files_scanned: sources.len(),
+        files_parsed,
+        files_from_cache,
+        ..AnalyzeReport::default()
+    };
+    match &opts.baseline_path {
+        Some(p) if p.exists() => {
+            let baseline = Baseline::load(p).map_err(io::Error::other)?;
+            let split = baseline.split(violations);
+            report.violations = split.new;
+            report.pinned = split.pinned;
+            report.stale_baseline = split.stale_entries;
+        }
+        _ => report.violations = violations,
+    }
+
+    // ---- store cache -----------------------------------------------------
+    if let Some(p) = &opts.cache_path {
+        // Drop entries for files no longer on disk so the cache does not
+        // grow without bound.
+        let live: std::collections::BTreeSet<&String> = sources.iter().map(|(p, _, _)| p).collect();
+        let before = cache.entries.len();
+        cache.entries.retain(|path, _| live.contains(path));
+        let dropped = before - cache.entries.len();
+        // A fully-warm run leaves the cache byte-identical; skip the
+        // serialize+write so warm wall time stays well under cold.
+        if files_parsed > 0 || dropped > 0 {
+            for (i, (path, _, hash)) in sources.iter().enumerate() {
+                let (scan, model) = parsed[i].as_ref().expect("parsed");
+                cache.entries.insert(
+                    path.clone(),
+                    CacheEntry {
+                        hash: *hash,
+                        scan: scan.clone(),
+                        model: model.clone(),
+                    },
+                );
+            }
+            cache.store(p)?;
+        }
+    }
+
+    report.wall_ns = t0.elapsed().as_nanos();
+    Ok(report)
+}
+
+/// Stats document for `--stats-out` (CI asserts warm < cold/2 on
+/// `wall_ns`, and exact parse/cache counts in the incremental test).
+pub fn render_stats(report: &AnalyzeReport) -> String {
+    use crate::jsonv::{int, obj, Val};
+    obj(vec![
+        ("files_scanned", int(report.files_scanned)),
+        ("files_parsed", int(report.files_parsed)),
+        ("files_from_cache", int(report.files_from_cache)),
+        ("new_findings", int(report.violations.len())),
+        ("pinned_findings", int(report.pinned.len())),
+        ("stale_baseline_entries", int(report.stale_baseline.len())),
+        (
+            "wall_ns",
+            Val::Int(i64::try_from(report.wall_ns).unwrap_or(i64::MAX)),
+        ),
+    ])
+    .render_pretty()
+}
+
+/// Render the analyze report for humans.
+pub fn render_human(report: &AnalyzeReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.path, v.line, v.rule, v.message, v.snippet
+        ));
+        if let Some(fix) = &v.fix {
+            out.push_str(&format!(
+                "    fix: replace cols {}..{} with `{}` ({})\n",
+                fix.col_start, fix.col_end, fix.replacement, fix.description
+            ));
+        }
+    }
+    for e in &report.stale_baseline {
+        out.push_str(&format!(
+            "warning: stale baseline entry [{}] {} `{}` matches nothing — remove it\n",
+            e.rule.code(),
+            e.path,
+            e.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "cmap-analyze: {} new finding(s), {} baselined, {} file(s) scanned \
+         ({} parsed, {} from cache)\n",
+        report.violations.len(),
+        report.pinned.len(),
+        report.files_scanned,
+        report.files_parsed,
+        report.files_from_cache
+    ));
+    out
+}
+
+/// Render the analyze report as JSON (violations plus counters).
+pub fn render_json(report: &AnalyzeReport) -> String {
+    use crate::cache::violation_to_val;
+    use crate::jsonv::{int, obj, s, Val};
+    obj(vec![
+        (
+            "violations",
+            Val::Arr(report.violations.iter().map(violation_to_val).collect()),
+        ),
+        (
+            "baselined",
+            Val::Arr(
+                report
+                    .pinned
+                    .iter()
+                    .map(|(v, reason)| {
+                        let mut val = violation_to_val(v);
+                        if let Val::Obj(pairs) = &mut val {
+                            pairs.push(("reason".to_string(), s(reason)));
+                        }
+                        val
+                    })
+                    .collect(),
+            ),
+        ),
+        ("files_scanned", int(report.files_scanned)),
+        ("files_parsed", int(report.files_parsed)),
+        ("files_from_cache", int(report.files_from_cache)),
+        ("violation_count", int(report.violations.len())),
+    ])
+    .render_pretty()
+}
+
+/// Resolve the default baseline path: `ANALYZE_baseline.json` next to the
+/// first root's enclosing repo (cwd), if present.
+pub fn default_baseline() -> Option<PathBuf> {
+    let p = Path::new("ANALYZE_baseline.json");
+    p.exists().then(|| p.to_path_buf())
+}

@@ -1,0 +1,209 @@
+//! The checked-in suppression baseline.
+//!
+//! Pre-existing, justified findings are pinned in a JSON file
+//! (`ANALYZE_baseline.json` at the repo root) so CI fails only on *new*
+//! findings. Every entry carries a mandatory reason — an entry without one
+//! fails the load, mirroring the mandatory pragma-reason rule — and
+//! matching is by `(rule, path suffix, trimmed snippet)` rather than line
+//! number, so unrelated edits above a finding don't unpin it.
+
+use std::fs;
+use std::path::Path;
+
+use crate::jsonv::{self, obj, s, Val};
+use crate::{Rule, Violation};
+
+/// Baseline format tag.
+pub const BASELINE_SCHEMA: &str = "cmap-analyze-baseline/v1";
+
+/// One pinned finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule code.
+    pub rule: Rule,
+    /// Path (matched by suffix, so the baseline works from any cwd).
+    pub path: String,
+    /// Trimmed source snippet of the pinned line.
+    pub snippet: String,
+    /// Why this finding is accepted. Mandatory.
+    pub reason: String,
+}
+
+impl BaselineEntry {
+    /// Does this entry pin the given violation?
+    pub fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && (v.path.ends_with(&self.path) || self.path.ends_with(&v.path))
+            && self.snippet == v.snippet
+    }
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All pinned findings.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of filtering a finding list through the baseline.
+#[derive(Debug, Default)]
+pub struct BaselineSplit {
+    /// Findings not covered by any entry: these gate CI.
+    pub new: Vec<Violation>,
+    /// `(violation, reason)` for findings pinned by the baseline.
+    pub pinned: Vec<(Violation, String)>,
+    /// Entries that matched nothing — stale pins that should be removed.
+    pub stale_entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Load a baseline file. Unlike the cache, a baseline that exists but
+    /// does not parse — or carries an entry without a reason — is a hard
+    /// error: a silently dropped suppression list would fail CI noisily,
+    /// but a silently *accepted* malformed one would hide findings.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))
+    }
+
+    /// Parse baseline JSON.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = jsonv::parse(text)?;
+        if doc.get("schema").and_then(Val::as_str) != Some(BASELINE_SCHEMA) {
+            return Err(format!("schema is not {BASELINE_SCHEMA}"));
+        }
+        let mut entries = Vec::new();
+        for (i, e) in doc
+            .get("entries")
+            .and_then(Val::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            let rule = e
+                .get("rule")
+                .and_then(Val::as_str)
+                .and_then(Rule::parse)
+                .ok_or(format!("entry {i}: missing/unknown rule"))?;
+            let path = e
+                .get("path")
+                .and_then(Val::as_str)
+                .ok_or(format!("entry {i}: missing path"))?
+                .to_string();
+            let snippet = e
+                .get("snippet")
+                .and_then(Val::as_str)
+                .ok_or(format!("entry {i}: missing snippet"))?
+                .to_string();
+            let reason = e
+                .get("reason")
+                .and_then(Val::as_str)
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            if reason.len() < 3 {
+                return Err(format!(
+                    "entry {i} ({} {path}): reason is mandatory — say why this \
+                     finding is accepted",
+                    rule.code()
+                ));
+            }
+            entries.push(BaselineEntry {
+                rule,
+                path,
+                snippet,
+                reason,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Split findings into new / pinned, and report unmatched entries.
+    pub fn split(&self, violations: Vec<Violation>) -> BaselineSplit {
+        let mut out = BaselineSplit::default();
+        let mut matched = vec![false; self.entries.len()];
+        for v in violations {
+            match self.entries.iter().position(|e| e.matches(&v)) {
+                Some(i) => {
+                    matched[i] = true;
+                    let reason = self.entries[i].reason.clone();
+                    out.pinned.push((v, reason));
+                }
+                None => out.new.push(v),
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if !matched[i] {
+                out.stale_entries.push(e.clone());
+            }
+        }
+        out
+    }
+
+    /// Render a baseline that pins exactly the given findings (for
+    /// `--write-baseline`); reasons are placeholders the author must fill.
+    pub fn render_for(violations: &[Violation]) -> String {
+        let entries: Vec<Val> = violations
+            .iter()
+            .map(|v| {
+                obj(vec![
+                    ("rule", s(v.rule.code())),
+                    ("path", s(&v.path)),
+                    ("snippet", s(&v.snippet)),
+                    ("reason", s("TODO: say why this finding is accepted")),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("schema", s(BASELINE_SCHEMA)),
+            ("entries", Val::Arr(entries)),
+        ])
+        .render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: Rule, path: &str, snippet: &str) -> Violation {
+        Violation {
+            path: path.to_string(),
+            line: 10,
+            rule,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+            fix: None,
+        }
+    }
+
+    #[test]
+    fn reasons_are_mandatory() {
+        let text = r#"{"schema":"cmap-analyze-baseline/v1","entries":[
+            {"rule":"det-taint","path":"a.rs","snippet":"x","reason":""}]}"#;
+        let err = Baseline::parse(text).expect_err("empty reason rejected");
+        assert!(err.contains("reason is mandatory"), "{err}");
+    }
+
+    #[test]
+    fn split_pins_and_reports_stale() {
+        let text = r#"{"schema":"cmap-analyze-baseline/v1","entries":[
+            {"rule":"det-taint","path":"crates/bench/src/a.rs","snippet":"let t = now();","reason":"perf artifact is non-deterministic by design"},
+            {"rule":"shared-state","path":"crates/gone.rs","snippet":"old","reason":"obsolete pin"}]}"#;
+        let b = Baseline::parse(text).expect("parses");
+        let split = b.split(vec![
+            violation(
+                Rule::DetTaint,
+                "/repo/crates/bench/src/a.rs",
+                "let t = now();",
+            ),
+            violation(Rule::UnitFlow, "/repo/crates/sim/src/b.rs", "t_ns + t_us"),
+        ]);
+        assert_eq!(split.pinned.len(), 1);
+        assert_eq!(split.new.len(), 1);
+        assert_eq!(split.new[0].rule, Rule::UnitFlow);
+        assert_eq!(split.stale_entries.len(), 1);
+        assert_eq!(split.stale_entries[0].path, "crates/gone.rs");
+    }
+}

@@ -1,0 +1,584 @@
+//! The incremental analysis cache.
+//!
+//! Keyed by FNV-1a 64 content hash per file: a warm run deserializes the
+//! token-layer scan and the symbol model instead of re-lexing and
+//! re-parsing, which is where the cold run spends its time (the flow
+//! fixpoint always re-runs — it is whole-program and cheap). A one-byte
+//! edit changes exactly one file's hash and invalidates exactly that
+//! entry.
+//!
+//! The cache schema is versioned; any rule or model change bumps
+//! [`CACHE_SCHEMA`] and silently discards old caches (a stale cache must
+//! never mask a finding).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::jsonv::{self, int, obj, s, Val};
+use crate::model::{
+    Assign, BinOp, CallSite, FileModel, FnModel, Operand, OperandKind, Param, StaticDecl, StructLit,
+};
+use crate::{FileScan, Fix, PragmaSummary, Rule, Violation};
+
+/// Cache format tag; bump on any rule/model change.
+/// v2: the cache load dominates warm-run wall time, so the format is
+/// built for parse speed — positional arrays for the symbol model (no
+/// repeated object keys), and one entry per line so a header line plus
+/// independent entry lines can be parsed through the worker pool.
+pub const CACHE_SCHEMA: &str = "cmap-analyze-cache/v2";
+
+/// FNV-1a 64-bit content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached per-file analysis product.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Content hash the products were computed from.
+    pub hash: u64,
+    /// Token-layer scan (violations + pragma bookkeeping).
+    pub scan: FileScan,
+    /// Symbol model.
+    pub model: FileModel,
+}
+
+/// The on-disk cache: path → entry.
+#[derive(Debug, Default)]
+pub struct Cache {
+    /// Entries by `/`-normalised path.
+    pub entries: std::collections::BTreeMap<String, CacheEntry>,
+}
+
+impl Cache {
+    /// Load a cache file; a missing, unreadable, or schema-mismatched
+    /// cache is an empty cache, never an error (the analysis simply runs
+    /// cold). Entry lines are independent, so they fan out through the
+    /// given worker pool.
+    pub fn load(path: &Path, pool: &cmap_exec::Pool) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        let mut lines = text.lines();
+        let header_ok = lines
+            .next()
+            .and_then(|h| jsonv::parse(h).ok())
+            .and_then(|h| h.get("schema").and_then(Val::as_str).map(str::to_string))
+            .is_some_and(|schema| schema == CACHE_SCHEMA);
+        if !header_ok {
+            return Cache::default();
+        }
+        let entry_lines: Vec<&str> = lines.filter(|l| !l.trim().is_empty()).collect();
+        let parsed: Vec<Option<(String, CacheEntry)>> = pool.map(&entry_lines, |line| {
+            // One corrupt entry poisons nothing else.
+            jsonv::parse(line).ok().as_ref().and_then(entry_from_val)
+        });
+        let mut cache = Cache::default();
+        for (path, entry) in parsed.into_iter().flatten() {
+            cache.entries.insert(path, entry);
+        }
+        cache
+    }
+
+    /// Persist the cache: a schema header line, then one entry per line.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = obj(vec![("schema", s(CACHE_SCHEMA))]).render();
+        for (p, e) in &self.entries {
+            out.push('\n');
+            out.push_str(
+                &obj(vec![
+                    ("path", s(p)),
+                    ("hash", s(&format!("{:016x}", e.hash))),
+                    ("scan", scan_to_val(&e.scan)),
+                    ("model", model_to_val(&e.model)),
+                ])
+                .render(),
+            );
+        }
+        out.push('\n');
+        fs::write(path, out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: analysis products ⇄ jsonv::Val.
+// ---------------------------------------------------------------------------
+
+fn str_arr(items: &[String]) -> Val {
+    Val::Arr(items.iter().map(|i| s(i)).collect())
+}
+
+fn usize_arr(items: &[usize]) -> Val {
+    Val::Arr(items.iter().map(|&i| int(i)).collect())
+}
+
+fn opt_str(o: &Option<String>) -> Val {
+    match o {
+        Some(v) => s(v),
+        None => Val::Null,
+    }
+}
+
+fn val_str(v: &Val) -> Option<String> {
+    v.as_str().map(|s| s.to_string())
+}
+
+fn val_usize(v: &Val) -> Option<usize> {
+    v.as_int().and_then(|i| usize::try_from(i).ok())
+}
+
+fn val_str_vec(v: Option<&Val>) -> Vec<String> {
+    v.and_then(Val::as_arr)
+        .map(|a| a.iter().filter_map(val_str).collect())
+        .unwrap_or_default()
+}
+
+fn val_usize_vec(v: Option<&Val>) -> Vec<usize> {
+    v.and_then(Val::as_arr)
+        .map(|a| a.iter().filter_map(val_usize).collect())
+        .unwrap_or_default()
+}
+
+/// Serialize a violation (shared with the JSON render path).
+pub fn violation_to_val(v: &Violation) -> Val {
+    let mut pairs = vec![
+        ("path", s(&v.path)),
+        ("line", int(v.line)),
+        ("rule", s(v.rule.code())),
+        ("message", s(&v.message)),
+        ("snippet", s(&v.snippet)),
+    ];
+    if let Some(fix) = &v.fix {
+        pairs.push((
+            "fix",
+            obj(vec![
+                ("col_start", int(fix.col_start)),
+                ("col_end", int(fix.col_end)),
+                ("replacement", s(&fix.replacement)),
+                ("description", s(&fix.description)),
+            ]),
+        ));
+    }
+    obj(pairs)
+}
+
+fn violation_from_val(v: &Val) -> Option<Violation> {
+    let fix = v.get("fix").and_then(|f| {
+        Some(Fix {
+            col_start: val_usize(f.get("col_start")?)?,
+            col_end: val_usize(f.get("col_end")?)?,
+            replacement: val_str(f.get("replacement")?)?,
+            description: val_str(f.get("description")?)?,
+        })
+    });
+    Some(Violation {
+        path: val_str(v.get("path")?)?,
+        line: val_usize(v.get("line")?)?,
+        rule: Rule::parse(v.get("rule")?.as_str()?)?,
+        message: val_str(v.get("message")?)?,
+        snippet: val_str(v.get("snippet")?)?,
+        fix,
+    })
+}
+
+fn scan_to_val(scan: &FileScan) -> Val {
+    obj(vec![
+        (
+            "violations",
+            Val::Arr(scan.violations.iter().map(violation_to_val).collect()),
+        ),
+        (
+            "pragmas",
+            Val::Arr(
+                scan.pragmas
+                    .iter()
+                    .map(|p| {
+                        Val::Arr(vec![
+                            int(p.line),
+                            Val::Arr(p.rules.iter().map(|r| s(r.code())).collect()),
+                            usize_arr(&p.targets),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "used",
+            Val::Arr(
+                scan.used_pragmas
+                    .iter()
+                    .map(|(l, r)| Val::Arr(vec![int(*l), s(r.code())]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn scan_from_val(v: &Val) -> Option<FileScan> {
+    let violations = v
+        .get("violations")?
+        .as_arr()?
+        .iter()
+        .map(violation_from_val)
+        .collect::<Option<Vec<_>>>()?;
+    let pragmas = v
+        .get("pragmas")?
+        .as_arr()?
+        .iter()
+        .map(|p| {
+            let parts = p.as_arr()?;
+            Some(PragmaSummary {
+                line: val_usize(parts.first()?)?,
+                rules: parts
+                    .get(1)?
+                    .as_arr()?
+                    .iter()
+                    .map(|r| Rule::parse(r.as_str()?))
+                    .collect::<Option<Vec<_>>>()?,
+                targets: val_usize_vec(parts.get(2)),
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let used_pragmas = v
+        .get("used")?
+        .as_arr()?
+        .iter()
+        .map(|u| {
+            let pair = u.as_arr()?;
+            Some((
+                val_usize(pair.first()?)?,
+                Rule::parse(pair.get(1)?.as_str()?)?,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(FileScan {
+        violations,
+        pragmas,
+        used_pragmas,
+    })
+}
+
+fn operand_to_val(o: &Operand) -> Val {
+    Val::Arr(vec![
+        s(&o.name),
+        s(match o.kind {
+            OperandKind::Ident => "i",
+            OperandKind::Call => "c",
+        }),
+    ])
+}
+
+fn operand_from_val(v: &Val) -> Option<Operand> {
+    let pair = v.as_arr()?;
+    Some(Operand {
+        name: val_str(pair.first()?)?,
+        kind: match pair.get(1)?.as_str()? {
+            "i" => OperandKind::Ident,
+            "c" => OperandKind::Call,
+            _ => return None,
+        },
+    })
+}
+
+// The symbol model is encoded positionally: `FnModel` and its children
+// are arrays with fixed slots, not objects. Field order here and in the
+// matching `*_from_val` is the format — reordering is a schema change.
+
+fn call_to_val(c: &CallSite) -> Val {
+    Val::Arr(vec![
+        s(&c.callee),
+        opt_str(&c.qual),
+        Val::Bool(c.is_method),
+        opt_str(&c.receiver),
+        int(c.line),
+        Val::Arr(c.args.iter().map(|a| str_arr(a)).collect()),
+        opt_str(&c.assigned_to),
+    ])
+}
+
+fn call_from_val(v: &Val) -> Option<CallSite> {
+    let p = v.as_arr()?;
+    Some(CallSite {
+        callee: val_str(p.first()?)?,
+        qual: p.get(1).and_then(val_str),
+        is_method: p.get(2)?.as_bool()?,
+        receiver: p.get(3).and_then(val_str),
+        line: val_usize(p.get(4)?)?,
+        args: p
+            .get(5)?
+            .as_arr()?
+            .iter()
+            .map(|a| Some(val_str_vec(Some(a))))
+            .collect::<Option<Vec<_>>>()?,
+        assigned_to: p.get(6).and_then(val_str),
+    })
+}
+
+fn fn_to_val(f: &FnModel) -> Val {
+    Val::Arr(vec![
+        s(&f.name),
+        opt_str(&f.qual),
+        Val::Arr(f.params.iter().map(|p| s(&p.name)).collect()),
+        Val::Bool(f.has_self),
+        Val::Bool(f.returns_value),
+        int(f.line),
+        int(f.end_line),
+        Val::Bool(f.in_test),
+        Val::Arr(f.calls.iter().map(call_to_val).collect()),
+        Val::Arr(
+            f.assigns
+                .iter()
+                .map(|a| {
+                    Val::Arr(vec![
+                        s(&a.lhs),
+                        str_arr(&a.rhs_idents),
+                        str_arr(&a.rhs_calls),
+                        int(a.line),
+                    ])
+                })
+                .collect(),
+        ),
+        usize_arr(&f.source_lines),
+        Val::Arr(
+            f.panic_lines
+                .iter()
+                .map(|(l, t)| Val::Arr(vec![int(*l), s(t)]))
+                .collect(),
+        ),
+        usize_arr(&f.shared_reads),
+        str_arr(&f.return_idents),
+        str_arr(&f.return_calls),
+        usize_arr(&f.return_lines),
+        Val::Arr(
+            f.struct_lits
+                .iter()
+                .map(|l| {
+                    Val::Arr(vec![
+                        s(&l.name),
+                        int(l.line),
+                        str_arr(&l.idents),
+                        Val::Bool(l.has_source),
+                    ])
+                })
+                .collect(),
+        ),
+        Val::Arr(
+            f.bin_ops
+                .iter()
+                .map(|b| {
+                    Val::Arr(vec![
+                        int(b.line),
+                        s(&b.op),
+                        operand_to_val(&b.left),
+                        operand_to_val(&b.right),
+                    ])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+fn fn_from_val(v: &Val) -> Option<FnModel> {
+    let p = v.as_arr()?;
+    Some(FnModel {
+        name: val_str(p.first()?)?,
+        qual: p.get(1).and_then(val_str),
+        params: val_str_vec(p.get(2))
+            .into_iter()
+            .map(|name| Param { name })
+            .collect(),
+        has_self: p.get(3)?.as_bool()?,
+        returns_value: p.get(4)?.as_bool()?,
+        line: val_usize(p.get(5)?)?,
+        end_line: val_usize(p.get(6)?)?,
+        in_test: p.get(7)?.as_bool()?,
+        calls: p
+            .get(8)?
+            .as_arr()?
+            .iter()
+            .map(call_from_val)
+            .collect::<Option<Vec<_>>>()?,
+        assigns: p
+            .get(9)?
+            .as_arr()?
+            .iter()
+            .map(|a| {
+                let q = a.as_arr()?;
+                Some(Assign {
+                    lhs: val_str(q.first()?)?,
+                    rhs_idents: val_str_vec(q.get(1)),
+                    rhs_calls: val_str_vec(q.get(2)),
+                    line: val_usize(q.get(3)?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        source_lines: val_usize_vec(p.get(10)),
+        panic_lines: p
+            .get(11)?
+            .as_arr()?
+            .iter()
+            .map(|pl| {
+                let pair = pl.as_arr()?;
+                Some((val_usize(pair.first()?)?, val_str(pair.get(1)?)?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        shared_reads: val_usize_vec(p.get(12)),
+        return_idents: val_str_vec(p.get(13)),
+        return_calls: val_str_vec(p.get(14)),
+        return_lines: val_usize_vec(p.get(15)),
+        struct_lits: p
+            .get(16)?
+            .as_arr()?
+            .iter()
+            .map(|l| {
+                let q = l.as_arr()?;
+                Some(StructLit {
+                    name: val_str(q.first()?)?,
+                    line: val_usize(q.get(1)?)?,
+                    idents: val_str_vec(q.get(2)),
+                    has_source: q.get(3)?.as_bool()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        bin_ops: p
+            .get(17)?
+            .as_arr()?
+            .iter()
+            .map(|b| {
+                let parts = b.as_arr()?;
+                Some(BinOp {
+                    line: val_usize(parts.first()?)?,
+                    op: val_str(parts.get(1)?)?,
+                    left: operand_from_val(parts.get(2)?)?,
+                    right: operand_from_val(parts.get(3)?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn model_to_val(m: &FileModel) -> Val {
+    obj(vec![
+        ("path", s(&m.path)),
+        ("fns", Val::Arr(m.fns.iter().map(fn_to_val).collect())),
+        (
+            "statics",
+            Val::Arr(
+                m.statics
+                    .iter()
+                    .map(|st| {
+                        Val::Arr(vec![
+                            s(&st.name),
+                            int(st.line),
+                            Val::Bool(st.is_mut),
+                            Val::Bool(st.interior_mutable),
+                            s(&st.ty),
+                            Val::Bool(st.in_test),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn model_from_val(v: &Val) -> Option<FileModel> {
+    Some(FileModel {
+        path: val_str(v.get("path")?)?,
+        fns: v
+            .get("fns")?
+            .as_arr()?
+            .iter()
+            .map(fn_from_val)
+            .collect::<Option<Vec<_>>>()?,
+        statics: v
+            .get("statics")?
+            .as_arr()?
+            .iter()
+            .map(|st| {
+                let p = st.as_arr()?;
+                Some(StaticDecl {
+                    name: val_str(p.first()?)?,
+                    line: val_usize(p.get(1)?)?,
+                    is_mut: p.get(2)?.as_bool()?,
+                    interior_mutable: p.get(3)?.as_bool()?,
+                    ty: val_str(p.get(4)?)?,
+                    in_test: p.get(5)?.as_bool()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn entry_from_val(v: &Val) -> Option<(String, CacheEntry)> {
+    let path = val_str(v.get("path")?)?;
+    let hash = u64::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?;
+    let scan = scan_from_val(v.get("scan")?)?;
+    let model = model_from_val(v.get("model")?)?;
+    Some((path, CacheEntry { hash, scan, model }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::build_model;
+    use crate::{scan_file, Config};
+
+    #[test]
+    fn roundtrip_preserves_scan_and_model() {
+        let src = "\
+fn stamp_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+";
+        let cfg = Config::default();
+        let path = "crates/sim/src/fixture.rs";
+        let scan = scan_file(path, src, &cfg);
+        let model = build_model(path, src);
+        let entry = CacheEntry {
+            hash: fnv1a(src.as_bytes()),
+            scan: scan.clone(),
+            model: model.clone(),
+        };
+
+        let mut cache = Cache::default();
+        cache.entries.insert(path.to_string(), entry);
+        let dir = std::env::temp_dir().join(format!("cmap-analyze-cache-{}", std::process::id()));
+        let file = dir.join("cache.json");
+        cache.store(&file).expect("store");
+        let loaded = Cache::load(&file, &cmap_exec::Pool::new(1));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let e = loaded.entries.get(path).expect("entry round-trips");
+        assert_eq!(e.hash, fnv1a(src.as_bytes()));
+        assert_eq!(e.model, model);
+        assert_eq!(e.scan.pragmas, scan.pragmas);
+        assert_eq!(e.scan.violations.len(), scan.violations.len());
+        for (a, b) in e.scan.violations.iter().zip(&scan.violations) {
+            assert_eq!((a.line, a.rule, &a.message), (b.line, b.rule, &b.message));
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_discards() {
+        let dir =
+            std::env::temp_dir().join(format!("cmap-analyze-badcache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let file = dir.join("cache.json");
+        std::fs::write(&file, r#"{"schema":"other/v9","entries":[]}"#).expect("write");
+        assert!(Cache::load(&file, &cmap_exec::Pool::new(1))
+            .entries
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

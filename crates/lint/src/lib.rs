@@ -1,9 +1,11 @@
-//! `cmap-lint`: determinism & unit-safety static analysis for the CMAP
-//! workspace.
+//! `cmap-analyze`: workspace-aware determinism & unit-safety static
+//! analysis for the CMAP workspace.
 //!
 //! The paper's evaluation (NSDI 2008, Figs 12–20) is only reproducible if
 //! the same seed yields the same packet trace. This tool enforces the
-//! source-level invariants that keep that true, as six rules:
+//! source-level invariants that keep that true, in two layers.
+//!
+//! **Token layer** (this module): a per-file lexer enforcing six rules:
 //!
 //! * **R1 `hash-iter`** — iterating a `HashMap`/`HashSet` in a
 //!   deterministic crate leaks nondeterministic order into results. Use
@@ -25,6 +27,30 @@
 //!   (`crates/exec`). Ad-hoc threading sidesteps the executor's
 //!   determinism argument (index-ordered joins, per-run isolation); fan
 //!   work out through `cmap_exec::Pool` instead.
+//!
+//! **Symbol layer** (the [`model`] + [`flow`] modules, orchestrated by
+//! [`analyze`]): the whole workspace is parsed into a lightweight
+//! item/symbol model — functions, signatures, call edges by name
+//! resolution, statics — and four flow-sensitive interprocedural rules run
+//! on top:
+//!
+//! * **R7 `det-taint`** — wall-clock/entropy/parallelism-derived values may
+//!   not flow (through locals, returns and call edges) into deterministic
+//!   code or artifact-bearing sinks. The `timing` block and `LoopProfile`
+//!   sinks are the sanctioned exceptions.
+//! * **R8 `unit-flow`** — `ns`/`us`/`ms`/`slots`/`dBm`/`mW`-bearing values
+//!   tracked through arithmetic and call boundaries; mixed-unit additive
+//!   expressions and unit-mismatched arguments are flagged even when the
+//!   units travel through helper returns R5's cast rule cannot see.
+//! * **R9 `shared-state`** — `static` atomics / `static mut` /
+//!   interior-mutable statics outside the executor crate, and any
+//!   shared-state-derived value that can reach artifact bytes.
+//! * **R10 `panic-reach`** — a call chain from an event-loop hot path into
+//!   `panic!`/bare `.unwrap()` in a callee (which R4, being per-file,
+//!   misses).
+//!
+//! A pragma that suppresses zero findings is itself reported
+//! (**`stale-pragma`**) — dead suppressions rot the audit trail.
 //!
 //! A justified exception is written as a pragma comment on the offending
 //! line (or on a comment line directly above it):
@@ -50,7 +76,16 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The six enforced invariants.
+pub mod analyze;
+pub mod baseline;
+pub mod cache;
+pub mod flow;
+pub mod jsonv;
+pub mod model;
+pub mod sarif;
+
+/// The enforced invariants: six token-layer rules, four interprocedural
+/// symbol-layer rules, and the pragma-hygiene rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// R1: hash-ordered iteration in deterministic code.
@@ -59,23 +94,40 @@ pub enum Rule {
     WallClock,
     /// R3: float equality / NaN-prone comparison chains.
     FloatCmp,
-    /// R4: bare `.unwrap()` in hot paths.
+    /// R4: bare `.unwrap()` (or an empty `.expect("")`) in hot paths.
     PanicBudget,
     /// R5: raw unit-bearing casts outside conversion modules.
     UnitCast,
     /// R6: thread spawns / parallelism probes outside the executor module.
     ThreadSpawn,
+    /// R7: wall-clock/entropy-derived values flowing into deterministic
+    /// code or artifact sinks through call edges.
+    DetTaint,
+    /// R8: mixed-unit arithmetic or unit-mismatched call arguments.
+    UnitFlow,
+    /// R9: interior-mutable statics outside the executor, or shared-state
+    /// values reaching artifact bytes.
+    SharedState,
+    /// R10: a hot-path call chain reaching `panic!`/bare `.unwrap()`.
+    PanicReach,
+    /// A justified pragma that suppresses zero findings.
+    StalePragma,
 }
 
 impl Rule {
-    /// All rules, in R1..R6 order.
-    pub const ALL: [Rule; 6] = [
+    /// All rules, in R1..R10 + stale-pragma order.
+    pub const ALL: [Rule; 11] = [
         Rule::HashIter,
         Rule::WallClock,
         Rule::FloatCmp,
         Rule::PanicBudget,
         Rule::UnitCast,
         Rule::ThreadSpawn,
+        Rule::DetTaint,
+        Rule::UnitFlow,
+        Rule::SharedState,
+        Rule::PanicReach,
+        Rule::StalePragma,
     ];
 
     /// The pragma / diagnostic code for the rule.
@@ -87,6 +139,28 @@ impl Rule {
             Rule::PanicBudget => "panic-budget",
             Rule::UnitCast => "unit-cast",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::DetTaint => "det-taint",
+            Rule::UnitFlow => "unit-flow",
+            Rule::SharedState => "shared-state",
+            Rule::PanicReach => "panic-reach",
+            Rule::StalePragma => "stale-pragma",
+        }
+    }
+
+    /// One-line rule description (SARIF rule metadata).
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-ordered iteration leaks nondeterministic order",
+            Rule::WallClock => "wall-clock time or ambient entropy in a run",
+            Rule::FloatCmp => "exact float comparison or NaN-prone ordering",
+            Rule::PanicBudget => "undocumented panic in a simulator hot path",
+            Rule::UnitCast => "raw unit-bearing cast outside conversion modules",
+            Rule::ThreadSpawn => "threading primitive outside the approved executor",
+            Rule::DetTaint => "wall-clock/entropy-derived value flows into deterministic code or an artifact sink",
+            Rule::UnitFlow => "mixed physical units across arithmetic or a call boundary",
+            Rule::SharedState => "interior-mutable static outside the executor, or shared state reaching artifact bytes",
+            Rule::PanicReach => "hot-path call chain reaches panic!/unwrap in a callee",
+            Rule::StalePragma => "suppression pragma that silences zero findings",
         }
     }
 
@@ -102,6 +176,21 @@ impl fmt::Display for Rule {
     }
 }
 
+/// A machine-applicable suggested fix: replace the byte span
+/// `[col_start, col_end)` (0-based, within the raw source line) with
+/// `replacement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// 0-based byte offset of the span start within the line.
+    pub col_start: usize,
+    /// 0-based byte offset one past the span end.
+    pub col_end: usize,
+    /// Replacement text (may contain `<placeholders>` for the author).
+    pub replacement: String,
+    /// What applying the fix does.
+    pub description: String,
+}
+
 /// One finding.
 #[derive(Debug, Clone)]
 pub struct Violation {
@@ -115,6 +204,8 @@ pub struct Violation {
     pub message: String,
     /// The offending source line, trimmed.
     pub snippet: String,
+    /// Suggested fix span, when one is mechanical enough to propose.
+    pub fix: Option<Fix>,
 }
 
 /// Scan scoping: which paths count as deterministic, hot, sanctioned or
@@ -133,6 +224,16 @@ pub struct Config {
     /// Never scanned when reached by directory walking (still scanned when
     /// named explicitly as a root — how the fixture self-tests run).
     pub skip_markers: Vec<String>,
+    /// Artifact-bearing sink names (function or struct-literal names):
+    /// report writers, snapshot serializers, perf artifacts. A taint or
+    /// shared-state value reaching one of these is an R7/R9 finding.
+    pub taint_sinks: Vec<String>,
+    /// Sanctioned exception sinks: wall-clock-derived values are allowed
+    /// here by design (the `timing` block and the `LoopProfile` profiler).
+    pub sanctioned_sinks: Vec<String>,
+    /// Modules allowed to declare interior-mutable statics (R9 exempt):
+    /// the executor's pool meters.
+    pub shared_state_allowed: Vec<String>,
 }
 
 impl Default for Config {
@@ -160,6 +261,28 @@ impl Default for Config {
             ]),
             thread_spawn_allowed: v(&["crates/exec/src"]),
             skip_markers: v(&["/target/", "/vendor/", "crates/lint/tests/fixtures"]),
+            taint_sinks: v(&[
+                // Run/suite report writers and their metric entry point.
+                "RunReport",
+                "SuiteReport",
+                "metric",
+                // Deterministic snapshots compared byte-for-byte in tests.
+                "snapshot",
+                "Snapshot",
+                // The tracked perf artifact (wall-clock flows into it need
+                // an explicit baseline entry — the file is non-deterministic
+                // by design, and the audit trail must say so).
+                "FigurePerf",
+                "PerfReport",
+            ]),
+            sanctioned_sinks: v(&[
+                "TimingBlock",
+                "LoopProfile",
+                "set_pool",
+                "record_slice",
+                "profile_event_loop",
+            ]),
+            shared_state_allowed: v(&["crates/exec/src"]),
         }
     }
 }
@@ -244,23 +367,73 @@ struct Pragma {
     line: usize,
 }
 
+/// A justified pragma, as seen by the symbol layer and the stale-pragma
+/// check: which rules it allows, which line it sits on, and the lines it
+/// silences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaSummary {
+    /// 1-based line of the pragma comment.
+    pub line: usize,
+    /// Rules the pragma allows.
+    pub rules: Vec<Rule>,
+    /// The lines this pragma silences (its own line and, for standalone
+    /// pragmas, the next code line).
+    pub targets: Vec<usize>,
+}
+
+/// The token-layer scan of one file, with everything the symbol layer and
+/// the stale-pragma audit need later.
+#[derive(Debug, Clone, Default)]
+pub struct FileScan {
+    /// Token-layer findings, pragma suppression already applied.
+    pub violations: Vec<Violation>,
+    /// All justified pragmas in the file.
+    pub pragmas: Vec<PragmaSummary>,
+    /// `(pragma_line, rule)` pairs that suppressed at least one
+    /// token-layer finding.
+    pub used_pragmas: Vec<(usize, Rule)>,
+}
+
+impl FileScan {
+    /// Whether a symbol-layer finding at `line` for `rule` is silenced by
+    /// a pragma; records the use so the pragma is not reported stale.
+    pub fn allows(&self, line: usize, rule: Rule) -> Option<usize> {
+        for p in &self.pragmas {
+            if p.rules.contains(&rule) && p.targets.contains(&line) {
+                return Some(p.line);
+            }
+        }
+        None
+    }
+}
+
 /// Per-line lexed form of a file.
-struct Lexed {
+pub(crate) struct Lexed {
     /// Code with comments and literal contents blanked, one per line.
-    code: Vec<String>,
+    pub(crate) code: Vec<String>,
     /// Comment text per line (for pragma parsing).
-    comments: Vec<String>,
+    pub(crate) comments: Vec<String>,
     /// Raw lines (for snippets).
-    raw: Vec<String>,
+    pub(crate) raw: Vec<String>,
 }
 
 /// Scan a single file's source text. `path` is used for scoping and for
 /// the `path` field of the produced violations.
 pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    scan_file(path, source, cfg).violations
+}
+
+/// Token-layer scan returning the full [`FileScan`] (findings plus pragma
+/// bookkeeping for the symbol layer).
+pub fn scan_file(path: &str, source: &str, cfg: &Config) -> FileScan {
     let lexed = lex(source);
+    scan_lexed(path, &lexed, cfg)
+}
+
+fn scan_lexed(path: &str, lexed: &Lexed, cfg: &Config) -> FileScan {
     let in_test = test_regions(&lexed.code);
-    let pragmas = collect_pragmas(&lexed);
-    let allow = resolve_pragma_targets(&pragmas, &lexed);
+    let pragmas = collect_pragmas(lexed);
+    let allow = resolve_pragma_targets(&pragmas, lexed);
 
     let det = Config::matches(&cfg.det_markers, path);
     let hot = Config::matches(&cfg.hot_markers, path);
@@ -293,14 +466,19 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                         rule.code()
                     ),
                     snippet: lexed.raw[p.line - 1].trim().to_string(),
+                    fix: None,
                 });
             }
         }
     }
 
-    let mut emit = |line: usize, rule: Rule, message: String, lexed: &Lexed| {
-        if allow.get(&line).is_some_and(|rules| rules.contains(&rule)) {
-            return;
+    let mut used_pragmas: Vec<(usize, Rule)> = Vec::new();
+    let mut emit = |line: usize, rule: Rule, message: String, fix: Option<Fix>, lexed: &Lexed| {
+        if let Some(entries) = allow.get(&line) {
+            if let Some(&(_, pragma_line)) = entries.iter().find(|&&(r, _)| r == rule) {
+                used_pragmas.push((pragma_line, rule));
+                return;
+            }
         }
         out.push(Violation {
             path: path.to_string(),
@@ -308,6 +486,7 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
             rule,
             message,
             snippet: lexed.raw[line - 1].trim().to_string(),
+            fix,
         });
     };
 
@@ -328,7 +507,8 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                              nondeterministic order; use BTreeMap/BTreeSet or sort \
                              before iterating"
                         ),
-                        &lexed,
+                        None,
+                        lexed,
                     );
                 }
             }
@@ -346,7 +526,8 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                      randomness/time from the seeded simulation clock and \
                      stream RNGs"
                 ),
-                &lexed,
+                None,
+                lexed,
             );
         }
 
@@ -360,7 +541,8 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                         "exact float comparison against `{tok}`; use an epsilon \
                          or restructure the sentinel"
                     ),
-                    &lexed,
+                    None,
+                    lexed,
                 );
             }
             if code.contains(".partial_cmp(") && !code.contains("fn partial_cmp") {
@@ -370,21 +552,53 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                     "NaN-prone `partial_cmp` chain in simulation arithmetic; \
                      use `f64::total_cmp` (or handle the None)"
                         .to_string(),
-                    &lexed,
+                    None,
+                    lexed,
                 );
             }
         }
 
-        // R4 panic budget: hot paths, non-test code.
-        if hot && !is_test && code.contains(".unwrap()") {
-            emit(
-                line,
-                Rule::PanicBudget,
-                "bare `.unwrap()` in a simulator hot path; handle the case or \
-                 document the invariant with `.expect(\"...\")`"
-                    .to_string(),
-                &lexed,
-            );
+        // R4 panic budget: hot paths, non-test code. An `.expect` whose
+        // invariant text is empty or whitespace-only is a laundered
+        // unwrap: it satisfies the token search while documenting nothing,
+        // so it gets the same treatment (mirroring the mandatory
+        // pragma-reason rule).
+        if hot && !is_test {
+            if code.contains(".unwrap()") {
+                let fix = code.find(".unwrap()").map(|at| Fix {
+                    col_start: at,
+                    col_end: at + ".unwrap()".len(),
+                    replacement: ".expect(\"<why this cannot fail>\")".to_string(),
+                    description: "document the invariant that makes the panic unreachable"
+                        .to_string(),
+                });
+                emit(
+                    line,
+                    Rule::PanicBudget,
+                    "bare `.unwrap()` in a simulator hot path; handle the case or \
+                     document the invariant with `.expect(\"...\")`"
+                        .to_string(),
+                    fix,
+                    lexed,
+                );
+            }
+            if let Some((start, end)) = empty_expect_span(code, &lexed.raw[idx]) {
+                emit(
+                    line,
+                    Rule::PanicBudget,
+                    "`.expect(\"\")` with an empty/whitespace invariant string \
+                     documents nothing; state why the panic is unreachable \
+                     (reason text is mandatory, as for pragmas)"
+                        .to_string(),
+                    Some(Fix {
+                        col_start: start,
+                        col_end: end,
+                        replacement: "\"<why this cannot fail>\"".to_string(),
+                        description: "fill in the invariant text".to_string(),
+                    }),
+                    lexed,
+                );
+            }
         }
 
         // R5 unit casts: deterministic scope, non-test, outside the
@@ -399,7 +613,8 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                          through phy::units / sim::time helpers (or use \
                          `u64::from` for widening)"
                     ),
-                    &lexed,
+                    None,
+                    lexed,
                 );
             }
         }
@@ -417,20 +632,70 @@ pub fn scan_source(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
                          through `cmap_exec::Pool` so joins stay index-ordered \
                          and pool width never reaches artifact bytes"
                     ),
-                    &lexed,
+                    None,
+                    lexed,
                 );
             }
         }
     }
 
-    out
+    let summaries = pragmas
+        .iter()
+        .filter(|p| p.has_reason)
+        .map(|p| {
+            let mut targets = vec![p.line];
+            if p.standalone {
+                for (j, code) in lexed.code.iter().enumerate().skip(p.line) {
+                    if !code.trim().is_empty() {
+                        targets.push(j + 1);
+                        break;
+                    }
+                }
+            }
+            PragmaSummary {
+                line: p.line,
+                rules: p.rules.clone(),
+                targets,
+            }
+        })
+        .collect();
+
+    FileScan {
+        violations: out,
+        pragmas: summaries,
+        used_pragmas,
+    }
+}
+
+/// The span of an `.expect("...")` whose string is empty or
+/// whitespace-only, as `(col_start, col_end)` byte offsets of the string
+/// literal (quotes included) within the raw line.
+fn empty_expect_span(code: &str, raw: &str) -> Option<(usize, usize)> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(".expect(") {
+        let at = search + pos;
+        search = at + ".expect(".len();
+        // Columns line up between `code` and `raw` by construction: the
+        // lexer blanks literal *contents* but preserves byte positions.
+        let open = at + ".expect(".len();
+        let rest = raw.get(open..)?;
+        if !rest.starts_with('"') {
+            continue;
+        }
+        let close_rel = rest[1..].find('"')?;
+        let content = &rest[1..1 + close_rel];
+        if content.trim().is_empty() && !content.contains('\\') {
+            return Some((open, open + close_rel + 2));
+        }
+    }
+    None
 }
 
 // ---------------------------------------------------------------------------
 // Lexing: blank comments and literal contents, preserve line structure.
 // ---------------------------------------------------------------------------
 
-fn lex(source: &str) -> Lexed {
+pub(crate) fn lex(source: &str) -> Lexed {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -605,7 +870,7 @@ fn lex(source: &str) -> Lexed {
 
 /// `in_test[i]` is true when line `i+1` is inside a `#[cfg(test)] mod`
 /// region (tracked by brace depth).
-fn test_regions(code: &[String]) -> Vec<bool> {
+pub(crate) fn test_regions(code: &[String]) -> Vec<bool> {
     let mut in_test = vec![false; code.len()];
     let mut depth: i64 = 0;
     let mut pending_cfg_test = false;
@@ -652,10 +917,20 @@ fn test_regions(code: &[String]) -> Vec<bool> {
 fn collect_pragmas(lexed: &Lexed) -> Vec<Pragma> {
     let mut out = Vec::new();
     for (i, comment) in lexed.comments.iter().enumerate() {
-        let Some(pos) = comment.find("cmap-lint:") else {
+        // Doc comments (`///`, `//!`) are documentation, not directives —
+        // a pragma quoted in rustdoc must not suppress (or count as stale).
+        if comment.starts_with('/') || comment.starts_with('!') {
+            continue;
+        }
+        // Both spellings are accepted: `cmap-lint:` predates the symbol
+        // layer and appears throughout the workspace.
+        let Some((pos, tag)) = ["cmap-lint:", "cmap-analyze:"]
+            .into_iter()
+            .find_map(|tag| comment.find(tag).map(|pos| (pos, tag)))
+        else {
             continue;
         };
-        let rest = &comment[pos + "cmap-lint:".len()..];
+        let rest = &comment[pos + tag.len()..];
         let rest = rest.trim_start();
         let Some(rest) = rest.strip_prefix("allow(") else {
             continue;
@@ -688,12 +963,14 @@ fn collect_pragmas(lexed: &Lexed) -> Vec<Pragma> {
     out
 }
 
-/// Map each justified pragma to the lines it silences.
+/// Map each justified pragma to the lines it silences, keeping the
+/// pragma's own line so suppressions can be attributed (stale detection).
 fn resolve_pragma_targets(
     pragmas: &[Pragma],
     lexed: &Lexed,
-) -> std::collections::BTreeMap<usize, Vec<Rule>> {
-    let mut allow: std::collections::BTreeMap<usize, Vec<Rule>> = std::collections::BTreeMap::new();
+) -> std::collections::BTreeMap<usize, Vec<(Rule, usize)>> {
+    let mut allow: std::collections::BTreeMap<usize, Vec<(Rule, usize)>> =
+        std::collections::BTreeMap::new();
     for p in pragmas {
         if !p.has_reason {
             continue;
@@ -709,7 +986,10 @@ fn resolve_pragma_targets(
             }
         }
         for t in targets {
-            allow.entry(t).or_default().extend(p.rules.iter().copied());
+            allow
+                .entry(t)
+                .or_default()
+                .extend(p.rules.iter().map(|&r| (r, p.line)));
         }
     }
     allow
@@ -756,7 +1036,7 @@ fn collect_hash_names(code: &[String]) -> std::collections::BTreeSet<String> {
     names
 }
 
-fn last_ident(text: &str) -> Option<String> {
+pub(crate) fn last_ident(text: &str) -> Option<String> {
     let trimmed = text.trim_end();
     let end = trimmed.len();
     let start = trimmed
@@ -770,7 +1050,7 @@ fn last_ident(text: &str) -> Option<String> {
     }
 }
 
-fn c_len(s: &str, i: usize) -> usize {
+pub(crate) fn c_len(s: &str, i: usize) -> usize {
     s[i..].chars().next().map_or(1, |c| c.len_utf8())
 }
 
@@ -831,7 +1111,7 @@ fn iterated_receivers(lines: &[String], idx: usize) -> Vec<String> {
 }
 
 /// Position of `word` appearing as a standalone word.
-fn find_word(code: &str, word: &str) -> Option<usize> {
+pub(crate) fn find_word(code: &str, word: &str) -> Option<usize> {
     let mut start = 0;
     while let Some(pos) = code[start..].find(word) {
         let abs = start + pos;
@@ -857,7 +1137,7 @@ fn find_word(code: &str, word: &str) -> Option<usize> {
 // R2: wall clock / entropy tokens.
 // ---------------------------------------------------------------------------
 
-fn wall_clock_token(code: &str, raw: &str) -> Option<&'static str> {
+pub(crate) fn wall_clock_token(code: &str, raw: &str) -> Option<&'static str> {
     const TOKENS: [&str; 6] = [
         "Instant::now",
         "std::time::Instant",
@@ -1035,7 +1315,7 @@ pub fn render_human(report: &Report) -> String {
         ));
     }
     out.push_str(&format!(
-        "cmap-lint: {} violation(s) in {} file(s) scanned\n",
+        "cmap-analyze: {} violation(s) in {} file(s) scanned\n",
         report.violations.len(),
         report.files_scanned
     ));

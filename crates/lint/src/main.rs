@@ -1,27 +1,72 @@
-//! Command-line front end for the determinism lint.
+//! Command-line front end for the cmap-analyze static analysis engine.
 //!
 //! ```text
-//! cargo run -p cmap-lint -- crates/ src/
-//! cargo run -p cmap-lint -- --json crates/
+//! cargo run -p cmap-analyze -- crates/ src/ tests/
+//! cargo run -p cmap-analyze -- --baseline ANALYZE_baseline.json \
+//!     --cache target/cmap-analyze/cache.json --sarif analyze.sarif crates/
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 non-baselined findings, 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use cmap_analyze::analyze::{self, Options};
+use cmap_analyze::{sarif, Config};
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut stats_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut opts = Options::default();
+    let mut no_default_baseline = false;
     let mut roots: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let path_arg = |args: &mut dyn Iterator<Item = String>| -> Result<PathBuf, ExitCode> {
+            args.next().map(PathBuf::from).ok_or_else(|| {
+                eprintln!("cmap-analyze: `{arg}` needs a path argument");
+                ExitCode::from(2)
+            })
+        };
         match arg.as_str() {
             "--json" => json = true,
+            "--sarif" => match path_arg(&mut args) {
+                Ok(p) => sarif_path = Some(p),
+                Err(c) => return c,
+            },
+            "--stats-out" => match path_arg(&mut args) {
+                Ok(p) => stats_path = Some(p),
+                Err(c) => return c,
+            },
+            "--baseline" => match path_arg(&mut args) {
+                Ok(p) => opts.baseline_path = Some(p),
+                Err(c) => return c,
+            },
+            "--no-baseline" => no_default_baseline = true,
+            "--write-baseline" => match path_arg(&mut args) {
+                Ok(p) => write_baseline = Some(p),
+                Err(c) => return c,
+            },
+            "--cache" => match path_arg(&mut args) {
+                Ok(p) => opts.cache_path = Some(p),
+                Err(c) => return c,
+            },
+            "--jobs" => match args.next().and_then(|j| j.parse::<usize>().ok()) {
+                Some(j) => opts.jobs = j,
+                None => {
+                    eprintln!("cmap-analyze: `--jobs` needs a number");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {
-                eprintln!("cmap-lint: unknown option `{arg}`");
+                eprintln!("cmap-analyze: unknown option `{arg}`");
                 print_usage();
                 return ExitCode::from(2);
             }
@@ -29,24 +74,59 @@ fn main() -> ExitCode {
         }
     }
     if roots.is_empty() {
-        eprintln!("cmap-lint: no paths given");
+        eprintln!("cmap-analyze: no paths given");
         print_usage();
         return ExitCode::from(2);
     }
+    if opts.baseline_path.is_none() && !no_default_baseline {
+        opts.baseline_path = analyze::default_baseline();
+    }
 
-    let cfg = cmap_lint::Config::default();
-    let report = match cmap_lint::scan_paths(&roots, &cfg) {
+    let cfg = Config::default();
+    let report = match analyze::analyze(&roots, &cfg, &opts) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("cmap-lint: {e}");
+            eprintln!("cmap-analyze: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if let Some(p) = &sarif_path {
+        let doc = sarif::render(&report.violations, &report.pinned);
+        if let Err(e) = std::fs::write(p, doc) {
+            eprintln!("cmap-analyze: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(p) = &stats_path {
+        if let Err(e) = std::fs::write(p, analyze::render_stats(&report)) {
+            eprintln!("cmap-analyze: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(p) = &write_baseline {
+        let doc = cmap_analyze::baseline::Baseline::render_for(&report.violations);
+        if let Err(e) = std::fs::write(p, doc) {
+            eprintln!("cmap-analyze: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "cmap-analyze: wrote {} entr{} to {} — fill in the reasons before \
+             checking it in",
+            report.violations.len(),
+            if report.violations.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            p.display()
+        );
+    }
+
     if json {
-        print!("{}", cmap_lint::render_json(&report));
+        print!("{}", analyze::render_json(&report));
     } else {
-        print!("{}", cmap_lint::render_human(&report));
+        print!("{}", analyze::render_human(&report));
     }
 
     if report.violations.is_empty() {
@@ -58,11 +138,23 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cmap-lint [--json] <path>...\n\
+        "usage: cmap-analyze [options] <path>...\n\
          \n\
-         Scans .rs files under the given paths for determinism and\n\
-         unit-safety violations (rules: hash-iter, wall-clock, float-cmp,\n\
-         panic-budget, unit-cast, thread-spawn). See DESIGN.md\n\
-         \"Determinism invariants\"."
+         Workspace-aware determinism & unit-safety static analysis: a\n\
+         per-file token layer (hash-iter, wall-clock, float-cmp,\n\
+         panic-budget, unit-cast, thread-spawn) plus interprocedural flow\n\
+         rules (det-taint, unit-flow, shared-state, panic-reach) and a\n\
+         stale-pragma audit. See DESIGN.md §10.\n\
+         \n\
+         options:\n\
+           --json                 JSON report on stdout\n\
+           --sarif <path>         write a SARIF 2.1.0 document\n\
+           --stats-out <path>     write scan counters + wall time (CI)\n\
+           --baseline <path>      suppression baseline (default:\n\
+                                  ANALYZE_baseline.json if present)\n\
+           --no-baseline          ignore the default baseline\n\
+           --write-baseline <p>   pin all current findings (fill reasons!)\n\
+           --cache <path>         incremental cache keyed by content hash\n\
+           --jobs <n>             parse fan-out width (default 1)"
     );
 }

@@ -1,0 +1,1257 @@
+//! The symbol layer: a lightweight item/symbol model of one source file.
+//!
+//! This is deliberately *not* a full Rust parser. It reuses the token
+//! layer's lexer (comments and string contents blanked, line structure
+//! preserved) and recovers just enough structure for interprocedural
+//! analysis:
+//!
+//! * function items with names, parameter names, `impl` qualifier, and
+//!   return presence — enough for call-edge resolution by name;
+//! * per-function facts: call sites with per-argument identifier lists,
+//!   local assignments, return-position identifiers, wall-clock/entropy
+//!   token lines, panic token lines, shared-state read lines, and
+//!   sink-shaped struct literals;
+//! * `static` declarations with an interior-mutability classification.
+//!
+//! Everything is resolved by *name*, not by type — the same trade the
+//! token layer makes (fast, std-only, no rustc) at the cost of
+//! conservative approximation. [`crate::flow`] documents how each rule
+//! compensates.
+
+use crate::{c_len, find_word, lex, test_regions, wall_clock_token, Lexed};
+
+/// A physical unit inferred from an identifier or function-name suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    /// Nanoseconds.
+    Ns,
+    /// Microseconds.
+    Us,
+    /// Milliseconds.
+    Ms,
+    /// 802.11 slot counts.
+    Slots,
+    /// Decibel-milliwatts (absolute power).
+    Dbm,
+    /// Decibels (relative gain/loss).
+    Db,
+    /// Milliwatts (linear power).
+    Mw,
+    /// Megabits per second.
+    Mbps,
+    /// Hertz.
+    Hz,
+}
+
+impl Unit {
+    /// The unit's canonical lowercase token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Unit::Ns => "ns",
+            Unit::Us => "us",
+            Unit::Ms => "ms",
+            Unit::Slots => "slots",
+            Unit::Dbm => "dbm",
+            Unit::Db => "db",
+            Unit::Mw => "mw",
+            Unit::Mbps => "mbps",
+            Unit::Hz => "hz",
+        }
+    }
+
+    /// All units.
+    pub const ALL: [Unit; 9] = [
+        Unit::Ns,
+        Unit::Us,
+        Unit::Ms,
+        Unit::Slots,
+        Unit::Dbm,
+        Unit::Db,
+        Unit::Mw,
+        Unit::Mbps,
+        Unit::Hz,
+    ];
+
+    /// Parse a lowercase unit word.
+    pub fn parse(s: &str) -> Option<Unit> {
+        Unit::ALL.into_iter().find(|u| u.token() == s)
+    }
+}
+
+/// Unit carried by an identifier, by suffix convention (`t_ns`, `p_dbm`)
+/// or exact name (`ns`, `dbm` — common for conversion-helper parameters).
+pub fn ident_unit(name: &str) -> Option<Unit> {
+    let lower = name.to_ascii_lowercase();
+    for u in Unit::ALL {
+        if lower == u.token() || lower.ends_with(&format!("_{}", u.token())) {
+            return Some(u);
+        }
+    }
+    None
+}
+
+/// Unit returned by a function, by name convention: a unit suffix
+/// (`tx_time_ns`) or a `_to_<unit>` conversion segment (`ns_to_us_ceil`).
+pub fn fn_name_unit(name: &str) -> Option<Unit> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(at) = lower.rfind("_to_") {
+        let tail = &lower[at + "_to_".len()..];
+        let word: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if let Some(u) = Unit::parse(&word) {
+            return Some(u);
+        }
+    }
+    ident_unit(&lower)
+}
+
+/// One `static` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticDecl {
+    /// Item name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: usize,
+    /// `static mut`.
+    pub is_mut: bool,
+    /// Atomic / lock / cell / once types: mutable through `&'static`.
+    pub interior_mutable: bool,
+    /// The declared type text (trimmed).
+    pub ty: String,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// One function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Binding name (`_` patterns and tuple patterns yield `""`).
+    pub name: String,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee base name (last path segment before the parens).
+    pub callee: String,
+    /// `Foo` in `Foo::bar(..)` / `path::bar(..)` — the segment before the
+    /// final `::`, when present.
+    pub qual: Option<String>,
+    /// `.bar(..)` receiver form.
+    pub is_method: bool,
+    /// Receiver identifier for method calls (`x` in `x.min(y)`), when the
+    /// receiver is a plain identifier or field access.
+    pub receiver: Option<String>,
+    /// 1-based line of the callee token.
+    pub line: usize,
+    /// Identifiers appearing in each top-level argument.
+    pub args: Vec<Vec<String>>,
+    /// Local the result is bound to (`let x = f(..)` / `x = f(..)`).
+    pub assigned_to: Option<String>,
+}
+
+/// One local assignment (`let lhs = ...` / `lhs = ...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// Left-hand binding name.
+    pub lhs: String,
+    /// Identifiers on the right-hand side.
+    pub rhs_idents: Vec<String>,
+    /// Callee names invoked on the right-hand side.
+    pub rhs_calls: Vec<String>,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// What a binary-operator operand is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandKind {
+    /// A plain identifier (or field-access path, reduced to one segment).
+    Ident,
+    /// A call whose unit comes from the callee's return.
+    Call,
+}
+
+/// One operand of a recorded binary expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operand {
+    /// Identifier or callee name.
+    pub name: String,
+    /// Ident vs call.
+    pub kind: OperandKind,
+}
+
+/// One additive/comparison binary expression with identifier-or-call
+/// operands — the raw material for the unit-flow rule (multiplication and
+/// division legitimately change units and are not recorded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinOp {
+    /// 1-based line.
+    pub line: usize,
+    /// `+`, `-`, `<`, `>`, `<=`, `>=`, `==`, `!=`.
+    pub op: String,
+    /// Left operand.
+    pub left: Operand,
+    /// Right operand.
+    pub right: Operand,
+}
+
+/// A struct-literal site (`Name { .. }`), recorded for sink detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLit {
+    /// Struct name.
+    pub name: String,
+    /// 1-based line of the opening brace.
+    pub line: usize,
+    /// Identifiers appearing inside the literal's span.
+    pub idents: Vec<String>,
+    /// Whether a wall-clock/entropy token appears inside the span.
+    pub has_source: bool,
+}
+
+/// One function item and the facts the flow rules need.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FnModel {
+    /// Function name.
+    pub name: String,
+    /// `impl` type qualifier, when declared inside an `impl` block.
+    pub qual: Option<String>,
+    /// Parameter names, `self` excluded.
+    pub params: Vec<Param>,
+    /// Whether the function takes `self` (method).
+    pub has_self: bool,
+    /// Whether the signature declares a non-`()` return type.
+    pub returns_value: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the closing brace.
+    pub end_line: usize,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Local assignments in the body.
+    pub assigns: Vec<Assign>,
+    /// Lines carrying wall-clock / entropy / parallelism-probe tokens.
+    pub source_lines: Vec<usize>,
+    /// `(line, token)` for `panic!` / `unreachable!` / bare `.unwrap()`.
+    pub panic_lines: Vec<(usize, String)>,
+    /// Lines reading shared state (`.load(`, `.fetch_*`, `.lock()`,
+    /// `.get_or_init(`).
+    pub shared_reads: Vec<usize>,
+    /// Identifiers in return position (`return` statements and the
+    /// trailing expression).
+    pub return_idents: Vec<String>,
+    /// Callee names in return position.
+    pub return_calls: Vec<String>,
+    /// Lines in return position.
+    pub return_lines: Vec<usize>,
+    /// Struct literals in the body.
+    pub struct_lits: Vec<StructLit>,
+    /// Additive/comparison expressions with resolvable operands.
+    pub bin_ops: Vec<BinOp>,
+}
+
+/// The symbol model of one file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FileModel {
+    /// `/`-normalised path, as scanned.
+    pub path: String,
+    /// Function items, in declaration order.
+    pub fns: Vec<FnModel>,
+    /// `static` declarations.
+    pub statics: Vec<StaticDecl>,
+}
+
+/// Keywords that look like call receivers but are not callees.
+const NON_CALLEES: [&str; 14] = [
+    "if", "while", "for", "match", "return", "fn", "loop", "in", "as", "move", "unsafe", "else",
+    "let", "where",
+];
+
+/// Build the symbol model for one file.
+pub fn build_model(path: &str, source: &str) -> FileModel {
+    let lexed = lex(source);
+    build_model_lexed(path, &lexed)
+}
+
+pub(crate) fn build_model_lexed(path: &str, lexed: &Lexed) -> FileModel {
+    let in_test = test_regions(&lexed.code);
+    let mut fns: Vec<FnModel> = Vec::new();
+    let mut statics: Vec<StaticDecl> = Vec::new();
+
+    // Parser state: brace depth, the impl-type stack, and the stack of
+    // currently-open functions (facts go to the innermost).
+    let mut depth: i64 = 0;
+    let mut impl_stack: Vec<(i64, String)> = Vec::new();
+    // (fn index in `fns`, depth at which its body opened)
+    let mut open_fns: Vec<(usize, i64)> = Vec::new();
+    // A signature seen but whose body `{` has not opened yet.
+    let mut pending_fn: Option<(FnModel, String)> = None;
+
+    for (idx, code) in lexed.code.iter().enumerate() {
+        let line = idx + 1;
+
+        // Statics (recorded wherever they appear, including fn bodies —
+        // `static TABLE: OnceLock<..>` inside a function is still global
+        // state).
+        if let Some(decl) = static_decl(code, line, in_test[idx]) {
+            statics.push(decl);
+        }
+
+        // Continue accumulating a pending signature.
+        if let Some((_, sig)) = pending_fn.as_mut() {
+            sig.push(' ');
+            sig.push_str(code);
+        } else if let Some(at) = find_word(code, "fn") {
+            // A new `fn` item (or nested fn); closures have no `fn`.
+            let mut f = FnModel {
+                line,
+                in_test: in_test[idx],
+                qual: impl_stack.last().map(|(_, t)| t.clone()),
+                ..FnModel::default()
+            };
+            f.end_line = line;
+            let sig = code[at..].to_string();
+            pending_fn = Some((f, sig));
+        }
+
+        // Does the pending signature terminate on this line?
+        if let Some((f, sig)) = pending_fn.as_mut() {
+            if let Some(brace) = sig_terminator(sig) {
+                let done = brace == '{';
+                parse_signature(sig, f);
+                if done {
+                    // Body opens at this line's `{`; depth bookkeeping
+                    // below counts it, so the fn closes when depth returns
+                    // to the depth *before* this line plus the braces that
+                    // precede the signature's `{` on it. Using the current
+                    // depth is correct because we push before counting.
+                    let (f, _) = pending_fn.take().expect("just matched");
+                    fns.push(f);
+                    open_fns.push((fns.len() - 1, depth));
+                } else {
+                    // Trait method declaration (`fn f(..);`): keep the
+                    // item for signature lookups, with an empty body.
+                    let (f, _) = pending_fn.take().expect("just matched");
+                    fns.push(f);
+                }
+            }
+        }
+
+        // Body facts for the innermost open fn. The line that *opens* the
+        // body also belongs to it (single-line fns).
+        if let Some(&(fi, _)) = open_fns.last() {
+            collect_body_facts(&mut fns[fi], lexed, idx);
+            fns[fi].end_line = line;
+        }
+
+        // impl-block detection (before depth update so the open brace on
+        // this line is attributed to the impl).
+        if let Some(ty) = impl_type(code) {
+            if code.contains('{') {
+                impl_stack.push((depth, ty));
+            }
+        }
+
+        // Depth bookkeeping; pop fns and impls whose block closes here.
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(&(fi, d)) = open_fns.last() {
+                        if depth <= d {
+                            fns[fi].end_line = line;
+                            open_fns.pop();
+                        }
+                    }
+                    if let Some(&(d, _)) = impl_stack.last().map(|(d, t)| (d, t)).as_ref() {
+                        if depth <= *d {
+                            impl_stack.pop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Trailing-expression return positions: the last non-empty body line
+    // before the closing brace, when it does not end with `;`.
+    for f in &mut fns {
+        let last = trailing_expr_line(lexed, f.line, f.end_line);
+        if let Some(l) = last {
+            record_return_expr(f, &lexed.code[l - 1], l);
+        }
+    }
+
+    FileModel {
+        path: path.to_string(),
+        fns,
+        statics,
+    }
+}
+
+/// `{` or `;` terminating a signature, at paren depth 0.
+fn sig_terminator(sig: &str) -> Option<char> {
+    let mut paren = 0i64;
+    for c in sig.chars() {
+        match c {
+            '(' => paren += 1,
+            ')' => paren -= 1,
+            '{' if paren <= 0 => return Some('{'),
+            ';' if paren <= 0 => return Some(';'),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse `fn name<..>(params) -> Ret` into the model fields.
+fn parse_signature(sig: &str, f: &mut FnModel) {
+    // Name: identifier after `fn`.
+    let after = sig.trim_start_matches("fn").trim_start();
+    f.name = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+
+    // Parameters: between the first `(` at angle depth 0 and its match.
+    let Some(open) = paren_open(sig) else { return };
+    let Some(close) = matching_paren(sig, open) else {
+        return;
+    };
+    let params = &sig[open + 1..close];
+    for part in split_top_level(params) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let head = part.split(':').next().unwrap_or("").trim();
+        if head == "self"
+            || head.ends_with(" self")
+            || head.ends_with("&self")
+            || head == "&mut self"
+            || head.ends_with("mut self")
+        {
+            f.has_self = true;
+            continue;
+        }
+        let name = head
+            .rsplit(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .next()
+            .unwrap_or("")
+            .to_string();
+        f.params.push(Param { name });
+    }
+
+    // Return type: `-> X` after the params.
+    let tail = &sig[close + 1..];
+    if let Some(arrow) = tail.find("->") {
+        let ret: String = tail[arrow + 2..]
+            .chars()
+            .take_while(|&c| c != '{' && c != ';')
+            .collect();
+        let ret = ret.trim();
+        f.returns_value = !ret.is_empty() && ret != "()";
+    }
+}
+
+/// First `(` outside generic brackets.
+fn paren_open(sig: &str) -> Option<usize> {
+    let mut angle = 0i64;
+    for (i, c) in sig.char_indices() {
+        match c {
+            '<' => angle += 1,
+            '>' => angle = (angle - 1).max(0),
+            '(' if angle == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(text: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (i, c) in text.char_indices().skip_while(|&(i, _)| i < open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split at top-level commas (parens/brackets/braces tracked).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// `impl Type` / `impl Trait for Type`: the implemented type's name.
+/// Only item-position `impl` counts — `-> impl Trait` in a signature is
+/// not a block.
+fn impl_type(code: &str) -> Option<String> {
+    let head = code.trim_start();
+    if !(head.starts_with("impl ") || head.starts_with("impl<") || head.starts_with("unsafe impl "))
+    {
+        return None;
+    }
+    let at = find_word(code, "impl")?;
+    let rest = &code[at + "impl".len()..];
+    // Skip generics directly after `impl`.
+    let rest = skip_generics(rest.trim_start());
+    let rest = if let Some(for_at) = find_word(rest, "for") {
+        rest[for_at + 3..].trim_start()
+    } else {
+        rest
+    };
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && name.chars().next().is_some_and(|c| c.is_uppercase())).then_some(name)
+}
+
+fn skip_generics(text: &str) -> &str {
+    if !text.starts_with('<') {
+        return text;
+    }
+    let mut depth = 0i64;
+    for (i, c) in text.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return text[i + 1..].trim_start();
+                }
+            }
+            _ => {}
+        }
+    }
+    text
+}
+
+/// Parse a `static` declaration on this line, if any.
+fn static_decl(code: &str, line: usize, in_test: bool) -> Option<StaticDecl> {
+    let at = find_word(code, "static")?;
+    // `&'static` / `'static` lifetime uses.
+    if code[..at].trim_end().ends_with('\'') || code[..at].trim_end().ends_with('&') {
+        return None;
+    }
+    let rest = code[at + "static".len()..].trim_start();
+    let (is_mut, rest) = match rest.strip_prefix("mut ") {
+        Some(r) => (true, r.trim_start()),
+        None => (false, rest),
+    };
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty()
+        || !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_uppercase() || c == '_')
+    {
+        return None;
+    }
+    let ty: String = rest[name.len()..]
+        .trim_start()
+        .trim_start_matches(':')
+        .trim_start()
+        .chars()
+        .take_while(|&c| c != '=' && c != ';')
+        .collect();
+    let ty = ty.trim().to_string();
+    const INTERIOR: [&str; 10] = [
+        "Atomic",
+        "Mutex",
+        "RwLock",
+        "RefCell",
+        "Cell<",
+        "UnsafeCell",
+        "OnceLock",
+        "OnceCell",
+        "LazyLock",
+        "LazyCell",
+    ];
+    let interior_mutable = INTERIOR.iter().any(|m| ty.contains(m));
+    Some(StaticDecl {
+        name,
+        line,
+        is_mut,
+        interior_mutable,
+        ty,
+        in_test,
+    })
+}
+
+/// Collect call sites, assignments, and token facts from body line `idx`.
+fn collect_body_facts(f: &mut FnModel, lexed: &Lexed, idx: usize) {
+    let code = &lexed.code[idx];
+    let line = idx + 1;
+
+    // Wall-clock / entropy / parallelism sources.
+    if wall_clock_token(code, &lexed.raw[idx]).is_some() || code.contains("available_parallelism") {
+        f.source_lines.push(line);
+    }
+
+    // Panic tokens (test-region lines are excluded by the caller's use of
+    // `in_test` at the fn level; a non-test fn cannot contain test lines).
+    for tok in ["panic!", "unreachable!"] {
+        if code.contains(tok) {
+            f.panic_lines.push((line, tok.to_string()));
+        }
+    }
+    if code.contains(".unwrap()") {
+        f.panic_lines.push((line, ".unwrap()".to_string()));
+    }
+
+    // Shared-state reads.
+    for tok in [".load(", ".fetch_", ".lock()", ".get_or_init("] {
+        if code.contains(tok) {
+            f.shared_reads.push(line);
+            break;
+        }
+    }
+
+    // Assignment shape: `let [mut] lhs = rest` / `lhs = rest` (compound
+    // assigns included via the op char before `=`).
+    if let Some(assign) = parse_assign(code, line) {
+        f.assigns.push(assign);
+    }
+
+    // `return expr;` positions.
+    if let Some(at) = find_word(code, "return") {
+        record_return_expr(f, &code[at + "return".len()..], line);
+    }
+
+    // Call sites.
+    let calls = parse_calls(lexed, idx);
+    let assigned = f
+        .assigns
+        .last()
+        .and_then(|a| (a.line == line).then(|| a.lhs.clone()));
+    for mut c in calls {
+        c.assigned_to = assigned.clone();
+        f.calls.push(c);
+    }
+
+    // Struct literals `Name {`.
+    for lit in parse_struct_lits(lexed, idx) {
+        f.struct_lits.push(lit);
+    }
+
+    // Additive/comparison expressions for the unit-flow rule.
+    f.bin_ops.extend(parse_bin_ops(code, line));
+}
+
+/// Recognised two-operand operators for unit checking. `*` and `/`
+/// legitimately change units (rate × time, energy ÷ time) and are not
+/// checked.
+const UNIT_OPS: [&str; 8] = ["<=", ">=", "==", "!=", "+", "-", "<", ">"];
+
+/// Extract additive/comparison expressions whose operands are identifiers
+/// or calls. Shifts, arrows, fat arrows, turbofish and unary minus are
+/// excluded.
+fn parse_bin_ops(code: &str, line: usize) -> Vec<BinOp> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let Some(op) = UNIT_OPS
+            .iter()
+            .find(|op| code[i..].starts_with(*op))
+            .copied()
+        else {
+            i += 1;
+            continue;
+        };
+        let prev = if i == 0 { b' ' } else { bytes[i - 1] };
+        let next_at = i + op.len();
+        let next = bytes.get(next_at).copied().unwrap_or(b' ');
+        let skip = match op {
+            // `->`, `-=` and unary minus.
+            "-" => {
+                next == b'>'
+                    || next == b'='
+                    || matches!(
+                        prev,
+                        b'=' | b','
+                            | b'('
+                            | b'['
+                            | b'{'
+                            | b'<'
+                            | b'+'
+                            | b'-'
+                            | b'*'
+                            | b'/'
+                            | b'%'
+                            | b'&'
+                            | b'|'
+                            | b'^'
+                    )
+            }
+            // `+=`.
+            "+" => next == b'=' || matches!(prev, b'+' | b':'),
+            // Shifts, generics/turbofish, arrows.
+            "<" => next == b'<' || next == b'-' || prev == b'<' || code[..i].ends_with("::"),
+            ">" => next == b'>' || prev == b'>' || prev == b'-' || prev == b'=' || prev == b'<',
+            // `<=`/`>=`/`==`/`!=` are unambiguous two-char forms; but an
+            // `=` run (`===`-ish) or pattern arm must not slip through.
+            _ => next == b'=' || next == b'>',
+        };
+        if skip {
+            i += op.len();
+            continue;
+        }
+        let left = operand_left(code, i);
+        let right = operand_right(code, next_at);
+        if let (Some(left), Some(right)) = (left, right) {
+            out.push(BinOp {
+                line,
+                op: op.to_string(),
+                left,
+                right,
+            });
+        }
+        i = next_at;
+    }
+    out
+}
+
+/// Reduce a dotted path to its most informative segment: the last
+/// unit-bearing one, else the last.
+fn path_segment(path: &str) -> Option<String> {
+    let segs: Vec<&str> = path
+        .split('.')
+        .filter(|s| !s.is_empty() && !s.chars().next().is_some_and(|c| c.is_numeric()))
+        .collect();
+    if segs.is_empty() {
+        return None;
+    }
+    let unit_seg = segs.iter().rev().find(|s| ident_unit(s).is_some());
+    Some(
+        unit_seg
+            .unwrap_or(segs.last().expect("non-empty"))
+            .to_string(),
+    )
+}
+
+/// The operand to the left of the operator at byte `op_at`.
+fn operand_left(code: &str, op_at: usize) -> Option<Operand> {
+    let text = code[..op_at].trim_end();
+    if text.ends_with(')') {
+        // Call result: find the matching `(` and the callee before it.
+        let mut depth = 0i64;
+        for (i, c) in text.char_indices().rev() {
+            match c {
+                ')' => depth += 1,
+                '(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let name = crate::last_ident(&text[..i])?;
+                        if NON_CALLEES.contains(&name.as_str()) {
+                            return None;
+                        }
+                        return Some(Operand {
+                            name,
+                            kind: OperandKind::Call,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        return None;
+    }
+    let end = text.len();
+    let start = text
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.'))
+        .map_or(0, |i| i + c_len(text, i));
+    let tok = &text[start..end];
+    if tok.is_empty() || tok.chars().next().is_some_and(|c| c.is_numeric()) {
+        return None;
+    }
+    Some(Operand {
+        name: path_segment(tok)?,
+        kind: OperandKind::Ident,
+    })
+}
+
+/// The operand to the right of the operator ending at byte `from`.
+fn operand_right(code: &str, from: usize) -> Option<Operand> {
+    let text = code[from..].trim_start();
+    let tok: String = text
+        .chars()
+        .take_while(|&c| c.is_alphanumeric() || c == '_' || c == '.')
+        .collect();
+    if tok.is_empty() || tok.chars().next().is_some_and(|c| c.is_numeric()) {
+        return None;
+    }
+    let after = text[tok.len()..].trim_start();
+    let kind = if after.starts_with('(') {
+        OperandKind::Call
+    } else {
+        OperandKind::Ident
+    };
+    let name = match kind {
+        // For a call chain `a.b(..)`, the unit comes from the final call.
+        OperandKind::Call => tok.split('.').next_back()?.to_string(),
+        OperandKind::Ident => path_segment(&tok)?,
+    };
+    if NON_CALLEES.contains(&name.as_str()) {
+        return None;
+    }
+    Some(Operand { name, kind })
+}
+
+/// Identifiers and callee names in a return-position expression.
+fn record_return_expr(f: &mut FnModel, expr: &str, line: usize) {
+    let trimmed = expr.trim().trim_end_matches(';');
+    if trimmed.is_empty() || trimmed == "}" || trimmed == "{" {
+        return;
+    }
+    f.return_lines.push(line);
+    for id in idents_of(trimmed) {
+        f.return_idents.push(id);
+    }
+    for call in callee_names(trimmed) {
+        f.return_calls.push(call);
+    }
+}
+
+/// The trailing-expression line of a body, when it is not `;`-terminated.
+fn trailing_expr_line(lexed: &Lexed, start: usize, end: usize) -> Option<usize> {
+    if end <= start {
+        // Single-line fn: the expression sits between the braces.
+        let code = lexed.code.get(start - 1)?;
+        let open = code.find('{')?;
+        let close = code.rfind('}')?;
+        if close > open + 1 {
+            return Some(start);
+        }
+        return None;
+    }
+    let mut paren_deficit = 0i64;
+    for l in (start..end).rev() {
+        let code = lexed.code[l - 1].trim();
+        if code.is_empty() || code == "}" || code == "{" {
+            continue;
+        }
+        if paren_deficit == 0 && (code.ends_with(';') || code.ends_with('{')) {
+            return None;
+        }
+        // A trailing multi-line call (`)` on its own line) resolves to the
+        // line holding the unmatched `(` — the call head.
+        let opens = code.chars().filter(|&c| c == '(').count() as i64;
+        let closes = code.chars().filter(|&c| c == ')').count() as i64;
+        paren_deficit += closes - opens;
+        if paren_deficit <= 0 {
+            return Some(l);
+        }
+    }
+    None
+}
+
+/// All identifiers in a text fragment.
+pub(crate) fn idents_of(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut prev: Option<char> = None;
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            if cur.is_empty() && c.is_numeric() {
+                // Number literal, not an identifier; swallow it.
+                prev = Some(c);
+                continue;
+            }
+            if cur.is_empty() && prev.is_some_and(|p| p.is_numeric()) {
+                prev = Some(c);
+                continue;
+            }
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+            prev = Some(c);
+        } else {
+            prev = Some(c);
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Callee base names in a text fragment (`name(`, excluding keywords and
+/// macro bangs).
+fn callee_names(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'(' {
+            continue;
+        }
+        let before = &text[..i];
+        let trimmed = before.trim_end();
+        if trimmed.ends_with('!') {
+            continue;
+        }
+        if let Some(name) = crate::last_ident(trimmed) {
+            if !NON_CALLEES.contains(&name.as_str()) {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// Parse `let [mut] lhs = rest` / `lhs op= rest` on one line.
+fn parse_assign(code: &str, line: usize) -> Option<Assign> {
+    let eq = find_assign_eq(code)?;
+    let lhs_text = code[..eq].trim_end();
+    let lhs_text = lhs_text.trim_end_matches(|c: char| "+-*/%&|^".contains(c));
+    let mut lhs_part = lhs_text.trim();
+    if let Some(rest) = lhs_part.strip_prefix("let ") {
+        lhs_part = rest.trim_start();
+    }
+    lhs_part = lhs_part.strip_prefix("mut ").unwrap_or(lhs_part);
+    // `let x: Ty = ..` — identifiers in the type annotation are not data
+    // flow; cut at the colon (a `self.x = ..` destination has no colon).
+    if let Some(colon) = lhs_part.find(':') {
+        lhs_part = lhs_part[..colon].trim_end();
+    }
+    // Only plain-identifier (optionally `self.x`) destinations.
+    let lhs_ids = idents_of(lhs_part);
+    let lhs = match lhs_ids.as_slice() {
+        [one] => one.clone(),
+        [s, field] if s == "self" => field.clone(),
+        _ => return None,
+    };
+    let rhs = &code[eq + 1..];
+    Some(Assign {
+        lhs,
+        rhs_idents: idents_of(rhs),
+        rhs_calls: callee_names(rhs),
+        line,
+    })
+}
+
+/// Position of a single `=` that is an assignment (not `==`, `=>`, `<=`,
+/// `>=`, `!=`).
+fn find_assign_eq(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'=' {
+            continue;
+        }
+        let prev = if i == 0 { b' ' } else { bytes[i - 1] };
+        let next = if i + 1 < bytes.len() {
+            bytes[i + 1]
+        } else {
+            b' '
+        };
+        if matches!(prev, b'=' | b'<' | b'>' | b'!') || next == b'=' || next == b'>' {
+            continue;
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// Parse all call sites whose callee token sits on line `idx`.
+fn parse_calls(lexed: &Lexed, idx: usize) -> Vec<CallSite> {
+    let code = &lexed.code[idx];
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'(' {
+            continue;
+        }
+        let before = &code[..i];
+        let trimmed = before.trim_end();
+        if trimmed.ends_with('!') {
+            continue; // macro
+        }
+        let Some(callee) = crate::last_ident(trimmed) else {
+            continue;
+        };
+        if NON_CALLEES.contains(&callee.as_str()) {
+            continue;
+        }
+        // Qualifier and method-ness from what precedes the name.
+        let name_start = trimmed.len() - callee.len();
+        let prefix = trimmed[..name_start].trim_end();
+        // `fn name(` is a declaration, not a call to itself.
+        if prefix.ends_with("fn") && find_word(prefix, "fn") == Some(prefix.len() - 2) {
+            continue;
+        }
+        let is_method = prefix.ends_with('.');
+        let qual = prefix.strip_suffix("::").and_then(crate::last_ident);
+        let receiver = if is_method {
+            crate::last_ident(prefix.trim_end_matches('.'))
+        } else {
+            None
+        };
+        let args_text = collect_args_text(lexed, idx, i);
+        let args: Vec<Vec<String>> = split_top_level(&args_text)
+            .into_iter()
+            .map(idents_of)
+            .collect();
+        let args = if args.len() == 1 && args[0].is_empty() {
+            Vec::new()
+        } else {
+            args
+        };
+        out.push(CallSite {
+            callee,
+            qual,
+            is_method,
+            receiver,
+            line: idx + 1,
+            args,
+            assigned_to: None,
+        });
+    }
+    out
+}
+
+/// The argument text of a call whose `(` is at `(idx, col)` — walks up to
+/// 40 lines forward to the matching `)`.
+fn collect_args_text(lexed: &Lexed, idx: usize, col: usize) -> String {
+    let mut depth = 0i64;
+    let mut text = String::new();
+    for (li, code) in lexed.code.iter().enumerate().skip(idx).take(40) {
+        let start = if li == idx { col } else { 0 };
+        for (ci, c) in code.char_indices() {
+            if ci < start {
+                continue;
+            }
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth > 1 {
+                        text.push(c);
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return text;
+                    }
+                    text.push(c);
+                }
+                _ if depth >= 1 => text.push(c),
+                _ => {}
+            }
+        }
+        text.push(' ');
+    }
+    text
+}
+
+/// Struct literals `Name {` opening on line `idx`, with the identifiers in
+/// their span (up to 40 lines).
+fn parse_struct_lits(lexed: &Lexed, idx: usize) -> Vec<StructLit> {
+    let code = &lexed.code[idx];
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'{' {
+            continue;
+        }
+        let before = code[..i].trim_end();
+        let Some(name) = crate::last_ident(before) else {
+            continue;
+        };
+        if !name.chars().next().is_some_and(|c| c.is_uppercase()) {
+            continue;
+        }
+        // Exclude declarations and control keywords directly before.
+        let prefix = before[..before.len() - name.len()].trim_end();
+        let is_decl = ["struct", "enum", "trait", "mod", "impl", "for", "union"]
+            .iter()
+            .any(|k| prefix.ends_with(k));
+        if is_decl {
+            continue;
+        }
+        // Span: walk to the matching `}`.
+        let mut depth = 0i64;
+        let mut idents = Vec::new();
+        let mut has_source = false;
+        'outer: for (li, line_code) in lexed.code.iter().enumerate().skip(idx).take(40) {
+            let start = if li == idx { i } else { 0 };
+            let slice = &line_code[start.min(line_code.len())..];
+            if wall_clock_token(slice, lexed.raw.get(li).map_or("", |r| r)).is_some() {
+                has_source = true;
+            }
+            let mut seg = String::new();
+            for c in slice.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seg.push(' ');
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            idents.extend(idents_of(&seg));
+                            break 'outer;
+                        }
+                        seg.push(' ');
+                    }
+                    _ => seg.push(c),
+                }
+            }
+            idents.extend(idents_of(&seg));
+        }
+        out.push(StructLit {
+            name,
+            line: idx + 1,
+            idents,
+            has_source,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fns_params_and_calls() {
+        let src = "\
+impl Radio {
+    pub fn airtime_ns(&self, len: usize, rate_mbps: u64) -> u64 {
+        let bits = len * 8;
+        tx_time_ns(bits, rate_mbps)
+    }
+}
+
+fn helper(t_us: u64) -> u64 {
+    t_us * 1000
+}
+";
+        let m = build_model("crates/x/src/lib.rs", src);
+        assert_eq!(m.fns.len(), 2);
+        let a = &m.fns[0];
+        assert_eq!(a.name, "airtime_ns");
+        assert_eq!(a.qual.as_deref(), Some("Radio"));
+        assert!(a.has_self);
+        assert!(a.returns_value);
+        assert_eq!(a.params.len(), 2);
+        assert_eq!(a.params[1].name, "rate_mbps");
+        assert!(a.calls.iter().any(|c| c.callee == "tx_time_ns"));
+        assert!(a.return_calls.contains(&"tx_time_ns".to_string()));
+        let h = &m.fns[1];
+        assert_eq!(h.name, "helper");
+        assert!(h.return_idents.contains(&"t_us".to_string()));
+    }
+
+    #[test]
+    fn statics_and_interior_mutability() {
+        let src = "\
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+static NAMES: [&'static str; 2] = [\"a\", \"b\"];
+fn f() {
+    static TABLE: std::sync::OnceLock<[u32; 4]> = std::sync::OnceLock::new();
+    let _ = TABLE.get_or_init(|| [0; 4]);
+}
+";
+        let m = build_model("crates/x/src/lib.rs", src);
+        assert_eq!(m.statics.len(), 3);
+        assert!(m.statics[0].interior_mutable);
+        assert!(!m.statics[1].interior_mutable, "{:?}", m.statics[1]);
+        assert!(m.statics[2].interior_mutable);
+        assert!(!m.fns[0].shared_reads.is_empty());
+    }
+
+    #[test]
+    fn units_from_names() {
+        assert_eq!(ident_unit("t_ns"), Some(Unit::Ns));
+        assert_eq!(ident_unit("p_dbm"), Some(Unit::Dbm));
+        assert_eq!(ident_unit("gain_db"), Some(Unit::Db));
+        assert_eq!(ident_unit("count"), None);
+        assert_eq!(ident_unit("status"), None);
+        assert_eq!(fn_name_unit("tx_time_ns"), Some(Unit::Ns));
+        assert_eq!(fn_name_unit("ns_to_us_ceil"), Some(Unit::Us));
+        assert_eq!(fn_name_unit("whole_slots"), Some(Unit::Slots));
+        assert_eq!(fn_name_unit("compute"), None);
+    }
+
+    #[test]
+    fn bin_ops_capture_units_not_arrows() {
+        let src = "\
+fn f(t_ns: u64, t_us: u64) -> u64 {
+    let x = t_ns + t_us;
+    let ok = t_ns - 5;
+    if x < dur_us() {
+        return x;
+    }
+    x >> 2
+}
+";
+        let m = build_model("crates/x/src/lib.rs", src);
+        let ops = &m.fns[0].bin_ops;
+        assert!(ops
+            .iter()
+            .any(|b| b.op == "+" && b.left.name == "t_ns" && b.right.name == "t_us"));
+        // `t_ns - 5`: numeric right operand is not recorded.
+        assert!(!ops.iter().any(|b| b.op == "-"));
+        assert!(ops
+            .iter()
+            .any(|b| b.op == "<" && b.right.kind == OperandKind::Call && b.right.name == "dur_us"));
+        // `->` and `>>` are not comparisons.
+        assert!(!ops.iter().any(|b| b.op == ">"));
+    }
+
+    #[test]
+    fn source_and_panic_facts() {
+        let src = "\
+fn meter() -> u64 {
+    let t0 = std::time::Instant::now();
+    let x = t0.elapsed();
+    helper(x)
+}
+fn brittle(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+";
+        let m = build_model("crates/x/src/lib.rs", src);
+        assert_eq!(m.fns[0].source_lines, vec![2]);
+        assert!(m.fns[0].assigns.iter().any(|a| a.lhs == "t0"));
+        assert!(m.fns[0]
+            .assigns
+            .iter()
+            .any(|a| a.lhs == "x" && a.rhs_idents.contains(&"t0".to_string())));
+        assert_eq!(m.fns[1].panic_lines, vec![(7, ".unwrap()".to_string())]);
+    }
+}

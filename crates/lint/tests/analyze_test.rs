@@ -1,0 +1,273 @@
+//! Self-tests for the symbol layer: interprocedural rules R7–R10 (each
+//! with a bad fixture the token layer provably cannot catch and a clean
+//! twin), the stale-pragma audit, the golden SARIF snapshot, the
+//! incremental cache, and the analyze-clean workspace gate.
+
+use std::path::PathBuf;
+
+use cmap_analyze::analyze::{analyze, Options};
+use cmap_analyze::baseline::Baseline;
+use cmap_analyze::{sarif, scan_paths, Config, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(format!("tests/fixtures/{name}"))
+}
+
+/// Full-engine `(rule, line)` pairs for one fixture, sorted.
+fn flow_findings(name: &str) -> Vec<(Rule, usize)> {
+    let report = analyze(&[fixture(name)], &Config::default(), &Options::default())
+        .expect("fixture analyzes");
+    let mut v: Vec<(Rule, usize)> = report.violations.iter().map(|f| (f.rule, f.line)).collect();
+    v.sort();
+    v
+}
+
+/// Token-layer-only findings for the same fixture. The bad R7–R10
+/// fixtures must come back empty here: that is the proof the flow layer
+/// sees something the per-file lexer cannot.
+fn token_findings(name: &str) -> Vec<(Rule, usize)> {
+    let report = scan_paths(&[fixture(name)], &Config::default()).expect("fixture readable");
+    report.violations.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// R7 det-taint
+// ---------------------------------------------------------------------------
+
+#[test]
+fn det_taint_flows_through_helper() {
+    // The wall-clock source line is pragma-justified, so the token layer
+    // is silent — only call-graph taint connects `stamp` to the sink.
+    assert_eq!(token_findings("bad_det_taint.rs"), vec![]);
+    assert_eq!(
+        flow_findings("bad_det_taint.rs"),
+        vec![
+            (Rule::DetTaint, 12), // let started = stamp();
+            (Rule::DetTaint, 13), // metric("run_started_secs", started + run_id)
+        ]
+    );
+}
+
+#[test]
+fn det_taint_clean_twin_is_quiet() {
+    assert_eq!(flow_findings("clean_det_taint.rs"), vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// R8 unit-flow
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unit_mismatch_crosses_call_boundary() {
+    // No cast, no line with two unit suffixes: R5 has nothing to see.
+    assert_eq!(token_findings("bad_unit_flow.rs"), vec![]);
+    assert_eq!(
+        flow_findings("bad_unit_flow.rs"),
+        vec![(Rule::UnitFlow, 12)] // now_ns + wait (wait is us via backoff_us)
+    );
+}
+
+#[test]
+fn unit_flow_clean_twin_converts_first() {
+    assert_eq!(flow_findings("clean_unit_flow.rs"), vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// R9 shared-state
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shared_static_and_its_flow_into_sink() {
+    // The token layer has no rule for static items at all.
+    assert_eq!(token_findings("bad_shared_state.rs"), vec![]);
+    assert_eq!(
+        flow_findings("bad_shared_state.rs"),
+        vec![
+            (Rule::SharedState, 8),  // static DROPS: AtomicU64
+            (Rule::SharedState, 16), // metric("drops", drops) via drained()
+        ]
+    );
+}
+
+#[test]
+fn shared_state_clean_twin_threads_params() {
+    assert_eq!(flow_findings("clean_shared_state.rs"), vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// R10 panic-reach
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panic_in_callee_reaches_hot_caller() {
+    // The `panic!` lives in the callee; the caller's own lines are clean,
+    // so R4's per-line token search cannot connect them.
+    assert_eq!(token_findings("bad_panic_reach.rs"), vec![]);
+    assert_eq!(
+        flow_findings("bad_panic_reach.rs"),
+        vec![(Rule::PanicReach, 14)] // pick(values, 3)
+    );
+}
+
+#[test]
+fn panic_reach_clean_twin_handles_none() {
+    assert_eq!(flow_findings("clean_panic_reach.rs"), vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// Stale pragmas and the R4 empty-expect gap
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pragma_suppressing_nothing_is_reported() {
+    assert_eq!(
+        flow_findings("stale_pragma.rs"),
+        vec![(Rule::StalePragma, 5)] // allow(hash-iter) over hash-free code
+    );
+}
+
+#[test]
+fn justified_pragma_that_suppresses_is_not_stale() {
+    // bad_det_taint.rs carries a justified allow(wall-clock) that silences
+    // a real token finding — it must not appear as stale.
+    let stale: Vec<(Rule, usize)> = flow_findings("bad_det_taint.rs")
+        .into_iter()
+        .filter(|(r, _)| *r == Rule::StalePragma)
+        .collect();
+    assert_eq!(stale, vec![]);
+}
+
+#[test]
+fn empty_and_whitespace_expect_are_flagged() {
+    assert_eq!(
+        token_findings("bad_empty_expect.rs"),
+        vec![(Rule::PanicBudget, 5), (Rule::PanicBudget, 9)]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Golden SARIF snapshot
+// ---------------------------------------------------------------------------
+
+/// The SARIF document must be byte-stable: no timestamps, no absolute
+/// paths, deterministic ordering. Regenerate the snapshot with
+/// `UPDATE_GOLDEN=1 cargo test -p cmap-analyze golden_sarif` after an
+/// intentional format change.
+#[test]
+fn golden_sarif_snapshot() {
+    let report = analyze(
+        &[fixture("bad_unit_flow.rs"), fixture("bad_empty_expect.rs")],
+        &Config::default(),
+        &Options::default(),
+    )
+    .expect("fixtures analyze");
+    let baseline = Baseline::parse(
+        r#"{"schema":"cmap-analyze-baseline/v1","entries":[
+            {"rule":"unit-flow","path":"tests/fixtures/bad_unit_flow.rs",
+             "snippet":"now_ns + wait",
+             "reason":"fixture pin exercising SARIF suppressions"}]}"#,
+    )
+    .expect("baseline parses");
+    let split = baseline.split(report.violations);
+    assert_eq!(split.new.len(), 2, "two empty-expect findings stay new");
+    assert_eq!(split.pinned.len(), 1, "the unit-flow finding is pinned");
+    let doc = sarif::render(&split.new, &split.pinned);
+
+    let golden_path = PathBuf::from("tests/golden/analyze.sarif");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("golden dir");
+        std::fs::write(&golden_path, &doc).expect("golden written");
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect(
+        "golden snapshot missing — run UPDATE_GOLDEN=1 cargo test -p cmap-analyze golden_sarif",
+    );
+    assert_eq!(
+        doc, golden,
+        "SARIF output drifted from tests/golden/analyze.sarif"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_cache_skips_unchanged_and_one_byte_edit_invalidates_one_file() {
+    // Keep the `tests/fixtures` marker in the copied paths so the copies
+    // stay inside the det/hot rule scope, like the originals.
+    let tmp = std::env::temp_dir()
+        .join(format!("cmap-analyze-cache-{}", std::process::id()))
+        .join("tests/fixtures");
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+    let a = tmp.join("bad_unit_flow.rs");
+    let b = tmp.join("clean_unit_flow.rs");
+    std::fs::copy(fixture("bad_unit_flow.rs"), &a).expect("copy a");
+    std::fs::copy(fixture("clean_unit_flow.rs"), &b).expect("copy b");
+    let opts = Options {
+        jobs: 2,
+        cache_path: Some(tmp.join("cache.json")),
+        baseline_path: None,
+    };
+    let cfg = Config::default();
+    let roots = [a.clone(), b.clone()];
+
+    let cold = analyze(&roots, &cfg, &opts).expect("cold run");
+    assert_eq!(cold.files_parsed, 2);
+    assert_eq!(cold.files_from_cache, 0);
+    assert_eq!(cold.violations.len(), 1, "bad fixture still found cold");
+
+    let warm = analyze(&roots, &cfg, &opts).expect("warm run");
+    assert_eq!(warm.files_parsed, 0, "warm run reparses nothing");
+    assert_eq!(warm.files_from_cache, 2);
+    assert_eq!(
+        warm.violations.len(),
+        1,
+        "flow rules still fire on cached models"
+    );
+
+    // A one-byte edit to one file invalidates exactly that file.
+    let mut text = std::fs::read_to_string(&b).expect("read b");
+    text.push(' ');
+    std::fs::write(&b, text).expect("touch b");
+    let edited = analyze(&roots, &cfg, &opts).expect("edited run");
+    assert_eq!(edited.files_parsed, 1, "only the edited file reparses");
+    assert_eq!(edited.files_from_cache, 1);
+
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+// ---------------------------------------------------------------------------
+// The workspace gate
+// ---------------------------------------------------------------------------
+
+/// The real tree must stay analyze-clean: token rules, flow rules, and the
+/// stale-pragma audit together, filtered only through the checked-in
+/// baseline (whose every entry must also still match something).
+#[test]
+fn workspace_is_analyze_clean() {
+    let roots = [
+        PathBuf::from("../../crates"),
+        PathBuf::from("../../src"),
+        PathBuf::from("../../tests"),
+    ];
+    let opts = Options {
+        jobs: 2,
+        cache_path: None,
+        baseline_path: Some(PathBuf::from("../../ANALYZE_baseline.json")),
+    };
+    let report = analyze(&roots, &Config::default(), &opts).expect("workspace analyzes");
+    let human = cmap_analyze::analyze::render_human(&report);
+    assert!(
+        report.violations.is_empty(),
+        "cmap-analyze found non-baselined findings:\n{human}"
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "baseline pins findings that no longer exist:\n{human}"
+    );
+    assert!(
+        !report.pinned.is_empty(),
+        "baseline should pin the perf-sidecar flows"
+    );
+    assert!(report.files_scanned > 50, "walk looks truncated: {human}");
+}

@@ -1,0 +1,16 @@
+//! R7 fixture: wall time laundered through a helper into a metric sink.
+//! The only wall-clock token is pragma-justified, so the per-file token
+//! layer reports nothing — catching the flow requires interprocedural
+//! taint through `stamp`'s return value and the `started` local.
+
+fn stamp() -> u64 {
+    // cmap-lint: allow(wall-clock) — fixture: justified at the source, the value is still tainted downstream
+    std::time::Instant::now().elapsed().as_secs()
+}
+
+fn emit(run_id: u64) {
+    let started = stamp();
+    metric("run_started_secs", started + run_id);
+}
+
+fn metric(_name: &str, _value: u64) {}

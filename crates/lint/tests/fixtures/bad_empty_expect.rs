@@ -1,0 +1,10 @@
+//! R4 fixture: `.expect("")` and whitespace-only messages satisfy a
+//! naive `.unwrap()` search while documenting no invariant at all.
+
+fn first(values: &[u64]) -> u64 {
+    *values.first().expect("")
+}
+
+fn second(values: &[u64]) -> u64 {
+    *values.get(1).expect("   ")
+}

@@ -1,0 +1,15 @@
+//! R10 fixture: a hot-path function calls a helper that panics. The
+//! token layer only sees `.unwrap()`/`.expect("")` on the caller's own
+//! lines — the `panic!` lives in the callee, so only the call graph
+//! connects `service` to it.
+
+fn pick(values: &[u64], idx: usize) -> u64 {
+    if idx >= values.len() {
+        panic!("index out of range");
+    }
+    values[idx]
+}
+
+fn service(values: &[u64]) -> u64 {
+    pick(values, 3)
+}

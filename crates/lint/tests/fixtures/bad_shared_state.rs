@@ -1,0 +1,19 @@
+//! R9 fixture: an interior-mutable static outside the executor crate,
+//! whose value also reaches a metric sink through a helper. The token
+//! layer has no static-item rule, so both findings require the symbol
+//! layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DROPS: AtomicU64 = AtomicU64::new(0);
+
+fn drained() -> u64 {
+    DROPS.load(Ordering::Relaxed)
+}
+
+fn publish() {
+    let drops = drained();
+    metric("drops", drops);
+}
+
+fn metric(_name: &str, _value: u64) {}

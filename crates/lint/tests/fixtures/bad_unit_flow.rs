@@ -1,0 +1,13 @@
+//! R8 fixture: a microsecond quantity crosses a call boundary into a
+//! nanosecond sum. No single line mixes two unit suffixes and there is no
+//! cast, so the token layer (R5) cannot see it — the mismatch only appears
+//! when `wait` inherits `Us` from `backoff_us`'s return.
+
+fn backoff_us(attempt: u64) -> u64 {
+    attempt * 50
+}
+
+fn deadline(now_ns: u64, attempt: u64) -> u64 {
+    let wait = backoff_us(attempt);
+    now_ns + wait
+}

@@ -1,0 +1,13 @@
+//! R7 clean twin: same call shape as `bad_det_taint.rs`, but the helper
+//! derives its value from simulation time (slots), not the wall clock.
+
+fn ticks(slots: u64) -> u64 {
+    slots * 9
+}
+
+fn emit(run_id: u64) {
+    let started = ticks(run_id);
+    metric("run_started_slots", started + run_id);
+}
+
+fn metric(_name: &str, _value: u64) {}

@@ -1,0 +1,10 @@
+//! R10 clean twin: the helper returns `Option` and the hot path handles
+//! the miss instead of panicking.
+
+fn pick(values: &[u64], idx: usize) -> Option<u64> {
+    values.get(idx).copied()
+}
+
+fn service(values: &[u64]) -> u64 {
+    pick(values, 3).unwrap_or(0)
+}

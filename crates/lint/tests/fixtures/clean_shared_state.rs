@@ -1,0 +1,13 @@
+//! R9 clean twin: the drop count is threaded through parameters instead
+//! of a process-wide static, so worker join order cannot reorder it.
+
+fn drained(drops: u64) -> u64 {
+    drops
+}
+
+fn publish(drops: u64) {
+    let total = drained(drops);
+    metric("drops", total);
+}
+
+fn metric(_name: &str, _value: u64) {}

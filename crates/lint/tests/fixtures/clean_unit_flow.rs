@@ -1,0 +1,16 @@
+//! R8 clean twin: the same backoff flow, converted through an explicit
+//! `us_to_ns` helper before the nanosecond sum.
+
+fn backoff_us(attempt: u64) -> u64 {
+    attempt * 50
+}
+
+fn us_to_ns(us: u64) -> u64 {
+    us * 1_000
+}
+
+fn deadline(now_ns: u64, attempt: u64) -> u64 {
+    let wait_us = backoff_us(attempt);
+    let wait_ns = us_to_ns(wait_us);
+    now_ns + wait_ns
+}

@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 
-use cmap_lint::{scan_paths, Config, Rule};
+use cmap_analyze::{scan_paths, Config, Rule};
 
 /// Scan one fixture and return its `(rule, line)` pairs, sorted.
 fn findings(fixture: &str) -> Vec<(Rule, usize)> {
@@ -90,9 +90,9 @@ fn thread_spawn_fixture() {
 fn executor_module_may_spawn() {
     let src = "pub fn go() {\n    std::thread::scope(|_s| {});\n}\n";
     let cfg = Config::default();
-    let inside = cmap_lint::scan_source("crates/exec/src/lib.rs", src, &cfg);
+    let inside = cmap_analyze::scan_source("crates/exec/src/lib.rs", src, &cfg);
     assert!(inside.is_empty(), "executor path should be exempt");
-    let outside = cmap_lint::scan_source("crates/sim/src/world.rs", src, &cfg);
+    let outside = cmap_analyze::scan_source("crates/sim/src/world.rs", src, &cfg);
     assert_eq!(outside.len(), 1);
     assert_eq!(outside[0].rule, Rule::ThreadSpawn);
     assert_eq!(outside[0].line, 2);
@@ -123,9 +123,9 @@ fn pragma_without_reason_is_flagged_and_silences_nothing() {
 fn diagnostics_carry_file_and_line() {
     let root = PathBuf::from("tests/fixtures/bad_wallclock.rs");
     let report = scan_paths(&[root], &Config::default()).expect("fixture readable");
-    let human = cmap_lint::render_human(&report);
+    let human = cmap_analyze::render_human(&report);
     assert!(human.contains("tests/fixtures/bad_wallclock.rs:4: [wall-clock]"));
-    let json = cmap_lint::render_json(&report);
+    let json = cmap_analyze::render_json(&report);
     assert!(json.contains("\"line\": 4"));
     assert!(json.contains("\"rule\": \"wall-clock\""));
     assert!(json.contains("\"violation_count\": 3"));
@@ -141,7 +141,7 @@ fn workspace_is_clean() {
         PathBuf::from("../../tests"),
     ];
     let report = scan_paths(&roots, &Config::default()).expect("workspace readable");
-    let human = cmap_lint::render_human(&report);
+    let human = cmap_analyze::render_human(&report);
     assert!(
         report.violations.is_empty(),
         "determinism lint found violations in the workspace:\n{human}"

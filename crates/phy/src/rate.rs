@@ -161,7 +161,10 @@ impl Rate {
     /// Next rate down, or `None` at the base rate. Useful for simple rate
     /// adaptation experiments built on top of the library.
     pub fn step_down(self) -> Option<Rate> {
-        let idx = Rate::ALL.iter().position(|&r| r == self).unwrap();
+        let idx = Rate::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("Rate::ALL lists every variant");
         idx.checked_sub(1).map(|i| Rate::ALL[i])
     }
 
@@ -173,7 +176,10 @@ impl Rate {
 
     /// Compact wire encoding (3 bits used); see `cmap-wire`.
     pub fn to_u8(self) -> u8 {
-        Rate::ALL.iter().position(|&r| r == self).unwrap() as u8
+        Rate::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("Rate::ALL lists every variant") as u8
     }
 
     /// Inverse of [`Rate::to_u8`]; `None` for out-of-range values.

@@ -7,6 +7,7 @@
 
 /// Lazily built 256-entry lookup table for the reflected IEEE polynomial.
 fn table() -> &'static [u32; 256] {
+    // cmap-analyze: allow(shared-state) — write-once memo of a pure function; every init races to identical bytes
     static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
     TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
