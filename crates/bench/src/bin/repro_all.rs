@@ -11,9 +11,11 @@
 //! * `--json PATH` (default `BENCH_repro.json`): a `SuiteReport` with one
 //!   `RunReport` per figure, suite wall-clock, and an event-loop profile,
 //! * `--perf-out PATH` (default `BENCH_perf.json`): the tracked perf
-//!   baseline — per-figure wall-clock, events/sec, BER-cache hit rate and
-//!   pool utilization; with `--perf-baseline` pointing at a `--jobs 1`
-//!   artifact it also carries `speedup_vs_jobs1` fields.
+//!   baseline (`cmap-perf/v3`) — per-figure wall-clock, events/sec,
+//!   BER-table lookups and allocation counts, plus suite-level scheduler
+//!   stats, BER-table identity/error, and pool utilization; with
+//!   `--perf-baseline` pointing at a `--jobs 1` artifact it also carries
+//!   `speedup_vs_jobs1` fields.
 //!
 //! The suite self-validates: every figure's report must contain its
 //! declared required metrics, and any figure failure makes the run exit
@@ -22,9 +24,16 @@
 use std::fmt::Write as _;
 
 use cmap_bench::figures::{profile_event_loop, registry, report_for, spec_block};
-use cmap_bench::perf_baseline::{parse_serial_baseline, FigurePerf, PerfReport};
+use cmap_bench::perf_baseline::{
+    parse_serial_baseline, BerTablePerf, FigurePerf, PerfReport, SchedPerf,
+};
 use cmap_bench::Cli;
 use cmap_obs::{SuiteReport, TimingBlock};
+
+// This is the one instrumented binary: install the counting allocator so
+// the perf artifact's `allocs` figures are real measurements, not zeros.
+#[global_allocator]
+static ALLOC: cmap_obs::alloc::CountingAlloc = cmap_obs::alloc::CountingAlloc;
 
 fn main() {
     let cli = Cli::parse();
@@ -58,11 +67,13 @@ fn main() {
         }
         let spec = fig.spec(&cli);
         let engine0 = cmap_sim::perf::totals();
+        let allocs0 = cmap_obs::alloc::allocations();
         // cmap-lint: allow(wall-clock) — per-figure wall timing for the report's timing block only
         let f0 = std::time::Instant::now();
         let out = fig.run(&cli);
         let wall_secs = f0.elapsed().as_secs_f64();
         let engine = cmap_sim::perf::totals();
+        let allocs = cmap_obs::alloc::allocations() - allocs0;
 
         let _ = writeln!(report, "\n### {}\n", fig.title());
         report.push_str(&out.text);
@@ -80,8 +91,8 @@ fn main() {
             name: fig.name().to_string(),
             wall_secs,
             events: engine.events - engine0.events,
-            ber_hits: engine.ber_hits - engine0.ber_hits,
-            ber_misses: engine.ber_misses - engine0.ber_misses,
+            ber_lookups: engine.ber_lookups - engine0.ber_lookups,
+            allocs,
         });
         eprintln!("[{}s] {} done", t0.elapsed().as_secs(), fig.name());
     }
@@ -103,11 +114,18 @@ fn main() {
         }
         walls
     });
+    let engine_totals = cmap_sim::perf::totals();
     let perf = PerfReport {
         jobs,
         cores_detected: cmap_exec::default_jobs(),
         suite_wall_secs: t0.elapsed().as_secs_f64(),
         pool,
+        sched: SchedPerf {
+            cascades: engine_totals.sched_cascades,
+            max_occupancy: engine_totals.sched_max_occupancy,
+        },
+        ber_table: BerTablePerf::current(),
+        allocs: cmap_obs::alloc::allocations(),
         figures: perf_figures,
         baseline,
     };

@@ -1,11 +1,26 @@
 //! The tracked perf baseline (`BENCH_perf.json`).
 //!
 //! `repro_all` measures each figure's wall-clock and pulls the engine's
-//! process-wide totals (`cmap_sim::perf`) to report events/sec and the BER
-//! memo-cache hit rate, plus the executor's pool utilization. The whole
-//! file is wall-clock derived — it is a *performance* artifact, explicitly
-//! excluded from determinism comparisons (those compare the suite report,
-//! which never contains pool width or timings outside its `timing` block).
+//! process-wide totals (`cmap_sim::perf`) to report events/sec, BER-table
+//! lookup volume and scheduler statistics, plus the executor's pool
+//! utilization and (when the binary installs `cmap_obs::alloc`) heap
+//! allocation counts. The whole file is wall-clock derived — it is a
+//! *performance* artifact, explicitly excluded from determinism comparisons
+//! (those compare the suite report, which never contains pool width or
+//! timings outside its `timing` block).
+//!
+//! # Schema migration: `cmap-perf/v2` → `cmap-perf/v3`
+//!
+//! v2's per-figure `ber_hits`/`ber_misses`/`ber_cache_hit_rate` fields are
+//! **gone**: the memo cache they metered was removed in favour of the
+//! precomputed BER interpolation table (`cmap_phy::table`), whose lookups
+//! always succeed. v3 replaces them with per-figure `ber_lookups` and
+//! `allocs`, and adds two suite-level blocks: `sched` (timing-wheel
+//! cascades and peak occupancy) and `ber_table` (the table's version tag
+//! and its *measured* max interpolation error — the artifact-visibility
+//! rule for the error-bounded mode). Consumers pinned to v2 must not read
+//! v3 files; the schema tag check in [`parse_serial_baseline`] enforces
+//! the same for this module's own scanner.
 //!
 //! Speedup tracking: pass `--perf-baseline PATH` pointing at a
 //! `BENCH_perf.json` produced by a `--jobs 1` run of the same suite and the
@@ -21,7 +36,7 @@ use std::fmt::Write as _;
 use cmap_obs::json::fmt_f64;
 
 /// Schema tag stamped into the artifact.
-pub const PERF_SCHEMA: &str = "cmap-perf/v2";
+pub const PERF_SCHEMA: &str = "cmap-perf/v3";
 
 /// One figure's measured performance.
 #[derive(Debug, Clone)]
@@ -32,10 +47,11 @@ pub struct FigurePerf {
     pub wall_secs: f64,
     /// Engine events processed during the figure (all runs, all workers).
     pub events: u64,
-    /// BER memo-cache hits during the figure.
-    pub ber_hits: u64,
-    /// BER memo-cache misses during the figure.
-    pub ber_misses: u64,
+    /// BER interpolation-table lookups during the figure.
+    pub ber_lookups: u64,
+    /// Heap allocations during the figure (0 when the running binary did
+    /// not install the counting allocator).
+    pub allocs: u64,
 }
 
 impl FigurePerf {
@@ -47,14 +63,36 @@ impl FigurePerf {
             0.0
         }
     }
+}
 
-    /// Cache hit rate in [0, 1], or 0 when there were no lookups.
-    pub fn ber_hit_rate(&self) -> f64 {
-        let total = self.ber_hits + self.ber_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.ber_hits as f64 / total as f64
+/// Scheduler (timing-wheel) statistics over the whole suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedPerf {
+    /// Events re-filed from an upper wheel level during cascades.
+    pub cascades: u64,
+    /// Largest pending-event count any world reached.
+    pub max_occupancy: u64,
+}
+
+/// The BER table's identity and measured accuracy, recorded so the
+/// error-bounded approximation is visible in the artifact it influenced.
+#[derive(Debug, Clone)]
+pub struct BerTablePerf {
+    /// Version tag of the table scheme (`cmap_phy::table::TABLE_VERSION`).
+    pub version: &'static str,
+    /// Grid nodes per rate.
+    pub grid_points: usize,
+    /// Measured max |table − direct| at construction.
+    pub max_abs_err: f64,
+}
+
+impl BerTablePerf {
+    /// Snapshot the shared table's identity and measured error.
+    pub fn current() -> BerTablePerf {
+        BerTablePerf {
+            version: cmap_phy::table::TABLE_VERSION,
+            grid_points: cmap_phy::table::GRID_POINTS,
+            max_abs_err: cmap_phy::BerTable::shared().max_abs_err(),
         }
     }
 }
@@ -85,12 +123,19 @@ pub struct PerfReport {
     pub jobs: usize,
     /// Cores the machine advertised (`cmap_exec::default_jobs`). CI reads
     /// this to skip the `speedup_vs_jobs1` expectation on single-core
-    /// runners, where a pooled run cannot be faster than serial.
+    /// runners, where a pooled run cannot be faster than serial, and to
+    /// refuse cross-runner-class events/sec comparisons.
     pub cores_detected: usize,
     /// Total suite wall-clock seconds.
     pub suite_wall_secs: f64,
     /// Executor pool utilization over the whole suite.
     pub pool: cmap_exec::PoolStats,
+    /// Scheduler statistics over the whole suite.
+    pub sched: SchedPerf,
+    /// BER-table identity and measured error bound.
+    pub ber_table: BerTablePerf,
+    /// Heap allocations over the whole suite (0 when not instrumented).
+    pub allocs: u64,
     /// Per-figure measurements, in run order.
     pub figures: Vec<FigurePerf>,
     /// Serial walls to compute speedups against, when provided.
@@ -127,6 +172,19 @@ impl PerfReport {
             ",\"pool\":{{\"batches\":{},\"jobs_executed\":{},\"busy_ns\":{},\"max_workers\":{}}}",
             self.pool.batches, self.pool.jobs_executed, self.pool.busy_ns, self.pool.max_workers,
         );
+        let _ = write!(
+            s,
+            ",\"sched\":{{\"cascades\":{},\"max_occupancy\":{}}}",
+            self.sched.cascades, self.sched.max_occupancy,
+        );
+        let _ = write!(
+            s,
+            ",\"ber_table\":{{\"version\":\"{}\",\"grid_points\":{},\"max_abs_err\":{}}}",
+            self.ber_table.version,
+            self.ber_table.grid_points,
+            fmt_f64(self.ber_table.max_abs_err),
+        );
+        let _ = write!(s, ",\"allocs\":{}", self.allocs);
         s.push_str(",\"figures\":[");
         for (i, f) in self.figures.iter().enumerate() {
             if i > 0 {
@@ -146,15 +204,13 @@ impl PerfReport {
             let _ = write!(
                 s,
                 "{{\"name\":\"{}\",\"wall_secs\":{},\"events\":{},\"events_per_sec\":{},\
-                 \"ber_hits\":{},\"ber_misses\":{},\"ber_cache_hit_rate\":{},\
-                 \"speedup_vs_jobs1\":{}}}",
+                 \"ber_lookups\":{},\"allocs\":{},\"speedup_vs_jobs1\":{}}}",
                 f.name,
                 fmt_f64(f.wall_secs),
                 f.events,
                 fmt_f64(f.events_per_sec()),
-                f.ber_hits,
-                f.ber_misses,
-                fmt_f64(f.ber_hit_rate()),
+                f.ber_lookups,
+                f.allocs,
                 opt(speedup),
             );
         }
@@ -218,20 +274,30 @@ mod tests {
                 busy_ns: 9_000_000,
                 max_workers: jobs as u64,
             },
+            sched: SchedPerf {
+                cascades: 1234,
+                max_occupancy: 77,
+            },
+            ber_table: BerTablePerf {
+                version: "ber-table/v1",
+                grid_points: 4097,
+                max_abs_err: 0.0011,
+            },
+            allocs: 5000,
             figures: vec![
                 FigurePerf {
                     name: "fig12_exposed".into(),
                     wall_secs: 4.0,
                     events: 8_000,
-                    ber_hits: 900,
-                    ber_misses: 100,
+                    ber_lookups: 1_000,
+                    allocs: 3000,
                 },
                 FigurePerf {
                     name: "fig15_hidden".into(),
                     wall_secs: 6.0,
                     events: 12_000,
-                    ber_hits: 0,
-                    ber_misses: 0,
+                    ber_lookups: 0,
+                    allocs: 0,
                 },
             ],
             baseline: None,
@@ -242,11 +308,30 @@ mod tests {
     fn json_shape_and_meters() {
         let r = sample(2);
         let j = r.to_json();
-        assert!(j.starts_with("{\"schema\":\"cmap-perf/v2\",\"jobs\":2,\"cores_detected\":8,"));
+        assert!(j.starts_with("{\"schema\":\"cmap-perf/v3\",\"jobs\":2,\"cores_detected\":8,"));
         assert!(j.contains("\"events_per_sec\":2000"), "{j}");
-        assert!(j.contains("\"ber_cache_hit_rate\":0.9"), "{j}");
+        assert!(j.contains("\"ber_lookups\":1000"), "{j}");
+        assert!(
+            j.contains("\"sched\":{\"cascades\":1234,\"max_occupancy\":77}"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"ber_table\":{\"version\":\"ber-table/v1\",\"grid_points\":4097,"),
+            "{j}"
+        );
+        assert!(j.contains("\"allocs\":5000"), "{j}");
         assert!(j.contains("\"speedup_vs_jobs1\":null"), "{j}");
         assert!(j.contains("\"max_workers\":2"), "{j}");
+        // The v2 cache fields are really gone (migration note above).
+        assert!(!j.contains("ber_cache_hit_rate"), "{j}");
+        assert!(!j.contains("ber_hits"), "{j}");
+    }
+
+    #[test]
+    fn live_table_snapshot_matches_the_shared_table() {
+        let t = BerTablePerf::current();
+        assert_eq!(t.version, cmap_phy::table::TABLE_VERSION);
+        assert!(t.max_abs_err > 0.0 && t.max_abs_err < cmap_phy::table::ERR_BOUND);
     }
 
     #[test]
@@ -277,6 +362,11 @@ mod tests {
     fn non_serial_files_are_rejected_as_baselines() {
         let parallel = sample(2);
         assert!(parse_serial_baseline(&parallel.to_json()).is_none());
+        // A v2-era artifact is rejected by schema tag, serial or not.
+        assert!(parse_serial_baseline(
+            "{\"schema\":\"cmap-perf/v2\",\"jobs\":1,\"suite_wall_secs\":1}"
+        )
+        .is_none());
         assert!(parse_serial_baseline("{\"schema\":\"other\"}").is_none());
         assert!(parse_serial_baseline("not json at all").is_none());
     }

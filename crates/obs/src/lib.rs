@@ -19,12 +19,14 @@
 //!
 //! | Module | Provides |
 //! |---|---|
+//! | [`alloc`] | opt-in counting global allocator for perf baselines |
 //! | [`metrics`] | `CounterId` / `GaugeId` registries with static names |
 //! | [`trace`] | typed ring-buffer trace sink with deterministic JSONL dump |
 //! | [`profile`] | event-loop dispatch/wall-clock profile, events/sec meter |
 //! | [`report`] | `RunReport` / `SuiteReport` manifest writers (`--json`) |
 //! | [`json`] | minimal deterministic JSON encoding helpers |
 
+pub mod alloc;
 pub mod json;
 pub mod metrics;
 pub mod profile;

@@ -72,11 +72,12 @@ define_ids! {
         SimUnknownFlow => "sim.unknown_flow",
         /// Deliveries at a node that is not the flow's destination.
         SimMisdelivered => "sim.misdelivered",
-        // PHY hot path (crates/phy cache, bumped by crates/sim).
-        /// BER memo-cache lookups answered from the cache.
-        PhyBerCacheHit => "phy.ber_cache_hit",
-        /// BER memo-cache lookups that had to compute.
-        PhyBerCacheMiss => "phy.ber_cache_miss",
+        // PHY hot path (crates/phy table, bumped by crates/sim).
+        /// BER interpolation-table lookups while grading receptions.
+        PhyBerTableLookup => "phy.ber_table_lookup",
+        // Scheduler (crates/sim timing wheel).
+        /// Events re-filed from an upper wheel level during a cascade.
+        SimSchedCascades => "sim.sched_cascades",
         // Statistics bookkeeping (crates/sim).
         /// Per-seq vpkt flag entries evicted to honour the cap.
         StatsVpktEvicted => "stats.vpkt_evicted",
@@ -190,6 +191,8 @@ define_ids! {
         SimInflightTx => "sim.inflight_tx",
         /// Events still pending in the scheduler when the run clock stopped.
         SimSchedPending => "sim.sched_pending",
+        /// Largest scheduler occupancy (pending events) the run reached.
+        SimSchedMaxOccupancy => "sim.sched_max_occupancy",
         /// Trace records dropped by the ring buffer (0 when tracing is off).
         TraceDropped => "trace.dropped",
     }

@@ -144,6 +144,17 @@ fn code_spectrum(code: CodeRate) -> &'static CodeSpectrum {
 /// sum) and needs no early-exit guard: the 0.5 clamp already absorbs the
 /// saturated regime.
 pub fn coded_ber(p: f64, code: CodeRate) -> f64 {
+    coded_ber_union_bound(p, code).min(0.5)
+}
+
+/// The raw union-bound sum behind [`coded_ber`], *before* the 0.5
+/// saturation (it can exceed 0.5 by orders of magnitude near `p = 0.5`).
+///
+/// Exposed so the BER interpolation tables (`cmap_phy::table`) can sample
+/// the smooth unsaturated curve: interpolating across the saturation kink
+/// would cost ~1e-2 absolute error at the corner, while interpolating the
+/// smooth bound and saturating *after* reproduces the clamp exactly.
+pub fn coded_ber_union_bound(p: f64, code: CodeRate) -> f64 {
     if p <= 0.0 {
         return 0.0;
     }
@@ -155,7 +166,7 @@ pub fn coded_ber(p: f64, code: CodeRate) -> f64 {
     for &c in sp.coeffs.iter().rev() {
         acc = acc * x + c;
     }
-    (sp.scale * acc * d.powi(sp.first)).min(0.5)
+    sp.scale * acc * d.powi(sp.first)
 }
 
 /// Per-coded-bit SNR for a transmission at `rate` received with linear `sinr`.
@@ -170,9 +181,15 @@ pub fn gamma_per_coded_bit(sinr: f64, rate: Rate) -> f64 {
 
 /// Information-bit error rate after decoding, for a given linear SINR.
 pub fn ber(sinr: f64, rate: Rate) -> f64 {
+    ber_union_bound(sinr, rate).min(0.5)
+}
+
+/// [`ber`] before its final 0.5 saturation — the smooth curve the BER
+/// interpolation tables sample (see [`coded_ber_union_bound`]).
+pub fn ber_union_bound(sinr: f64, rate: Rate) -> f64 {
     let gamma = gamma_per_coded_bit(sinr, rate);
     let raw = modulation_ber(rate.modulation(), gamma);
-    coded_ber(raw, rate.code_rate())
+    coded_ber_union_bound(raw, rate.code_rate())
 }
 
 /// Probability that `bits` information bits all decode correctly at the given

@@ -14,21 +14,21 @@
 //! * decibel/linear power conversions and the link-budget helpers shared by the
 //!   propagation model in `cmap-topo` ([`units`], [`propagation`]).
 //!
-//! The crate is pure math: it owns no randomness and no global state.
-//! Reception *probabilities* are computed here; the simulator (`cmap-sim`)
-//! draws the Bernoulli outcomes from its deterministic per-run RNG. The one
-//! stateful helper, [`BerCache`], is a caller-owned bit-exact memo over
-//! [`ber`] for the grading hot path.
+//! The crate is pure math: it owns no randomness and no mutable global
+//! state. Reception *probabilities* are computed here; the simulator
+//! (`cmap-sim`) draws the Bernoulli outcomes from its deterministic per-run
+//! RNG. The one shared structure, [`BerTable`], is an immutable
+//! once-per-process sampling of [`ber`] for the grading hot path.
 
-pub mod cache;
 pub mod error_model;
 pub mod preamble;
 pub mod propagation;
 pub mod rate;
+pub mod table;
 pub mod units;
 
-pub use cache::BerCache;
 pub use error_model::{ber, packet_success_prob, per};
 pub use preamble::{preamble_success_prob, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
 pub use rate::{Modulation, Rate};
+pub use table::BerTable;
 pub use units::{dbm_to_mw, mw_to_dbm, NOISE_FLOOR_DBM};

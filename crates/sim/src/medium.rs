@@ -11,6 +11,11 @@ use crate::world::NodeId;
 use cmap_phy::{dbm_to_mw, mw_to_dbm};
 
 /// Frozen large-scale channel state between every pair of nodes.
+///
+/// The per-transmitter reachability lists are stored in CSR form — one flat
+/// index array plus `n + 1` offsets — instead of a `Vec<Vec<NodeId>>`, so
+/// the fan-out walk at every transmission start reads one contiguous slice
+/// with no per-transmitter pointer chase.
 #[derive(Debug, Clone)]
 pub struct Medium {
     n: usize,
@@ -18,8 +23,10 @@ pub struct Medium {
     gain: Vec<f64>,
     /// Propagation delay in ns, same layout.
     delay_ns: Vec<u64>,
-    /// Per-transmitter list of receivers above the delivery floor.
-    reachable: Vec<Vec<NodeId>>,
+    /// Receivers above the delivery floor, all transmitters concatenated.
+    reach_idx: Vec<NodeId>,
+    /// CSR offsets: tx's receivers are `reach_idx[reach_off[tx]..reach_off[tx + 1]]`.
+    reach_off: Vec<u32>,
     tx_power_mw: f64,
 }
 
@@ -33,19 +40,23 @@ impl Medium {
         let gain: Vec<f64> = gains_db.iter().map(|&db| dbm_to_mw(db)).collect();
         let tx_power_mw = dbm_to_mw(phy.tx_power_dbm);
         let floor_mw = dbm_to_mw(phy.delivery_floor_dbm);
-        let mut reachable = vec![Vec::new(); n];
+        let mut reach_idx = Vec::new();
+        let mut reach_off = Vec::with_capacity(n + 1);
+        reach_off.push(0u32);
         for tx in 0..n {
             for rx in 0..n {
                 if tx != rx && tx_power_mw * gain[tx * n + rx] >= floor_mw {
-                    reachable[tx].push(rx);
+                    reach_idx.push(rx);
                 }
             }
+            reach_off.push(u32::try_from(reach_idx.len()).expect("reachability fits u32"));
         }
         Medium {
             n,
             gain,
             delay_ns: delay_ns.to_vec(),
-            reachable,
+            reach_idx,
+            reach_off,
             tx_power_mw,
         }
     }
@@ -109,9 +120,10 @@ impl Medium {
         self.delay_ns[tx * self.n + rx]
     }
 
-    /// Receivers that get events for transmissions from `tx`.
+    /// Receivers that get events for transmissions from `tx`, in ascending
+    /// node order (one contiguous CSR slice).
     pub fn reachable(&self, tx: NodeId) -> &[NodeId] {
-        &self.reachable[tx]
+        &self.reach_idx[self.reach_off[tx] as usize..self.reach_off[tx + 1] as usize]
     }
 
     /// Configured transmit power in linear mW.

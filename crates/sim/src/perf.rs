@@ -1,58 +1,55 @@
 //! Process-wide perf totals for the benchmark baseline.
 //!
-//! Every [`crate::World::run_until`] publishes its event and BER-cache
-//! deltas here so a benchmark suite can report events/sec and cache hit
-//! rates across *all* runs it spawned — including runs executed on worker
-//! threads, where per-world counters would be invisible to the driver.
+//! Every [`crate::World::run_until`] publishes its event, BER-table-lookup
+//! and scheduler-cascade deltas here so a benchmark suite can report
+//! events/sec and engine statistics across *all* runs it spawned —
+//! including runs executed on worker threads, where per-world counters
+//! would be invisible to the driver.
 //!
-//! The totals are monotone sums of per-run deltas, so their final values
-//! are independent of worker interleaving (addition commutes); they carry
-//! no ordering or timing information and never feed back into simulation
-//! behaviour. Report readers must treat them as *aggregate* observability,
-//! not per-run state.
+//! The totals are monotone sums of per-run deltas (plus one monotone max),
+//! so their final values are independent of worker interleaving (addition
+//! and max commute); they carry no ordering or timing information and never
+//! feed back into simulation behaviour. Report readers must treat them as
+//! *aggregate* observability, not per-run state.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 // cmap-analyze: allow(shared-state) — relaxed monotonic meter for the observability report; never read by simulation state
 static EVENTS: AtomicU64 = AtomicU64::new(0);
 // cmap-analyze: allow(shared-state) — relaxed monotonic meter for the observability report; never read by simulation state
-static BER_HITS: AtomicU64 = AtomicU64::new(0);
+static BER_LOOKUPS: AtomicU64 = AtomicU64::new(0);
 // cmap-analyze: allow(shared-state) — relaxed monotonic meter for the observability report; never read by simulation state
-static BER_MISSES: AtomicU64 = AtomicU64::new(0);
+static SCHED_CASCADES: AtomicU64 = AtomicU64::new(0);
+// cmap-analyze: allow(shared-state) — relaxed monotonic high-water mark for the observability report; never read by simulation state
+static SCHED_MAX_OCCUPANCY: AtomicU64 = AtomicU64::new(0);
 
 /// Aggregate simulation-engine totals since the last [`reset`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PerfTotals {
     /// Events processed across all worlds.
     pub events: u64,
-    /// BER memo-cache hits across all worlds.
-    pub ber_hits: u64,
-    /// BER memo-cache misses across all worlds.
-    pub ber_misses: u64,
-}
-
-impl PerfTotals {
-    /// Cache hit rate in [0, 1], or 0 when there were no lookups.
-    pub fn ber_hit_rate(&self) -> f64 {
-        let total = self.ber_hits + self.ber_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.ber_hits as f64 / total as f64
-        }
-    }
+    /// BER interpolation-table lookups across all worlds.
+    pub ber_lookups: u64,
+    /// Timing-wheel cascade re-files (events moved between wheel levels)
+    /// across all worlds.
+    pub sched_cascades: u64,
+    /// Largest scheduler occupancy (pending events) any world reached.
+    pub sched_max_occupancy: u64,
 }
 
 /// Record one run's deltas (called from the `run_until` tail).
-pub fn note_run(events: u64, ber_hits: u64, ber_misses: u64) {
+pub fn note_run(events: u64, ber_lookups: u64, sched_cascades: u64, sched_max_occupancy: u64) {
     if events > 0 {
         EVENTS.fetch_add(events, Ordering::Relaxed);
     }
-    if ber_hits > 0 {
-        BER_HITS.fetch_add(ber_hits, Ordering::Relaxed);
+    if ber_lookups > 0 {
+        BER_LOOKUPS.fetch_add(ber_lookups, Ordering::Relaxed);
     }
-    if ber_misses > 0 {
-        BER_MISSES.fetch_add(ber_misses, Ordering::Relaxed);
+    if sched_cascades > 0 {
+        SCHED_CASCADES.fetch_add(sched_cascades, Ordering::Relaxed);
+    }
+    if sched_max_occupancy > 0 {
+        SCHED_MAX_OCCUPANCY.fetch_max(sched_max_occupancy, Ordering::Relaxed);
     }
 }
 
@@ -60,16 +57,18 @@ pub fn note_run(events: u64, ber_hits: u64, ber_misses: u64) {
 pub fn totals() -> PerfTotals {
     PerfTotals {
         events: EVENTS.load(Ordering::Relaxed),
-        ber_hits: BER_HITS.load(Ordering::Relaxed),
-        ber_misses: BER_MISSES.load(Ordering::Relaxed),
+        ber_lookups: BER_LOOKUPS.load(Ordering::Relaxed),
+        sched_cascades: SCHED_CASCADES.load(Ordering::Relaxed),
+        sched_max_occupancy: SCHED_MAX_OCCUPANCY.load(Ordering::Relaxed),
     }
 }
 
 /// Zero the totals (benchmark drivers call this between figures).
 pub fn reset() {
     EVENTS.store(0, Ordering::Relaxed);
-    BER_HITS.store(0, Ordering::Relaxed);
-    BER_MISSES.store(0, Ordering::Relaxed);
+    BER_LOOKUPS.store(0, Ordering::Relaxed);
+    SCHED_CASCADES.store(0, Ordering::Relaxed);
+    SCHED_MAX_OCCUPANCY.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -77,27 +76,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn totals_accumulate_and_hit_rate_is_sane() {
+    fn totals_accumulate_and_max_is_a_high_water_mark() {
         // Lower-bound asserts: other tests in this binary also feed the
         // global totals concurrently.
         let before = totals();
-        note_run(100, 30, 10);
-        note_run(50, 0, 0);
+        note_run(100, 30, 10, 7);
+        note_run(50, 0, 0, 3);
         let after = totals();
         assert!(after.events >= before.events + 150);
-        assert!(after.ber_hits >= before.ber_hits + 30);
-        assert!(after.ber_misses >= before.ber_misses + 10);
-        let t = PerfTotals {
-            events: 1,
-            ber_hits: 3,
-            ber_misses: 1,
-        };
-        assert!((t.ber_hit_rate() - 0.75).abs() < 1e-12);
-        let empty = PerfTotals {
-            events: 0,
-            ber_hits: 0,
-            ber_misses: 0,
-        };
-        assert!(empty.ber_hit_rate().abs() < 1e-12);
+        assert!(after.ber_lookups >= before.ber_lookups + 30);
+        assert!(after.sched_cascades >= before.sched_cascades + 10);
+        // The occupancy mark never regresses, and reflects at least the
+        // largest value we just fed it.
+        assert!(after.sched_max_occupancy >= before.sched_max_occupancy.max(7));
     }
 }

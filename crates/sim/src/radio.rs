@@ -1,10 +1,11 @@
-//! Per-node radio: a half-duplex PHY state machine.
+//! Per-node radio state: a half-duplex PHY state machine, stored
+//! struct-of-arrays across all nodes.
 //!
-//! The radio tracks every frame currently impinging on the node (for energy
-//! accounting), holds at most one *lock* (the frame actually being decoded),
-//! and implements preamble capture. It deliberately knows nothing about
-//! frame contents — the world layer attaches meanings; the radio only sees
-//! powers and times.
+//! The radio layer tracks every frame currently impinging on each node (for
+//! energy accounting), holds at most one *lock* per node (the frame actually
+//! being decoded), and implements preamble capture. It deliberately knows
+//! nothing about frame contents — the world layer attaches meanings; radios
+//! only see powers and times.
 //!
 //! Locking rules (modelled on commodity 802.11 hardware, cf. §2.1/§6 of the
 //! paper):
@@ -19,6 +20,20 @@
 //!   preamble, which Atheros-era hardware does and the paper's exposed
 //!   terminals rely on for ACK delivery.
 //! * A **transmitting** radio is deaf: arrivals are tracked for energy only.
+//!
+//! # Layout
+//!
+//! [`RadioBank`] keeps one array per field instead of one struct per node.
+//! The carrier-sense hot path — [`RadioBank::busy`] runs on every MAC
+//! dispatch and every `check_channel_edge` iteration — reads exactly two
+//! dense arrays (a packed state byte and the running energy total), so
+//! sweeps over many nodes touch a handful of cache lines instead of one
+//! scattered `Radio` struct per node. The cold per-node state (lock
+//! records, impinging-frame lists, recycled profile buffers) lives in its
+//! own arrays that only reception events touch. The per-node energy total
+//! is maintained incrementally (add on frame start, subtract on frame end,
+//! snap to exactly `0.0` whenever the impinging set empties so float
+//! residue cannot accumulate) — `busy` no longer sums the impinging list.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -39,14 +54,14 @@ pub enum RadioPhase {
     Transmitting,
 }
 
-/// One frame currently impinging on the node.
+/// One frame currently impinging on a node.
 #[derive(Debug, Clone, Copy)]
 struct Incoming {
     tx_id: TxId,
     power_mw: f64,
 }
 
-/// The frame currently being decoded.
+/// The frame currently being decoded at a node.
 #[derive(Debug, Clone)]
 pub(crate) struct RxLock {
     pub tx_id: TxId,
@@ -68,7 +83,7 @@ pub enum LockOutcome {
     Interference,
 }
 
-/// Completed reception of the locked frame, to be graded by the world.
+/// Completed reception of a locked frame, to be graded by the world.
 #[derive(Debug, Clone)]
 pub(crate) struct RxCompletion {
     pub tx_id: TxId,
@@ -78,49 +93,95 @@ pub(crate) struct RxCompletion {
     pub interference: Vec<(Time, f64)>,
 }
 
-/// Per-node radio state.
-#[derive(Debug, Default)]
-pub(crate) struct Radio {
-    incoming: Vec<Incoming>,
-    lock: Option<RxLock>,
-    transmitting: Option<TxId>,
-    /// Powered off or wedged (fault injection): deaf, cannot transmit, and
-    /// reports carrier busy so MACs naturally hold off until recovery.
-    disabled: bool,
+/// Packed per-node state bits (the `state` hot array).
+mod flag {
+    /// Powered off or wedged by fault injection.
+    pub const DISABLED: u8 = 1 << 0;
+    /// A transmission is in progress.
+    pub const TX: u8 = 1 << 1;
+    /// A reception lock is held.
+    pub const LOCKED: u8 = 1 << 2;
     /// Cached busy flag for edge-triggered carrier notifications.
-    pub last_busy: bool,
-    /// Receptions aborted because the MAC started transmitting over them.
-    pub aborted_rx: u64,
-    /// Recycled interference-profile buffer: the next lock reuses the
-    /// capacity of the last completed (or dropped) one instead of
-    /// allocating per reception.
-    spare_profile: Vec<(Time, f64)>,
+    pub const LAST_BUSY: u8 = 1 << 3;
+    /// Any bit that makes the channel read busy regardless of energy.
+    pub const ANY_BUSY: u8 = DISABLED | TX | LOCKED;
 }
 
-impl Radio {
+/// All radios of a world, one array per field (struct-of-arrays).
+#[derive(Debug)]
+pub(crate) struct RadioBank {
+    // Hot arrays: the only state `busy`/`phase` touch.
+    /// Packed [`flag`] bits per node.
+    state: Vec<u8>,
+    /// Running sum of impinging frame powers in mW per node, maintained
+    /// incrementally and snapped to `0.0` when the impinging set empties.
+    energy_total: Vec<f64>,
+
+    // Cold arrays: touched only by reception/transmission events.
+    /// Frames currently impinging on each node.
+    incoming: Vec<Vec<Incoming>>,
+    /// The reception lock, if [`flag::LOCKED`] is set.
+    lock: Vec<Option<RxLock>>,
+    /// Receptions aborted because the MAC started transmitting over them.
+    aborted_rx: Vec<u64>,
+    /// Recycled interference-profile buffers: the next lock reuses the
+    /// capacity of the last completed (or dropped) one instead of
+    /// allocating per reception.
+    spare_profile: Vec<Vec<(Time, f64)>>,
+}
+
+impl RadioBank {
+    /// A bank of `n` idle radios.
+    pub fn new(n: usize) -> RadioBank {
+        RadioBank {
+            state: vec![0; n],
+            energy_total: vec![0.0; n],
+            incoming: (0..n).map(|_| Vec::new()).collect(),
+            lock: (0..n).map(|_| None).collect(),
+            aborted_rx: vec![0; n],
+            spare_profile: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of radios in the bank.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
     /// A profile buffer seeded with the level at lock time, reusing the
-    /// spare buffer's capacity when one is parked.
-    fn fresh_profile(&mut self, at: Time, level: f64) -> Vec<(Time, f64)> {
-        let mut buf = std::mem::take(&mut self.spare_profile);
+    /// node's spare buffer capacity when one is parked.
+    fn fresh_profile(&mut self, node: usize, at: Time, level: f64) -> Vec<(Time, f64)> {
+        let mut buf = std::mem::take(&mut self.spare_profile[node]);
         buf.clear();
         buf.push((at, level));
         buf
     }
 
-    /// Park a used interference buffer for the next lock (keeps the larger
-    /// capacity when two race back).
-    pub(crate) fn recycle_profile(&mut self, mut buf: Vec<(Time, f64)>) {
+    /// Park a used interference buffer for the node's next lock (keeps the
+    /// larger capacity when two race back).
+    pub(crate) fn recycle_profile(&mut self, node: usize, mut buf: Vec<(Time, f64)>) {
         buf.clear();
-        if buf.capacity() > self.spare_profile.capacity() {
-            self.spare_profile = buf;
+        if buf.capacity() > self.spare_profile[node].capacity() {
+            self.spare_profile[node] = buf;
         }
     }
 
+    fn set_lock(&mut self, node: usize, lock: RxLock) {
+        self.lock[node] = Some(lock);
+        self.state[node] |= flag::LOCKED;
+    }
+
+    fn take_lock(&mut self, node: usize) -> Option<RxLock> {
+        self.state[node] &= !flag::LOCKED;
+        self.lock[node].take()
+    }
+
     /// Current coarse phase.
-    pub fn phase(&self) -> RadioPhase {
-        if self.transmitting.is_some() {
+    pub fn phase(&self, node: usize) -> RadioPhase {
+        let s = self.state[node];
+        if s & flag::TX != 0 {
             RadioPhase::Transmitting
-        } else if self.lock.is_some() {
+        } else if s & flag::LOCKED != 0 {
             RadioPhase::Receiving
         } else {
             RadioPhase::Idle
@@ -128,44 +189,70 @@ impl Radio {
     }
 
     /// Sum of impinging frame powers in mW, optionally excluding one frame.
-    pub fn energy_mw(&self, exclude: Option<TxId>) -> f64 {
-        self.incoming
-            .iter()
-            .filter(|f| Some(f.tx_id) != exclude)
-            .map(|f| f.power_mw)
-            .sum()
+    /// The no-exclusion reading is the maintained running total; exclusion
+    /// re-sums the (short) impinging list so interference levels written to
+    /// profiles stay exactly `0.0` when nothing else is on the air.
+    pub fn energy_mw(&self, node: usize, exclude: Option<TxId>) -> f64 {
+        match exclude {
+            None => self.energy_total[node],
+            Some(id) => self.incoming[node]
+                .iter()
+                .filter(|f| f.tx_id != id)
+                .map(|f| f.power_mw)
+                .sum(),
+        }
     }
 
     /// 802.11-style clear-channel assessment: busy while transmitting,
     /// locked onto any frame, or when raw in-band energy exceeds the
     /// preamble-detection threshold (which sits well below decode
     /// sensitivity — carrier sense hears further than data carries).
-    pub fn busy(&self, phy: &PhyConfig) -> bool {
-        // A disabled radio reads busy: a wedged front-end cannot report a
-        // clear channel, and the busy -> idle edge at recovery is what wakes
-        // carrier-waiting MACs back up.
-        self.disabled
-            || self.phase() != RadioPhase::Idle
-            || self.energy_mw(None) >= dbm_to_mw(phy.cs_detect_dbm.min(phy.ed_threshold_dbm))
+    /// A disabled radio also reads busy: a wedged front-end cannot report
+    /// a clear channel, and the busy -> idle edge at recovery is what
+    /// wakes carrier-waiting MACs back up.
+    pub fn busy(&self, node: usize, phy: &PhyConfig) -> bool {
+        self.state[node] & flag::ANY_BUSY != 0
+            || self.energy_total[node] >= dbm_to_mw(phy.cs_detect_dbm.min(phy.ed_threshold_dbm))
+    }
+
+    /// The cached busy flag for edge-triggered carrier notifications.
+    pub fn last_busy(&self, node: usize) -> bool {
+        self.state[node] & flag::LAST_BUSY != 0
+    }
+
+    /// Update the cached busy flag.
+    pub fn set_last_busy(&mut self, node: usize, busy: bool) {
+        if busy {
+            self.state[node] |= flag::LAST_BUSY;
+        } else {
+            self.state[node] &= !flag::LAST_BUSY;
+        }
+    }
+
+    /// Receptions aborted at `node` because its MAC transmitted over them.
+    #[cfg(test)]
+    pub fn aborted_rx(&self, node: usize) -> u64 {
+        self.aborted_rx[node]
     }
 
     /// True while powered off or wedged by fault injection.
-    pub fn is_disabled(&self) -> bool {
-        self.disabled
+    pub fn is_disabled(&self, node: usize) -> bool {
+        self.state[node] & flag::DISABLED != 0
     }
 
     /// Fault injection: the radio goes deaf mid-whatever. Any reception in
     /// progress is lost and tracked energies are forgotten (frames still on
     /// the air when the radio recovers are not heard). A transmission
-    /// already started keeps its `transmitting` marker — the energy is
+    /// already started keeps its [`flag::TX`] marker — the energy is
     /// physically committed and `end_tx` still fires. Returns `true` if a
     /// locked reception was dropped.
-    pub fn power_off(&mut self) -> bool {
-        self.disabled = true;
-        self.incoming.clear();
-        match self.lock.take() {
+    pub fn power_off(&mut self, node: usize) -> bool {
+        self.state[node] |= flag::DISABLED;
+        self.incoming[node].clear();
+        self.energy_total[node] = 0.0;
+        match self.take_lock(node) {
             Some(lock) => {
-                self.recycle_profile(lock.interference);
+                self.recycle_profile(node, lock.interference);
                 true
             }
             None => false,
@@ -174,50 +261,57 @@ impl Radio {
 
     /// Fault injection: the radio comes back. Caller re-checks carrier
     /// edges so MACs observe the busy -> idle recovery transition.
-    pub fn power_on(&mut self) {
-        self.disabled = false;
+    pub fn power_on(&mut self, node: usize) {
+        self.state[node] &= !flag::DISABLED;
     }
 
     /// Watchdog: structural invariants that must hold between events.
-    /// Half-duplex (never locked while transmitting) and no reception
-    /// surviving a power-off.
-    pub fn invariants_ok(&self) -> bool {
-        // A lock may not coexist with transmitting (half-duplex) or with a
-        // disabled front-end (a dead radio cannot be decoding).
-        self.lock.is_none() || (self.transmitting.is_none() && !self.disabled)
+    /// Half-duplex (never locked while transmitting), no reception
+    /// surviving a power-off, and the hot arrays agreeing with the cold
+    /// state they summarise.
+    pub fn invariants_ok(&self, node: usize) -> bool {
+        let s = self.state[node];
+        let lock_flag_ok = (s & flag::LOCKED != 0) == self.lock[node].is_some();
+        // An empty impinging set must read exactly zero energy (the snap in
+        // `frame_end`); bit compare, as this is an exact-representation
+        // invariant, not a numeric tolerance.
+        let energy_ok = !self.incoming[node].is_empty() || self.energy_total[node].to_bits() == 0;
+        lock_flag_ok && energy_ok && (s & flag::LOCKED == 0 || s & (flag::TX | flag::DISABLED) == 0)
     }
 
     /// True if the radio is locked on the given transmission.
-    pub fn locked_on(&self, tx_id: TxId) -> bool {
-        self.lock.as_ref().is_some_and(|l| l.tx_id == tx_id)
+    pub fn locked_on(&self, node: usize, tx_id: TxId) -> bool {
+        self.lock[node].as_ref().is_some_and(|l| l.tx_id == tx_id)
     }
 
-    /// A new frame's energy arrives. Returns whether it got the lock.
+    /// A new frame's energy arrives at `node`. Returns whether it got the
+    /// lock.
     pub fn frame_start(
         &mut self,
+        node: usize,
         tx_id: TxId,
         power_mw: f64,
         now: Time,
         phy: &PhyConfig,
         rng: &mut SmallRng,
     ) -> LockOutcome {
-        if self.disabled {
+        if self.is_disabled(node) {
             // Deaf: the energy is not even tracked (the matching frame_end
             // finds nothing to remove).
             return LockOutcome::Interference;
         }
         let noise = phy.noise_mw();
         // Interference the new frame would see: everything already here.
-        let interference_for_new = self.energy_mw(None);
-        self.incoming.push(Incoming { tx_id, power_mw });
+        let interference_for_new = self.energy_total[node];
+        self.incoming[node].push(Incoming { tx_id, power_mw });
+        self.energy_total[node] += power_mw;
 
-        if self.transmitting.is_some() {
+        if self.state[node] & flag::TX != 0 {
             return LockOutcome::Interference;
         }
 
         let preamble_window = PLCP_PREAMBLE_NS + PLCP_SIG_NS;
-        let Some((lock_time, lock_signal, lock_tx_id)) = self
-            .lock
+        let Some((lock_time, lock_signal, lock_tx_id)) = self.lock[node]
             .as_ref()
             .map(|l| (l.lock_time, l.signal_mw, l.tx_id))
         else {
@@ -225,13 +319,16 @@ impl Radio {
             if power_mw >= dbm_to_mw(phy.sensitivity_dbm) {
                 let sinr = power_mw / (noise + interference_for_new);
                 if rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
-                    let interference = self.fresh_profile(now, interference_for_new);
-                    self.lock = Some(RxLock {
-                        tx_id,
-                        lock_time: now,
-                        signal_mw: power_mw,
-                        interference,
-                    });
+                    let interference = self.fresh_profile(node, now, interference_for_new);
+                    self.set_lock(
+                        node,
+                        RxLock {
+                            tx_id,
+                            lock_time: now,
+                            signal_mw: power_mw,
+                            interference,
+                        },
+                    );
                     return LockOutcome::Locked;
                 }
             }
@@ -249,41 +346,51 @@ impl Radio {
         if capture_allowed {
             // The displaced frame keeps radiating: it is interference for
             // the new lock.
-            let interference_for_new = self.energy_mw(Some(tx_id));
+            let interference_for_new = self.energy_mw(node, Some(tx_id));
             let sinr = power_mw / (noise + interference_for_new);
             if rng.gen_bool(preamble_success_prob(sinr).clamp(0.0, 1.0)) {
                 // The displaced lock's buffer feeds the new one.
-                if let Some(old) = self.lock.take() {
-                    self.recycle_profile(old.interference);
+                if let Some(old) = self.take_lock(node) {
+                    self.recycle_profile(node, old.interference);
                 }
-                let interference = self.fresh_profile(now, interference_for_new);
-                self.lock = Some(RxLock {
-                    tx_id,
-                    lock_time: now,
-                    signal_mw: power_mw,
-                    interference,
-                });
+                let interference = self.fresh_profile(node, now, interference_for_new);
+                self.set_lock(
+                    node,
+                    RxLock {
+                        tx_id,
+                        lock_time: now,
+                        signal_mw: power_mw,
+                        interference,
+                    },
+                );
                 return LockOutcome::Captured {
                     displaced: lock_tx_id,
                 };
             }
         }
         // Plain interference for the existing lock.
-        let level = self.energy_mw(Some(lock_tx_id));
-        if let Some(lock) = &mut self.lock {
+        let level = self.energy_mw(node, Some(lock_tx_id));
+        if let Some(lock) = &mut self.lock[node] {
             lock.interference.push((now, level));
         }
         LockOutcome::Interference
     }
 
-    /// A frame's energy leaves the node. If it was the locked frame, the
+    /// A frame's energy leaves `node`. If it was the locked frame, the
     /// completed reception is returned for grading.
-    pub fn frame_end(&mut self, tx_id: TxId, now: Time) -> Option<RxCompletion> {
-        if let Some(pos) = self.incoming.iter().position(|f| f.tx_id == tx_id) {
-            self.incoming.swap_remove(pos);
+    pub fn frame_end(&mut self, node: usize, tx_id: TxId, now: Time) -> Option<RxCompletion> {
+        if let Some(pos) = self.incoming[node].iter().position(|f| f.tx_id == tx_id) {
+            let gone = self.incoming[node].swap_remove(pos);
+            if self.incoming[node].is_empty() {
+                // Snap the running total so float residue from the
+                // add/remove churn cannot masquerade as channel energy.
+                self.energy_total[node] = 0.0;
+            } else {
+                self.energy_total[node] -= gone.power_mw;
+            }
         }
-        if self.locked_on(tx_id) {
-            let lock = self.lock.take().expect("checked");
+        if self.locked_on(node, tx_id) {
+            let lock = self.take_lock(node).expect("checked");
             return Some(RxCompletion {
                 tx_id: lock.tx_id,
                 lock_time: lock.lock_time,
@@ -292,14 +399,11 @@ impl Radio {
             });
         }
         // Interference level dropped for an ongoing lock.
-        if let Some(lock) = &mut self.lock {
-            let level = self
-                .incoming
-                .iter()
-                .filter(|f| f.tx_id != lock.tx_id)
-                .map(|f| f.power_mw)
-                .sum();
-            lock.interference.push((now, level));
+        if let Some(lock_tx) = self.lock[node].as_ref().map(|l| l.tx_id) {
+            let level = self.energy_mw(node, Some(lock_tx));
+            if let Some(lock) = &mut self.lock[node] {
+                lock.interference.push((now, level));
+            }
         }
         None
     }
@@ -310,25 +414,25 @@ impl Radio {
     /// half-duplex violation (already transmitting), which the world records
     /// as a watchdog violation instead of panicking.
     #[must_use]
-    pub fn begin_tx(&mut self, tx_id: TxId) -> bool {
-        if self.transmitting.is_some() {
+    pub fn begin_tx(&mut self, node: usize, _tx_id: TxId) -> bool {
+        if self.state[node] & flag::TX != 0 {
             debug_assert!(false, "begin_tx while transmitting");
             return false;
         }
-        if let Some(lock) = self.lock.take() {
-            self.recycle_profile(lock.interference);
-            self.aborted_rx += 1;
+        if let Some(lock) = self.take_lock(node) {
+            self.recycle_profile(node, lock.interference);
+            self.aborted_rx[node] += 1;
         }
-        self.transmitting = Some(tx_id);
+        self.state[node] |= flag::TX;
         true
     }
 
     /// The transmission finished. Returns `false` if the radio was not
     /// transmitting (a state-machine violation the world records).
-    pub fn end_tx(&mut self) -> bool {
-        let was = self.transmitting.is_some();
+    pub fn end_tx(&mut self, node: usize) -> bool {
+        let was = self.state[node] & flag::TX != 0;
         debug_assert!(was, "end_tx while not transmitting");
-        self.transmitting = None;
+        self.state[node] &= !flag::TX;
         was
     }
 }
@@ -349,42 +453,47 @@ mod tests {
         dbm_to_mw(dbm)
     }
 
+    /// A one-radio bank: the unit under test in most cases below.
+    fn bank() -> RadioBank {
+        RadioBank::new(1)
+    }
+
     #[test]
     fn strong_lone_frame_locks() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 1);
-        let out = r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng);
+        let out = r.frame_start(0, 1, mw(-60.0), 0, &phy(), &mut rng);
         assert_eq!(out, LockOutcome::Locked);
-        assert_eq!(r.phase(), RadioPhase::Receiving);
-        let done = r.frame_end(1, 1000).expect("completion");
+        assert_eq!(r.phase(0), RadioPhase::Receiving);
+        let done = r.frame_end(0, 1, 1000).expect("completion");
         assert_eq!(done.tx_id, 1);
-        assert_eq!(r.phase(), RadioPhase::Idle);
+        assert_eq!(r.phase(0), RadioPhase::Idle);
     }
 
     #[test]
     fn frame_below_sensitivity_never_locks() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 2);
-        let out = r.frame_start(1, mw(-100.0), 0, &phy(), &mut rng);
+        let out = r.frame_start(0, 1, mw(-100.0), 0, &phy(), &mut rng);
         assert_eq!(out, LockOutcome::Interference);
-        assert!(r.frame_end(1, 1000).is_none());
+        assert!(r.frame_end(0, 1, 1000).is_none());
     }
 
     #[test]
     fn second_frame_is_interference_and_profiled() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 3);
         assert_eq!(
-            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-60.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
         // Weak late frame: interference, logged in the profile.
         assert_eq!(
-            r.frame_start(2, mw(-80.0), 50_000, &phy(), &mut rng),
+            r.frame_start(0, 2, mw(-80.0), 50_000, &phy(), &mut rng),
             LockOutcome::Interference
         );
-        let _ = r.frame_end(2, 60_000);
-        let done = r.frame_end(1, 100_000).unwrap();
+        let _ = r.frame_end(0, 2, 60_000);
+        let done = r.frame_end(0, 1, 100_000).unwrap();
         // Profile: lock-time level 0, rise at 50 us, fall at 60 us.
         assert_eq!(done.interference.len(), 3);
         assert_eq!(done.interference[0], (0, 0.0));
@@ -394,126 +503,126 @@ mod tests {
 
     #[test]
     fn preamble_capture_steals_lock() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 4);
         assert_eq!(
-            r.frame_start(1, mw(-80.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-80.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
         // 15 dB stronger frame inside the 20 us preamble window.
-        let out = r.frame_start(2, mw(-65.0), 10_000, &phy(), &mut rng);
+        let out = r.frame_start(0, 2, mw(-65.0), 10_000, &phy(), &mut rng);
         assert_eq!(out, LockOutcome::Captured { displaced: 1 });
-        assert!(r.locked_on(2));
+        assert!(r.locked_on(0, 2));
         // Frame 1 ending is now mere interference relief.
-        assert!(r.frame_end(1, 20_000).is_none());
-        assert!(r.frame_end(2, 50_000).is_some());
+        assert!(r.frame_end(0, 1, 20_000).is_none());
+        assert!(r.frame_end(0, 2, 50_000).is_some());
     }
 
     #[test]
     fn mim_capture_steals_lock_after_preamble() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 5);
         assert_eq!(
-            r.frame_start(1, mw(-80.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-80.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
         // 25 dB stronger frame arriving mid-payload restarts reception.
-        let out = r.frame_start(2, mw(-55.0), 30_000, &phy(), &mut rng);
+        let out = r.frame_start(0, 2, mw(-55.0), 30_000, &phy(), &mut rng);
         assert_eq!(out, LockOutcome::Captured { displaced: 1 });
-        assert!(r.locked_on(2));
+        assert!(r.locked_on(0, 2));
     }
 
     #[test]
     fn no_mim_capture_when_disabled() {
         let mut cfg = phy();
         cfg.mim_capture = false;
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 5);
         assert_eq!(
-            r.frame_start(1, mw(-80.0), 0, &cfg, &mut rng),
+            r.frame_start(0, 1, mw(-80.0), 0, &cfg, &mut rng),
             LockOutcome::Locked
         );
-        let out = r.frame_start(2, mw(-55.0), 30_000, &cfg, &mut rng);
+        let out = r.frame_start(0, 2, mw(-55.0), 30_000, &cfg, &mut rng);
         assert_eq!(out, LockOutcome::Interference);
-        assert!(r.locked_on(1));
+        assert!(r.locked_on(0, 1));
     }
 
     #[test]
     fn weak_latecomer_never_mim_captures() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 15);
         assert_eq!(
-            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-60.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
         // Only 5 dB stronger: below the 10 dB MIM margin.
-        let out = r.frame_start(2, mw(-55.0), 30_000, &phy(), &mut rng);
+        let out = r.frame_start(0, 2, mw(-55.0), 30_000, &phy(), &mut rng);
         assert_eq!(out, LockOutcome::Interference);
-        assert!(r.locked_on(1));
+        assert!(r.locked_on(0, 1));
     }
 
     #[test]
     fn capture_disabled_by_config() {
         let mut cfg = phy();
         cfg.preamble_capture = false;
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 6);
         assert_eq!(
-            r.frame_start(1, mw(-80.0), 0, &cfg, &mut rng),
+            r.frame_start(0, 1, mw(-80.0), 0, &cfg, &mut rng),
             LockOutcome::Locked
         );
         assert_eq!(
-            r.frame_start(2, mw(-50.0), 5_000, &cfg, &mut rng),
+            r.frame_start(0, 2, mw(-50.0), 5_000, &cfg, &mut rng),
             LockOutcome::Interference
         );
     }
 
     #[test]
     fn transmitting_radio_is_deaf() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 7);
-        assert!(r.begin_tx(99));
-        assert_eq!(r.phase(), RadioPhase::Transmitting);
+        assert!(r.begin_tx(0, 99));
+        assert_eq!(r.phase(0), RadioPhase::Transmitting);
         assert_eq!(
-            r.frame_start(1, mw(-50.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-50.0), 0, &phy(), &mut rng),
             LockOutcome::Interference
         );
-        r.end_tx();
-        assert_eq!(r.phase(), RadioPhase::Idle);
+        r.end_tx(0);
+        assert_eq!(r.phase(0), RadioPhase::Idle);
         // The mid-air frame is not locked retroactively.
-        assert!(r.frame_end(1, 1_000).is_none());
+        assert!(r.frame_end(0, 1, 1_000).is_none());
     }
 
     #[test]
     fn begin_tx_aborts_reception() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 8);
         assert_eq!(
-            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-60.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
-        assert!(r.begin_tx(50));
-        assert_eq!(r.aborted_rx, 1);
-        assert!(r.frame_end(1, 10_000).is_none());
+        assert!(r.begin_tx(0, 50));
+        assert_eq!(r.aborted_rx(0), 1);
+        assert!(r.frame_end(0, 1, 10_000).is_none());
     }
 
     #[test]
     fn interference_profile_spans_capture() {
         // After a MIM capture, the new lock's profile starts with the
         // displaced frame's power as interference.
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 20);
         assert_eq!(
-            r.frame_start(1, mw(-80.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-80.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
         assert_eq!(
-            r.frame_start(2, mw(-55.0), 40_000, &phy(), &mut rng),
+            r.frame_start(0, 2, mw(-55.0), 40_000, &phy(), &mut rng),
             LockOutcome::Captured { displaced: 1 }
         );
         // Frame 1 ends mid-way through frame 2's reception.
-        assert!(r.frame_end(1, 60_000).is_none());
-        let done = r.frame_end(2, 100_000).expect("frame 2 completes");
+        assert!(r.frame_end(0, 1, 60_000).is_none());
+        let done = r.frame_end(0, 2, 100_000).expect("frame 2 completes");
         assert_eq!(done.lock_time, 40_000);
         // Profile: starts at -80 dBm interference, drops to 0 at 60 us.
         assert_eq!(done.interference.len(), 2);
@@ -523,56 +632,104 @@ mod tests {
 
     #[test]
     fn energy_sums_and_excludes() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 21);
-        r.frame_start(1, mw(-70.0), 0, &phy(), &mut rng);
-        r.frame_start(2, mw(-70.0), 10, &phy(), &mut rng);
-        let total = r.energy_mw(None);
+        r.frame_start(0, 1, mw(-70.0), 0, &phy(), &mut rng);
+        r.frame_start(0, 2, mw(-70.0), 10, &phy(), &mut rng);
+        let total = r.energy_mw(0, None);
         assert!((total - 2.0 * mw(-70.0)).abs() < 1e-15);
-        assert!((r.energy_mw(Some(1)) - mw(-70.0)).abs() < 1e-15);
-        r.frame_end(1, 100);
-        r.frame_end(2, 100);
-        assert_eq!(r.energy_mw(None), 0.0);
+        assert!((r.energy_mw(0, Some(1)) - mw(-70.0)).abs() < 1e-15);
+        r.frame_end(0, 1, 100);
+        r.frame_end(0, 2, 100);
+        assert_eq!(r.energy_mw(0, None), 0.0);
+    }
+
+    #[test]
+    fn incremental_energy_total_snaps_back_to_zero() {
+        // Regression guard for the running-total layout: removing frames in
+        // a different order than they arrived must still leave exactly zero
+        // once the air clears (the empty-set snap), and the total must track
+        // the live sum in between.
+        let mut r = bank();
+        let mut rng = stream_rng(1, 23);
+        for (id, dbm) in [(1u64, -63.0), (2, -71.0), (3, -88.0)] {
+            r.frame_start(0, id, mw(dbm), id, &phy(), &mut rng);
+        }
+        r.frame_end(0, 2, 100);
+        let expect: f64 = r.energy_mw(0, Some(u64::MAX));
+        assert!((r.energy_mw(0, None) - expect).abs() <= 1e-12 * expect);
+        r.frame_end(0, 3, 101);
+        r.frame_end(0, 1, 102);
+        assert_eq!(r.energy_mw(0, None), 0.0);
+        assert!(!r.busy(0, &phy()));
     }
 
     #[test]
     fn aborted_rx_counter_increments() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 22);
         for tx in 0..3u64 {
-            r.frame_start(tx, mw(-60.0), tx, &phy(), &mut rng);
-            assert!(r.begin_tx(100 + tx));
-            assert!(r.end_tx());
-            r.frame_end(tx, 50);
+            r.frame_start(0, tx, mw(-60.0), tx, &phy(), &mut rng);
+            assert!(r.begin_tx(0, 100 + tx));
+            assert!(r.end_tx(0));
+            r.frame_end(0, tx, 50);
         }
-        assert_eq!(r.aborted_rx, 3);
+        assert_eq!(r.aborted_rx(0), 3);
     }
 
     #[test]
     fn power_off_drops_lock_and_deafens() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let cfg = phy();
         let mut rng = stream_rng(1, 30);
         assert_eq!(
-            r.frame_start(1, mw(-60.0), 0, &cfg, &mut rng),
+            r.frame_start(0, 1, mw(-60.0), 0, &cfg, &mut rng),
             LockOutcome::Locked
         );
-        assert!(r.power_off()); // a lock was dropped
-        assert!(r.is_disabled());
-        assert!(r.busy(&cfg)); // wedged radio reads busy
-        assert!(r.invariants_ok());
+        assert!(r.power_off(0)); // a lock was dropped
+        assert!(r.is_disabled(0));
+        assert!(r.busy(0, &cfg)); // wedged radio reads busy
+        assert!(r.invariants_ok(0));
         // Deaf: new frames are not even tracked.
         assert_eq!(
-            r.frame_start(2, mw(-50.0), 10_000, &cfg, &mut rng),
+            r.frame_start(0, 2, mw(-50.0), 10_000, &cfg, &mut rng),
             LockOutcome::Interference
         );
-        assert_eq!(r.energy_mw(None), 0.0);
+        assert_eq!(r.energy_mw(0, None), 0.0);
         // The dropped frame's end finds nothing.
-        assert!(r.frame_end(1, 20_000).is_none());
-        assert!(r.frame_end(2, 30_000).is_none());
-        r.power_on();
-        assert_eq!(r.phase(), RadioPhase::Idle);
-        assert!(!r.busy(&cfg));
+        assert!(r.frame_end(0, 1, 20_000).is_none());
+        assert!(r.frame_end(0, 2, 30_000).is_none());
+        r.power_on(0);
+        assert_eq!(r.phase(0), RadioPhase::Idle);
+        assert!(!r.busy(0, &cfg));
+    }
+
+    #[test]
+    fn nodes_in_a_bank_are_independent() {
+        // SoA regression guard: state changes at one index never leak into
+        // a neighbour's arrays.
+        let mut r = RadioBank::new(3);
+        let cfg = phy();
+        let mut rng = stream_rng(1, 41);
+        assert_eq!(
+            r.frame_start(1, 7, mw(-60.0), 0, &cfg, &mut rng),
+            LockOutcome::Locked
+        );
+        assert!(r.begin_tx(2, 9));
+        r.power_off(0);
+        assert_eq!(r.phase(0), RadioPhase::Idle);
+        assert_eq!(r.phase(1), RadioPhase::Receiving);
+        assert_eq!(r.phase(2), RadioPhase::Transmitting);
+        assert!(r.is_disabled(0) && !r.is_disabled(1) && !r.is_disabled(2));
+        assert_eq!(r.energy_mw(0, None), 0.0);
+        assert!(r.energy_mw(1, None) > 0.0);
+        for n in 0..3 {
+            assert!(r.invariants_ok(n), "node {n}");
+        }
+        assert!(r.end_tx(2));
+        assert!(r.frame_end(1, 7, 1000).is_some());
+        r.power_on(0);
+        assert!(!r.busy(0, &cfg) && !r.busy(1, &cfg) && !r.busy(2, &cfg));
     }
 
     /// Property (ISSUE 3 satellite): however a power-off/lockup interleaves
@@ -624,86 +781,86 @@ mod tests {
                 // Deterministic order: time, then a fixed kind rank.
                 steps.sort_by_key(|&(t, rank, _)| (t, rank));
 
-                let mut r = Radio::default();
+                let mut r = RadioBank::new(1);
                 let mut tx_live = false;
                 for &(t, _, step) in &steps {
                     match step {
                         Step::Start(id, p) => {
-                            let _ = r.frame_start(id, p, t, &cfg, &mut rng);
+                            let _ = r.frame_start(0, id, p, t, &cfg, &mut rng);
                         }
                         Step::End(id) => {
-                            let _ = r.frame_end(id, t);
+                            let _ = r.frame_end(0, id, t);
                         }
                         // Mirror the world: no tx attempt on a dead radio.
                         Step::BeginTx => {
-                            if !r.is_disabled() && r.begin_tx(1000) {
+                            if !r.is_disabled(0) && r.begin_tx(0, 1000) {
                                 tx_live = true;
                             }
                         }
                         Step::EndTx => {
                             if tx_live {
-                                prop_assert!(r.end_tx());
+                                prop_assert!(r.end_tx(0));
                                 tx_live = false;
                             }
                         }
                         Step::PowerOff => {
-                            let _ = r.power_off();
-                            prop_assert_eq!(r.energy_mw(None), 0.0);
+                            let _ = r.power_off(0);
+                            prop_assert_eq!(r.energy_mw(0, None), 0.0);
                         }
-                        Step::PowerOn => r.power_on(),
+                        Step::PowerOn => r.power_on(0),
                     }
-                    prop_assert!(r.invariants_ok(), "invariants at t={}", t);
+                    prop_assert!(r.invariants_ok(0), "invariants at t={}", t);
                 }
                 prop_assert!(!tx_live);
-                prop_assert_eq!(r.phase(), RadioPhase::Idle);
-                prop_assert_eq!(r.energy_mw(None), 0.0);
-                prop_assert!(!r.busy(&cfg));
+                prop_assert_eq!(r.phase(0), RadioPhase::Idle);
+                prop_assert_eq!(r.energy_mw(0, None), 0.0);
+                prop_assert!(!r.busy(0, &cfg));
             }
         }
     }
 
     #[test]
     fn recycled_profile_buffer_feeds_next_lock_cleanly() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let mut rng = stream_rng(1, 40);
         assert_eq!(
-            r.frame_start(1, mw(-60.0), 0, &phy(), &mut rng),
+            r.frame_start(0, 1, mw(-60.0), 0, &phy(), &mut rng),
             LockOutcome::Locked
         );
         // Grow the profile with some interference churn.
         for k in 0..8u64 {
-            r.frame_start(10 + k, mw(-85.0), 100 + k, &phy(), &mut rng);
-            r.frame_end(10 + k, 200 + k);
+            r.frame_start(0, 10 + k, mw(-85.0), 100 + k, &phy(), &mut rng);
+            r.frame_end(0, 10 + k, 200 + k);
         }
-        let done = r.frame_end(1, 1000).unwrap();
+        let done = r.frame_end(0, 1, 1000).unwrap();
         let grown = done.interference.capacity();
         assert!(grown >= 17);
-        r.recycle_profile(done.interference);
+        r.recycle_profile(0, done.interference);
         // The next lock starts from a clean single-entry profile but reuses
         // the parked capacity.
         assert_eq!(
-            r.frame_start(2, mw(-60.0), 2000, &phy(), &mut rng),
+            r.frame_start(0, 2, mw(-60.0), 2000, &phy(), &mut rng),
             LockOutcome::Locked
         );
-        let done2 = r.frame_end(2, 3000).unwrap();
+        let done2 = r.frame_end(0, 2, 3000).unwrap();
         assert_eq!(done2.interference.as_slice(), &[(2000, 0.0)]);
         assert_eq!(done2.interference.capacity(), grown);
     }
 
     #[test]
     fn busy_tracks_phase_and_energy() {
-        let mut r = Radio::default();
+        let mut r = bank();
         let cfg = phy();
         let mut rng = stream_rng(1, 9);
-        assert!(!r.busy(&cfg));
+        assert!(!r.busy(0, &cfg));
         // A strong but unlockable situation: transmitting + loud frame.
-        assert!(r.begin_tx(1));
-        assert!(r.busy(&cfg));
-        r.frame_start(2, mw(-50.0), 0, &cfg, &mut rng);
-        r.end_tx();
+        assert!(r.begin_tx(0, 1));
+        assert!(r.busy(0, &cfg));
+        r.frame_start(0, 2, mw(-50.0), 0, &cfg, &mut rng);
+        r.end_tx(0);
         // -50 dBm exceeds the -62 dBm ED threshold even without a lock.
-        assert!(r.busy(&cfg));
-        r.frame_end(2, 100);
-        assert!(!r.busy(&cfg));
+        assert!(r.busy(0, &cfg));
+        r.frame_end(0, 2, 100);
+        assert!(!r.busy(0, &cfg));
     }
 }

@@ -21,13 +21,13 @@ use crate::event::{Event, Scheduler, TxId};
 use crate::faults::{FaultAction, FaultPlan, FaultState, WatchdogConfig};
 use crate::mac::{Mac, NodeCtx, NullMac, Op, RxErrorInfo, RxInfo};
 use crate::medium::Medium;
-use crate::radio::{LockOutcome, Radio, RadioPhase, RxCompletion};
+use crate::radio::{LockOutcome, RadioBank, RadioPhase, RxCompletion};
 use crate::rng::{normal, stream_rng};
 use crate::stats::Stats;
 use crate::time::Time;
 use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 use cmap_phy::units::db_to_ratio;
-use cmap_phy::{mw_to_dbm, BerCache, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
+use cmap_phy::{mw_to_dbm, BerTable, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
 use cmap_wire::{Frame, FrameKind, MacAddr};
 
 /// Index of a node in the world.
@@ -80,7 +80,7 @@ pub struct World {
     time: Time,
     sched: Scheduler,
     medium: Medium,
-    radios: Vec<Radio>,
+    radios: RadioBank,
     rngs: Vec<SmallRng>,
     macs: Vec<Option<Box<dyn Mac>>>,
     apps: Vec<NodeApp>,
@@ -95,14 +95,16 @@ pub struct World {
     watchdog: WatchdogConfig,
     /// Recycled op buffers for MAC dispatch (dispatch can nest).
     ops_pool: Vec<Vec<Op>>,
-    /// Bit-exact memo over `cmap_phy::ber` for the grading hot path. Owned
-    /// per world: parallel runs never share cache state.
-    ber_cache: BerCache,
+    /// Shared per-process BER interpolation table for the grading hot path
+    /// (immutable sampling of a pure function — cannot couple runs).
+    ber_table: &'static BerTable,
+    /// Table lookups performed while grading receptions.
+    ber_lookups: u64,
     /// High-water marks already published to counters/perf totals (the
     /// run_until tail syncs deltas, so partial runs stay consistent).
     synced_events: u64,
-    synced_hits: u64,
-    synced_misses: u64,
+    synced_lookups: u64,
+    synced_cascades: u64,
 }
 
 impl World {
@@ -113,7 +115,7 @@ impl World {
             phy,
             time: 0,
             sched: Scheduler::new(),
-            radios: (0..n).map(|_| Radio::default()).collect(),
+            radios: RadioBank::new(n),
             rngs: (0..n).map(|i| stream_rng(seed, i as u64 + 1)).collect(),
             macs: (0..n)
                 .map(|_| Some(Box::new(NullMac) as Box<dyn Mac>))
@@ -129,10 +131,11 @@ impl World {
             faults: None,
             watchdog: WatchdogConfig::default(),
             ops_pool: Vec::new(),
-            ber_cache: BerCache::default(),
+            ber_table: BerTable::shared(),
+            ber_lookups: 0,
             synced_events: 0,
-            synced_hits: 0,
-            synced_misses: 0,
+            synced_lookups: 0,
+            synced_cascades: 0,
         }
     }
 
@@ -283,9 +286,9 @@ impl World {
         std::array::from_fn(|i| (Event::KIND_NAMES[i], by_kind[i]))
     }
 
-    /// `(hits, misses)` of the per-world BER memo cache so far.
-    pub fn ber_cache_stats(&self) -> (u64, u64) {
-        (self.ber_cache.hits(), self.ber_cache.misses())
+    /// BER interpolation-table lookups performed while grading receptions.
+    pub fn ber_lookups(&self) -> u64 {
+        self.ber_lookups
     }
 
     /// Enable structured tracing: protocol/engine decision points are
@@ -352,25 +355,27 @@ impl World {
         // counters for reports plus process-wide perf totals for the
         // benchmark baseline.
         let events = self.sched.processed();
-        let (hits, misses) = (self.ber_cache.hits(), self.ber_cache.misses());
+        let sched_stats = self.sched.stats();
         let ev_d = events - self.synced_events;
-        let hit_d = hits - self.synced_hits;
-        let miss_d = misses - self.synced_misses;
+        let look_d = self.ber_lookups - self.synced_lookups;
+        let casc_d = sched_stats.cascades - self.synced_cascades;
         self.synced_events = events;
-        self.synced_hits = hits;
-        self.synced_misses = misses;
-        if hit_d > 0 {
-            self.stats.add(CounterId::PhyBerCacheHit, hit_d);
+        self.synced_lookups = self.ber_lookups;
+        self.synced_cascades = sched_stats.cascades;
+        if look_d > 0 {
+            self.stats.add(CounterId::PhyBerTableLookup, look_d);
         }
-        if miss_d > 0 {
-            self.stats.add(CounterId::PhyBerCacheMiss, miss_d);
+        if casc_d > 0 {
+            self.stats.add(CounterId::SimSchedCascades, casc_d);
         }
-        crate::perf::note_run(ev_d, hit_d, miss_d);
+        crate::perf::note_run(ev_d, look_d, casc_d, sched_stats.max_occupancy);
         // Level readings at the (deterministic) stop point.
         self.stats
             .set_gauge(GaugeId::SimInflightTx, self.txs.len() as u64);
         self.stats
             .set_gauge(GaugeId::SimSchedPending, self.sched.len() as u64);
+        self.stats
+            .set_gauge(GaugeId::SimSchedMaxOccupancy, sched_stats.max_occupancy);
         let dropped = self.stats.trace().map_or(0, |tr| tr.dropped());
         self.stats.set_gauge(GaugeId::TraceDropped, dropped);
     }
@@ -382,7 +387,7 @@ impl World {
                 self.check_channel_edge(node);
             }
             Event::TxEnd { node, tx_id } => {
-                if !self.radios[node].end_tx() {
+                if !self.radios.end_tx(node) {
                     self.stats.bump(CounterId::WatchdogRadioState);
                 }
                 self.release_tx(tx_id);
@@ -407,7 +412,8 @@ impl World {
                 };
                 let fading_db = normal(&mut self.rngs[rx], boost, self.phy.fading_sigma_db);
                 let power_mw = base_mw * db_to_ratio(fading_db);
-                let outcome = self.radios[rx].frame_start(
+                let outcome = self.radios.frame_start(
+                    rx,
                     tx_id,
                     power_mw,
                     self.time,
@@ -422,7 +428,7 @@ impl World {
                 self.check_channel_edge(rx);
             }
             Event::FrameEnd { rx, tx_id } => {
-                if let Some(completion) = self.radios[rx].frame_end(tx_id, self.time) {
+                if let Some(completion) = self.radios.frame_end(rx, tx_id, self.time) {
                     self.grade_and_deliver(rx, completion);
                 }
                 self.release_tx(tx_id);
@@ -438,7 +444,7 @@ impl World {
         let (_, action) = f.actions[idx as usize];
         match action {
             FaultAction::NodeDown(node) => {
-                if self.radios[node].power_off() {
+                if self.radios.power_off(node) {
                     self.stats.bump(CounterId::FaultRxDropped);
                 }
                 self.faults.as_deref_mut().expect("checked").node_up[node] = false;
@@ -446,7 +452,7 @@ impl World {
                 self.trace_fault("node_down", node);
             }
             FaultAction::NodeUp(node) => {
-                self.radios[node].power_on();
+                self.radios.power_on(node);
                 let f = self.faults.as_deref_mut().expect("checked");
                 f.node_up[node] = true;
                 f.last_dispatch[node] = self.time;
@@ -456,7 +462,7 @@ impl World {
                 self.check_channel_edge(node);
             }
             FaultAction::LockupStart(node) => {
-                if self.radios[node].power_off() {
+                if self.radios.power_off(node) {
                     self.stats.bump(CounterId::FaultRxDropped);
                 }
                 self.stats.bump(CounterId::FaultLockup);
@@ -465,7 +471,7 @@ impl World {
                 self.check_channel_edge(node);
             }
             FaultAction::LockupEnd(node) => {
-                self.radios[node].power_on();
+                self.radios.power_on(node);
                 self.stats.bump(CounterId::FaultLockupEnd);
                 self.trace_fault("lockup_end", node);
                 // Busy -> idle recovery edge wakes carrier-waiting MACs.
@@ -488,7 +494,7 @@ impl World {
 
     fn handle_audit(&mut self) {
         for node in 0..self.node_count() {
-            if !self.radios[node].invariants_ok() {
+            if !self.radios.invariants_ok(node) {
                 self.stats.bump(CounterId::WatchdogRadioState);
             }
         }
@@ -519,14 +525,9 @@ impl World {
         let rate = rec.rate;
         let wire_len = rec.wire_len;
         let frame = Arc::clone(&rec.frame);
-        let p_success = grade_reception(
-            &c,
-            self.time,
-            rate,
-            wire_len,
-            &self.phy,
-            &mut self.ber_cache,
-        );
+        let (p_success, lookups) =
+            grade_reception(&c, self.time, rate, wire_len, &self.phy, self.ber_table);
+        self.ber_lookups += lookups;
         let rss_dbm = mw_to_dbm(c.signal_mw);
         let decoded = self.rngs[rx].gen_bool(p_success.clamp(0.0, 1.0));
         // Fault injection: a decoded frame may be corrupted (CRC escape
@@ -571,7 +572,7 @@ impl World {
         }
         // The interference profile buffer goes back to the radio for the
         // next lock — grading is the hottest allocation site otherwise.
-        self.radios[rx].recycle_profile(c.interference);
+        self.radios.recycle_profile(rx, c.interference);
     }
 
     fn release_tx(&mut self, tx_id: TxId) {
@@ -603,12 +604,12 @@ impl World {
             let mut ctx = NodeCtx {
                 node,
                 now: self.time,
-                phase: self.radios[node].phase(),
-                busy: self.radios[node].busy(&self.phy),
+                phase: self.radios.phase(node),
+                busy: self.radios.busy(node, &self.phy),
                 mac_addr: MacAddr::from_node_index(node as u16),
                 abort_rx_on_tx: self.phy.abort_rx_on_tx,
                 tx_requested: false,
-                radio_ok: !self.radios[node].is_disabled(),
+                radio_ok: !self.radios.is_disabled(node),
                 rng: &mut self.rngs[node],
                 app: &mut self.apps[node],
                 flows: &mut self.flows,
@@ -666,7 +667,7 @@ impl World {
     }
 
     fn start_tx(&mut self, node: NodeId, frame: Frame, rate: Rate) {
-        if self.radios[node].is_disabled() {
+        if self.radios.is_disabled(node) {
             // `NodeCtx::transmit` already gates on this; belt-and-braces so
             // a fault landing between callback and apply can't raise a dead
             // node's antenna.
@@ -674,7 +675,7 @@ impl World {
             return;
         }
         debug_assert!(
-            self.radios[node].phase() != RadioPhase::Transmitting,
+            self.radios.phase(node) != RadioPhase::Transmitting,
             "start_tx while transmitting"
         );
         // Release builds never materialise the bytes: `wire_len` is computed
@@ -694,7 +695,7 @@ impl World {
         let airtime = rate.frame_airtime_ns(wire_len);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        if !self.radios[node].begin_tx(tx_id) {
+        if !self.radios.begin_tx(node, tx_id) {
             // Half-duplex violation: refuse the transmission and record it
             // rather than corrupting the radio state machine.
             self.stats.bump(CounterId::WatchdogHalfDuplex);
@@ -703,7 +704,8 @@ impl World {
         // No notification for our own busy edge: the MAC knows it started
         // transmitting. Keep the cached flag consistent so the TxEnd edge
         // (busy -> idle) is seen.
-        self.radios[node].last_busy = self.radios[node].busy(&self.phy);
+        let busy = self.radios.busy(node, &self.phy);
+        self.radios.set_last_busy(node, busy);
 
         let end = self.time + airtime;
         self.sched.schedule(end, Event::TxEnd { node, tx_id });
@@ -777,11 +779,11 @@ impl World {
     /// Fire `on_channel_state` edges until the node's CCA stabilises.
     fn check_channel_edge(&mut self, node: NodeId) {
         for _ in 0..4 {
-            let busy = self.radios[node].busy(&self.phy);
-            if busy == self.radios[node].last_busy {
+            let busy = self.radios.busy(node, &self.phy);
+            if busy == self.radios.last_busy(node) {
                 break;
             }
-            self.radios[node].last_busy = busy;
+            self.radios.set_last_busy(node, busy);
             self.dispatch(node, |mac, ctx| mac.on_channel_state(ctx, busy));
         }
     }
@@ -801,7 +803,8 @@ const fn frame_kind_tag(k: FrameKind) -> &'static str {
 }
 
 /// Probability that the payload of a locked frame decodes, given the
-/// interference profile recorded during reception.
+/// interference profile recorded during reception, plus the number of BER
+/// table lookups performed (one per graded interference segment).
 ///
 /// The frame's information bits are spread uniformly over the payload span
 /// (lock + preamble/SIGNAL to frame end); each piecewise-constant
@@ -812,11 +815,11 @@ fn grade_reception(
     rate: Rate,
     psdu_len: usize,
     phy: &PhyConfig,
-    cache: &mut BerCache,
-) -> f64 {
+    table: &BerTable,
+) -> (f64, u64) {
     let payload_start = c.lock_time + PLCP_PREAMBLE_NS + PLCP_SIG_NS;
     if frame_end <= payload_start {
-        return 1.0; // degenerate: nothing beyond the already-decoded SIGNAL
+        return (1.0, 0); // degenerate: nothing beyond the already-decoded SIGNAL
     }
     let span = (frame_end - payload_start) as f64;
     let total_bits =
@@ -824,6 +827,7 @@ fn grade_reception(
     let noise = phy.noise_mw();
 
     let mut ln_p = 0.0_f64;
+    let mut lookups = 0u64;
     let profile = &c.interference;
     for (i, &(seg_start, level)) in profile.iter().enumerate() {
         let seg_end = profile.get(i + 1).map_or(frame_end, |&(t, _)| t);
@@ -834,10 +838,11 @@ fn grade_reception(
         }
         let bits = total_bits * (hi - lo) as f64 / span;
         let sinr = c.signal_mw / (noise + level);
-        let ber = cache.ber(sinr, rate).min(0.5);
+        let ber = table.ber(sinr, rate);
+        lookups += 1;
         ln_p += bits * (-ber).ln_1p();
     }
-    ln_p.exp()
+    (ln_p.exp(), lookups)
 }
 
 #[cfg(test)]

@@ -29,6 +29,57 @@ proptest! {
         prop_assert_eq!(popped, times.len());
     }
 
+    /// The timing wheel is pop-order-equivalent to the reference binary
+    /// heap it replaced, under random interleavings of schedules and pops
+    /// — including schedules *earlier* than events already popped (the
+    /// scheduler API has no cancellation: events only ever leave via
+    /// `pop`, so an interleaved drain is the complete workload space).
+    #[test]
+    fn wheel_matches_reference_heap(
+        ops in proptest::collection::vec(
+            // (how many to pop first, batch of times to schedule)
+            (0usize..6, proptest::collection::vec(0u64..u64::MAX / 2, 0..12)),
+            1..40,
+        ),
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut wheel = Scheduler::new();
+        // Reference model: exactly the (time, seq) min-heap the engine
+        // used before the wheel.
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let check_pop = |wheel: &mut Scheduler,
+                             heap: &mut BinaryHeap<Reverse<(u64, u64)>>|
+         -> Result<(), TestCaseError> {
+            let expect = heap.pop().map(|Reverse(ts)| ts);
+            prop_assert_eq!(wheel.peek_time(), expect.map(|(t, _)| t));
+            let got = wheel.pop().map(|(t, ev)| {
+                let Event::Timer { token, .. } = ev else { unreachable!() };
+                (t, token)
+            });
+            prop_assert_eq!(got, expect);
+            Ok(())
+        };
+        for (pops, times) in &ops {
+            for &t in times {
+                wheel.schedule(t, Event::Timer { node: 0, token: seq });
+                heap.push(Reverse((t, seq)));
+                seq += 1;
+            }
+            for _ in 0..*pops {
+                check_pop(&mut wheel, &mut heap)?;
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        while !wheel.is_empty() {
+            check_pop(&mut wheel, &mut heap)?;
+        }
+        prop_assert!(heap.is_empty());
+        prop_assert_eq!(wheel.processed(), seq);
+    }
+
     /// Seed derivation: deterministic, and distinct streams disagree.
     #[test]
     fn seed_streams_are_deterministic(master in any::<u64>(), stream in 0u64..1000) {
