@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p cmap-bench --bin repro_all -- \
 //!     [--quick|--full] [--seed N] [--jobs N] [--out PATH] [--json PATH] \
-//!     [--perf-out PATH] [--perf-baseline PATH]
+//!     [--perf-out PATH] [--perf-baseline PATH] [--resume]
 //! ```
 //!
 //! * stdout / `--out PATH`: the EXPERIMENTS-style text report,
@@ -17,23 +17,176 @@
 //!   `--perf-baseline` pointing at a `--jobs 1` artifact it also carries
 //!   `speedup_vs_jobs1` fields.
 //!
+//! **Crash safety.** Each completed figure's text section, report JSON and
+//! perf numbers are written to `<json>.work/` through the atomic writer,
+//! and recorded in a `cmap-manifest/v1` completion ledger. All final
+//! artifacts are also written atomically, so a SIGKILL at any instant
+//! leaves either the old bytes or complete new bytes. `--resume` restarts
+//! an interrupted suite: figures whose work-dir artifacts are present and
+//! hash-valid are spliced verbatim instead of re-run — the final text and
+//! deterministic JSON come out byte-identical to an uninterrupted run.
+//!
+//! **Supervision.** A panicking figure no longer kills the suite: the
+//! panic is caught, the quarantined cells (from `cmap_exec`'s supervised
+//! pool) are recorded in the suite report's `failures` block, the
+//! remaining figures run to completion, and the exit code is nonzero.
+//!
 //! The suite self-validates: every figure's report must contain its
 //! declared required metrics, and any figure failure makes the run exit
 //! nonzero — CI gates on both.
 
 use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 
 use cmap_bench::figures::{profile_event_loop, registry, report_for, spec_block};
 use cmap_bench::perf_baseline::{
     parse_serial_baseline, BerTablePerf, FigurePerf, PerfReport, SchedPerf,
 };
 use cmap_bench::Cli;
-use cmap_obs::{SuiteReport, TimingBlock};
+use cmap_obs::artifact::{atomic_write, Manifest};
+use cmap_obs::{FailedCell, FailureBlock, SuiteReport, TimingBlock};
 
 // This is the one instrumented binary: install the counting allocator so
 // the perf artifact's `allocs` figures are real measurements, not zeros.
 #[global_allocator]
 static ALLOC: cmap_obs::alloc::CountingAlloc = cmap_obs::alloc::CountingAlloc;
+
+/// The three per-figure work-dir artifacts.
+struct FigureArtifacts {
+    /// Text-report section, exactly as a clean run would append it.
+    text: String,
+    /// `RunReport::to_json(true)` bytes.
+    json: String,
+    /// Perf numbers, in the work-dir text encoding.
+    perf: FigurePerf,
+}
+
+fn text_name(fig: &str) -> String {
+    format!("fig_{fig}.txt")
+}
+fn json_name(fig: &str) -> String {
+    format!("fig_{fig}.json")
+}
+fn perf_name(fig: &str) -> String {
+    format!("fig_{fig}.perf")
+}
+
+/// Encode per-figure perf numbers as work-dir text. The wall-clock is an
+/// exact bit pattern so a resumed suite reproduces the float verbatim.
+fn encode_perf(p: &FigurePerf) -> String {
+    format!(
+        "wall_bits {:016x}\nevents {}\nber_lookups {}\nallocs {}\n",
+        p.wall_secs.to_bits(),
+        p.events,
+        p.ber_lookups,
+        p.allocs
+    )
+}
+
+/// Decode [`encode_perf`]'s output; `None` on any malformed line.
+fn decode_perf(name: &str, text: &str) -> Option<FigurePerf> {
+    let mut wall_bits = None;
+    let mut events = None;
+    let mut ber_lookups = None;
+    let mut allocs = None;
+    for line in text.lines() {
+        let (key, value) = line.split_once(' ')?;
+        match key {
+            "wall_bits" => wall_bits = Some(u64::from_str_radix(value, 16).ok()?),
+            "events" => events = Some(value.parse().ok()?),
+            "ber_lookups" => ber_lookups = Some(value.parse().ok()?),
+            "allocs" => allocs = Some(value.parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some(FigurePerf {
+        name: name.to_string(),
+        wall_secs: f64::from_bits(wall_bits?),
+        events: events?,
+        ber_lookups: ber_lookups?,
+        allocs: allocs?,
+    })
+}
+
+/// Load a figure's completed artifacts from the work dir, verifying each
+/// against the manifest. `None` means "not complete — run it".
+fn load_completed(work: &Path, manifest: &Manifest, fig: &str) -> Option<FigureArtifacts> {
+    let load = |name: String| -> Option<Vec<u8>> {
+        let bytes = std::fs::read(work.join(&name)).ok()?;
+        manifest.verify(&name, &bytes).then_some(bytes)
+    };
+    let text = String::from_utf8(load(text_name(fig))?).ok()?;
+    let json = String::from_utf8(load(json_name(fig))?).ok()?;
+    let perf_text = String::from_utf8(load(perf_name(fig))?).ok()?;
+    let perf = decode_perf(fig, &perf_text)?;
+    Some(FigureArtifacts { text, json, perf })
+}
+
+/// The manifest's run-identity line. Deliberately excludes `--jobs`: pool
+/// width never changes artifact bytes, so resuming at a different width
+/// is sound.
+fn manifest_meta(cli: &Cli) -> String {
+    format!(
+        "suite=repro_all seed={} effort={} runs={}",
+        cli.seed,
+        cli.effort.label(),
+        match cli.runs {
+            Some(n) => n.to_string(),
+            None => "default".to_string(),
+        }
+    )
+}
+
+/// Set up the work directory and completion manifest. On `--resume` an
+/// existing manifest is honored if it parses and its meta line matches
+/// this invocation; otherwise (and always without `--resume`) the work
+/// dir is cleared and the suite starts from scratch.
+fn init_work_dir(work: &Path, cli: &Cli) -> Manifest {
+    let meta = manifest_meta(cli);
+    if cli.resume {
+        match std::fs::read_to_string(work.join("MANIFEST"))
+            .map_err(|e| e.to_string())
+            .and_then(|text| Manifest::parse(&text))
+        {
+            Ok(m) if m.meta == meta => {
+                eprintln!("resuming from {} ({} artifacts)", work.display(), m.len());
+                return m;
+            }
+            Ok(m) => {
+                eprintln!(
+                    "warning: work dir is from a different run ({} != {meta}); starting fresh",
+                    m.meta
+                );
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: no usable manifest in {} ({e}); starting fresh",
+                    work.display()
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(work);
+    std::fs::create_dir_all(work).expect("create work dir");
+    Manifest::new(&meta)
+}
+
+/// Persist one completed figure: three artifacts plus the updated
+/// manifest, all atomically, manifest last — a crash between any two
+/// writes leaves at worst an unreferenced file that a resume re-runs.
+fn record_figure(work: &Path, manifest: &mut Manifest, fig: &str, arts: &FigureArtifacts) {
+    let files = [
+        (text_name(fig), arts.text.clone().into_bytes()),
+        (json_name(fig), arts.json.clone().into_bytes()),
+        (perf_name(fig), encode_perf(&arts.perf).into_bytes()),
+    ];
+    for (name, bytes) in &files {
+        atomic_write(work.join(name), bytes).expect("write figure artifact");
+        manifest.record(name, bytes);
+    }
+    atomic_write(work.join("MANIFEST"), manifest.to_text().as_bytes()).expect("write manifest");
+}
 
 fn main() {
     let cli = Cli::parse();
@@ -46,12 +199,16 @@ fn main() {
         .clone()
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
     let jobs = cli.effective_jobs();
+    let work = PathBuf::from(format!("{json_path}.work"));
+    let mut manifest = init_work_dir(&work, &cli);
 
     let mut report = String::new();
     // cmap-lint: allow(wall-clock) — progress timing of the harness itself; never feeds simulation state
     let t0 = std::time::Instant::now();
     cmap_sim::perf::reset();
     cmap_exec::reset_pool_stats();
+    cmap_exec::reset_supervision_stats();
+    let _ = cmap_exec::take_quarantined();
 
     // The suite-level spec block: figures override configs/duration per
     // entry, so only the seed/effort fields are meaningful here.
@@ -59,43 +216,121 @@ fn main() {
     suite_spec.configs = 0;
     let mut suite = SuiteReport::new("repro_all", suite_spec);
     let mut failures: Vec<String> = Vec::new();
+    let mut failed_cells: Vec<FailedCell> = Vec::new();
     let mut perf_figures: Vec<FigurePerf> = Vec::new();
 
     for fig in registry() {
         if !fig.in_repro() {
             continue;
         }
+
+        if let Some(saved) = load_completed(&work, &manifest, fig.name()) {
+            report.push_str(&saved.text);
+            suite.push_raw(saved.json);
+            perf_figures.push(saved.perf);
+            eprintln!(
+                "[{}s] {} restored from work dir",
+                t0.elapsed().as_secs(),
+                fig.name()
+            );
+            continue;
+        }
+
         let spec = fig.spec(&cli);
         let engine0 = cmap_sim::perf::totals();
         let allocs0 = cmap_obs::alloc::allocations();
         // cmap-lint: allow(wall-clock) — per-figure wall timing for the report's timing block only
         let f0 = std::time::Instant::now();
-        let out = fig.run(&cli);
+        // Jobs the figure fans out through the pool get labelled
+        // `<figure>[<index>]`; a panic anywhere in the run is caught so
+        // the remaining figures still execute.
+        cmap_exec::set_job_context(fig.name());
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| fig.run(&cli)));
         let wall_secs = f0.elapsed().as_secs_f64();
         let engine = cmap_sim::perf::totals();
         let allocs = cmap_obs::alloc::allocations() - allocs0;
-
-        let _ = writeln!(report, "\n### {}\n", fig.title());
-        report.push_str(&out.text);
-        for f in &out.failures {
-            let _ = writeln!(report, "FAIL: {f}");
+        let quarantined = cmap_exec::take_quarantined();
+        for q in &quarantined {
+            failed_cells.push(FailedCell {
+                figure: fig.name().to_string(),
+                label: q.label.clone(),
+                attempts: u64::from(q.attempts),
+                error: q.error.clone(),
+            });
         }
+
+        let out = match run {
+            Ok(out) => out,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                if quarantined.is_empty() {
+                    failed_cells.push(FailedCell {
+                        figure: fig.name().to_string(),
+                        label: fig.name().to_string(),
+                        attempts: 1,
+                        error: msg.clone(),
+                    });
+                }
+                failures.push(format!("{} panicked: {msg}", fig.name()));
+                let _ = writeln!(report, "\n### {}\n\nFAIL: panicked: {msg}", fig.title());
+                eprintln!("[{}s] {} FAILED: {msg}", t0.elapsed().as_secs(), fig.name());
+                continue;
+            }
+        };
+
+        let mut section = String::new();
+        let _ = writeln!(section, "\n### {}\n", fig.title());
+        section.push_str(&out.text);
+        for f in &out.failures {
+            let _ = writeln!(section, "FAIL: {f}");
+        }
+        report.push_str(&section);
         failures.extend(out.failures.iter().cloned());
 
         let r = report_for(&*fig, &cli, &spec, &out, Some(wall_secs));
+        let mut complete = out.failures.is_empty() && quarantined.is_empty();
         if let Err(e) = r.validate(fig.required_metrics()) {
             failures.push(e);
+            complete = false;
         }
-        suite.figures.push(r);
-        perf_figures.push(FigurePerf {
+        let fig_perf = FigurePerf {
             name: fig.name().to_string(),
             wall_secs,
             events: engine.events - engine0.events,
             ber_lookups: engine.ber_lookups - engine0.ber_lookups,
             allocs,
-        });
+        };
+        if complete {
+            // Only clean, validated figures become resumable artifacts —
+            // a resumed run must re-execute anything that failed.
+            record_figure(
+                &work,
+                &mut manifest,
+                fig.name(),
+                &FigureArtifacts {
+                    text: section,
+                    json: r.to_json(true),
+                    perf: fig_perf.clone(),
+                },
+            );
+        }
+        suite.push(r);
+        perf_figures.push(fig_perf);
         eprintln!("[{}s] {} done", t0.elapsed().as_secs(), fig.name());
     }
+    cmap_exec::set_job_context("");
+
+    let supervision = cmap_exec::supervision_stats();
+    suite.failures = Some(FailureBlock {
+        panics: supervision.panics,
+        retries: supervision.retries,
+        quarantined: supervision.quarantined,
+        cells: failed_cells.clone(),
+    });
 
     let pool = cmap_exec::pool_stats();
     let mut profile = profile_event_loop();
@@ -132,12 +367,12 @@ fn main() {
 
     println!("{report}");
     if let Some(path) = &cli.out {
-        std::fs::write(path, &report).expect("write text report");
+        atomic_write(path, report.as_bytes()).expect("write text report");
         eprintln!("text report written to {path}");
     }
-    std::fs::write(&json_path, suite.to_json(true)).expect("write suite report");
+    atomic_write(&json_path, suite.to_json(true).as_bytes()).expect("write suite report");
     eprintln!("suite report written to {json_path}");
-    std::fs::write(&perf_path, perf.to_json()).expect("write perf artifact");
+    atomic_write(&perf_path, perf.to_json().as_bytes()).expect("write perf artifact");
     eprintln!("perf artifact written to {perf_path}");
     if let Some(speedup) = perf.suite_speedup() {
         eprintln!("suite speedup vs --jobs 1: {speedup:.2}x at --jobs {jobs}");
@@ -145,8 +380,15 @@ fn main() {
     eprintln!("total: {}s", t0.elapsed().as_secs());
 
     if !failures.is_empty() {
+        eprintln!("suite completed with {} failure(s):", failures.len());
         for f in &failures {
             eprintln!("FAIL: {f}");
+        }
+        for c in &failed_cells {
+            eprintln!(
+                "QUARANTINED: {} {} ({} attempts): {}",
+                c.figure, c.label, c.attempts, c.error
+            );
         }
         std::process::exit(1);
     }

@@ -63,7 +63,7 @@ impl Effort {
 
 /// The usage string every binary prints on `--help` or a parse error.
 pub const USAGE: &str = "usage: <bin> [--quick|--full] [--seed N] [--runs N] [--jobs N] \
-     [--json PATH] [--out PATH] [--perf-out PATH] [--perf-baseline PATH]";
+     [--json PATH] [--out PATH] [--perf-out PATH] [--perf-baseline PATH] [--resume]";
 
 /// Why [`Cli::try_parse_from`] rejected a command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,6 +97,11 @@ pub struct Cli {
     /// `repro_all`: a `BENCH_perf.json` from a `--jobs 1` run of the same
     /// suite; enables `speedup_vs_jobs1` fields in the perf artifact.
     pub perf_baseline: Option<String>,
+    /// `repro_all`: resume an interrupted suite — skip figures whose
+    /// per-figure artifacts in the work directory are present and
+    /// hash-valid against the completion manifest, and splice their saved
+    /// reports into the final artifacts.
+    pub resume: bool,
 }
 
 impl Default for Cli {
@@ -110,6 +115,7 @@ impl Default for Cli {
             out: None,
             perf_out: None,
             perf_baseline: None,
+            resume: false,
         }
     }
 }
@@ -157,6 +163,7 @@ impl Cli {
                 "--perf-baseline" => {
                     cli.perf_baseline = Some(value("--perf-baseline", args.next())?);
                 }
+                "--resume" => cli.resume = true,
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::Bad(format!("unknown flag {other}"))),
             }
@@ -297,6 +304,11 @@ mod tests {
         .unwrap();
         assert_eq!(cli.perf_out.as_deref(), Some("p.json"));
         assert_eq!(cli.perf_baseline.as_deref(), Some("serial.json"));
+        assert!(!cli.resume);
+
+        let cli = Cli::try_parse_from(args(&["--resume"])).unwrap();
+        assert!(cli.resume);
+        assert!(USAGE.contains("--resume"));
     }
 
     #[test]

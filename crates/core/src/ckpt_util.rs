@@ -1,0 +1,29 @@
+//! Shared field codecs for the per-module `cmap-ckpt/v1` state
+//! serializers: link-layer addresses and bit-rates as fixed-width fields.
+
+use cmap_phy::Rate;
+use cmap_sim::ckpt::{CkptError, CkptReader, CkptWriter};
+use cmap_wire::MacAddr;
+
+pub(crate) fn put_addr(w: &mut CkptWriter, a: MacAddr) {
+    for b in a.0 {
+        w.u8(b);
+    }
+}
+
+pub(crate) fn get_addr(r: &mut CkptReader<'_>) -> Result<MacAddr, CkptError> {
+    let mut b = [0u8; MacAddr::LEN];
+    for byte in &mut b {
+        *byte = r.u8()?;
+    }
+    Ok(MacAddr(b))
+}
+
+pub(crate) fn put_rate(w: &mut CkptWriter, rate: Rate) {
+    w.u8(rate.to_u8());
+}
+
+pub(crate) fn get_rate(r: &mut CkptReader<'_>) -> Result<Rate, CkptError> {
+    let v = r.u8()?;
+    Rate::from_u8(v).ok_or_else(|| CkptError::Malformed(format!("rate tag {v}")))
+}

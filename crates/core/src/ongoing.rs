@@ -8,8 +8,11 @@
 //! refresh an entry conservatively when the header was missed.
 
 use cmap_phy::Rate;
+use cmap_sim::ckpt::{CkptError, CkptReader, CkptWriter};
 use cmap_sim::time::Time;
 use cmap_wire::MacAddr;
+
+use crate::ckpt_util::{get_addr, get_rate, put_addr, put_rate};
 
 /// One transmission currently believed to be in progress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +104,32 @@ impl OngoingList {
     /// Number of live entries.
     pub fn len_at(&self, now: Time) -> usize {
         self.iter_at(now).count()
+    }
+
+    /// Append the list (in insertion order — the order is part of the
+    /// deterministic state) to a `cmap-ckpt/v1` checkpoint.
+    pub fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.len(self.entries.len());
+        for e in &self.entries {
+            put_addr(w, e.src);
+            put_addr(w, e.dst);
+            w.u64(e.until);
+            put_rate(w, e.rate);
+        }
+    }
+
+    /// Rebuild a list from [`OngoingList::ckpt_save`] bytes.
+    pub fn ckpt_load(r: &mut CkptReader<'_>) -> Result<OngoingList, CkptError> {
+        let mut list = OngoingList::new();
+        for _ in 0..r.len()? {
+            list.entries.push(OngoingEntry {
+                src: get_addr(r)?,
+                dst: get_addr(r)?,
+                until: r.u64()?,
+                rate: get_rate(r)?,
+            });
+        }
+        Ok(list)
     }
 }
 

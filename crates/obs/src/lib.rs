@@ -27,13 +27,18 @@
 //! | [`json`] | minimal deterministic JSON encoding helpers |
 
 pub mod alloc;
+pub mod artifact;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod trace;
 
+pub use artifact::{atomic_write, fnv1a64, Manifest, MANIFEST_SCHEMA};
 pub use metrics::{CounterId, GaugeId};
 pub use profile::LoopProfile;
-pub use report::{MetricValue, RunReport, SpecBlock, SuiteReport, TimingBlock, SCHEMA};
+pub use report::{
+    FailedCell, FailureBlock, FigureEntry, MetricValue, RunReport, SpecBlock, SuiteReport,
+    TimingBlock, SCHEMA,
+};
 pub use trace::{TraceEvent, TraceRecord, TraceSink};

@@ -180,6 +180,14 @@ define_ids! {
         CmapRtxGiveUp => "cmap.rtx_give_up",
         /// `on_tx_done` with nothing outstanding.
         CmapUnexpectedTxDone => "cmap.unexpected_tx_done",
+        // Run supervision (crates/exec counters, mirrored into reports by
+        // the bench harness — no simulated node ever bumps these).
+        /// Job attempts that ended in a caught panic (including retries).
+        ExecJobPanic => "exec.job_panic",
+        /// Retry attempts dispatched for failed jobs.
+        ExecJobRetry => "exec.job_retry",
+        /// Jobs that exhausted all retries and were quarantined.
+        ExecJobQuarantined => "exec.job_quarantined",
     }
 }
 

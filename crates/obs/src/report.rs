@@ -207,6 +207,110 @@ impl RunReport {
     }
 }
 
+/// One failed (figure, point, seed) cell of a suite run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// Figure the cell belonged to.
+    pub figure: String,
+    /// Job label identifying the cell within the figure (or the figure
+    /// itself when the whole run panicked outside the pool).
+    pub label: String,
+    /// Attempts made before quarantine.
+    pub attempts: u64,
+    /// The final panic message.
+    pub error: String,
+}
+
+impl FailedCell {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\"figure\":");
+        json::push_str_lit(&mut s, &self.figure);
+        s.push_str(",\"label\":");
+        json::push_str_lit(&mut s, &self.label);
+        s.push_str(&format!(",\"attempts\":{},\"error\":", self.attempts));
+        json::push_str_lit(&mut s, &self.error);
+        s.push('}');
+        s
+    }
+}
+
+/// The suite's supervision outcome: the `exec.job_*` counter values plus
+/// each quarantined cell. Deterministic (no wall clock), so it serializes
+/// in both report views, after `figures` and before the timing region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureBlock {
+    /// Value of the `exec.job_panic` counter.
+    pub panics: u64,
+    /// Value of the `exec.job_retry` counter.
+    pub retries: u64,
+    /// Value of the `exec.job_quarantined` counter.
+    pub quarantined: u64,
+    /// Every quarantined cell, in quarantine order.
+    pub cells: Vec<FailedCell>,
+}
+
+impl FailureBlock {
+    fn to_json(&self) -> String {
+        // Keys are the typed counter names (`CounterId::ExecJob*`); the
+        // `failure_block_keys_match_counter_registry` test pins that.
+        let mut s = format!(
+            "{{\"exec.job_panic\":{},\"exec.job_retry\":{},\"exec.job_quarantined\":{},\"cells\":[",
+            self.panics, self.retries, self.quarantined
+        );
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&c.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// One entry of a suite's `figures` array: either a structured report
+/// built this run, or the verbatim JSON of a figure restored from a
+/// previous run's hash-valid artifact (`repro_all --resume`).
+#[derive(Debug, Clone)]
+pub enum FigureEntry {
+    /// A report assembled in this process.
+    Report(RunReport),
+    /// Pre-serialized report JSON spliced from a completed artifact. Must
+    /// be one JSON object in `RunReport::to_json(true)` shape.
+    Raw(String),
+}
+
+impl From<RunReport> for FigureEntry {
+    fn from(r: RunReport) -> FigureEntry {
+        FigureEntry::Report(r)
+    }
+}
+
+impl FigureEntry {
+    fn to_json(&self, include_timing: bool) -> String {
+        match self {
+            FigureEntry::Report(r) => r.to_json(include_timing),
+            FigureEntry::Raw(raw) if include_timing => raw.clone(),
+            FigureEntry::Raw(raw) => strip_trailing_timing(raw),
+        }
+    }
+}
+
+/// Drop a trailing `,"timing":{...}` member from a serialized
+/// [`RunReport`]. Sound because `timing` is the *last* key by construction
+/// and the `"timing"` byte sequence cannot occur inside any string literal
+/// (its quotes would be escaped), so the rightmost match is the real key.
+fn strip_trailing_timing(raw: &str) -> String {
+    match raw.rfind(",\"timing\":") {
+        Some(pos) => {
+            let mut s = raw[..pos].to_string();
+            s.push('}');
+            s
+        }
+        None => raw.to_string(),
+    }
+}
+
 /// Aggregate of many figure reports (what `repro_all --json` writes).
 #[derive(Debug, Clone)]
 pub struct SuiteReport {
@@ -214,8 +318,10 @@ pub struct SuiteReport {
     pub suite: String,
     /// The shared CLI-level spec the suite ran under.
     pub spec: SpecBlock,
-    /// Per-figure reports, in run order.
-    pub figures: Vec<RunReport>,
+    /// Per-figure entries, in run order.
+    pub figures: Vec<FigureEntry>,
+    /// Supervision outcome; `None` omits the key (library contexts).
+    pub failures: Option<FailureBlock>,
     /// Suite wall-clock, if measured.
     pub timing: Option<TimingBlock>,
     /// Event-loop profile, if the harness ran one (wall-clock derived, so
@@ -230,9 +336,21 @@ impl SuiteReport {
             suite: suite.to_string(),
             spec,
             figures: Vec::new(),
+            failures: None,
             timing: None,
             profile: None,
         }
+    }
+
+    /// Append a figure report built this run.
+    pub fn push(&mut self, report: RunReport) {
+        self.figures.push(FigureEntry::Report(report));
+    }
+
+    /// Splice in a pre-serialized report restored from a completed
+    /// artifact (see [`FigureEntry::Raw`]).
+    pub fn push_raw(&mut self, raw_json: String) {
+        self.figures.push(FigureEntry::Raw(raw_json));
     }
 
     /// Serialize; `include_timing = false` yields the deterministic view
@@ -252,6 +370,10 @@ impl SuiteReport {
             s.push_str(&f.to_json(include_timing));
         }
         s.push(']');
+        if let Some(fb) = &self.failures {
+            s.push_str(",\"failures\":");
+            s.push_str(&fb.to_json());
+        }
         if include_timing {
             s.push_str(",\"timing\":{");
             let mut first = true;
@@ -326,7 +448,7 @@ mod tests {
         let mut f = RunReport::new("fig12_exposed", "Fig 12", spec());
         f.metric("m", 1.5);
         f.timing = Some(TimingBlock { wall_secs: 2.0 });
-        s.figures.push(f);
+        s.push(f);
         s.timing = Some(TimingBlock { wall_secs: 9.0 });
         let mut p = LoopProfile::new();
         p.record_slice(10, 100);
@@ -345,5 +467,92 @@ mod tests {
         let mut r = RunReport::new("f", "t", SpecBlock::default());
         r.metric("nan", f64::NAN);
         assert!(r.to_json(false).contains("\"nan\":null"));
+    }
+
+    #[test]
+    fn raw_figure_entries_splice_verbatim_and_strip_timing() {
+        let mut r = RunReport::new("fig13_hidden", "Fig 13", spec());
+        r.metric("timing_label", "not,\"timing\": a decoy inside a string");
+        r.timing = Some(TimingBlock { wall_secs: 4.25 });
+        let full = r.to_json(true);
+        let det = r.to_json(false);
+
+        let mut s = SuiteReport::new("repro_all", spec());
+        s.push_raw(full.clone());
+        // With timing: the raw bytes appear verbatim. Without: the trailing
+        // timing member is stripped, matching the structured serialization.
+        assert!(s.to_json(true).contains(&full));
+        assert!(s.to_json(false).contains(&det));
+        assert!(!s.to_json(false).contains("wall_secs"));
+
+        // A raw entry with no timing block passes through unchanged.
+        assert_eq!(strip_trailing_timing(&det), det);
+    }
+
+    #[test]
+    fn raw_and_structured_entries_serialize_identically() {
+        let mut r = RunReport::new("calib_single_link", "§4.2", spec());
+        r.metric("mbps", 5.04);
+        r.timing = Some(TimingBlock { wall_secs: 1.0 });
+        let mut structured = SuiteReport::new("repro_all", spec());
+        structured.push(r.clone());
+        let mut spliced = SuiteReport::new("repro_all", spec());
+        spliced.push_raw(r.to_json(true));
+        for include_timing in [false, true] {
+            assert_eq!(
+                structured.to_json(include_timing),
+                spliced.to_json(include_timing)
+            );
+        }
+    }
+
+    #[test]
+    fn failures_block_serializes_after_figures() {
+        let mut s = SuiteReport::new("repro_all", spec());
+        assert!(!s.to_json(true).contains("\"failures\""));
+        s.failures = Some(FailureBlock {
+            panics: 3,
+            retries: 2,
+            quarantined: 1,
+            cells: vec![FailedCell {
+                figure: "fig12_exposed".to_string(),
+                label: "fig12_exposed[7]".to_string(),
+                attempts: 3,
+                error: "boom".to_string(),
+            }],
+        });
+        s.timing = Some(TimingBlock { wall_secs: 9.0 });
+        let full = s.to_json(true);
+        let det = s.to_json(false);
+        // Present in both views (the block is deterministic), between the
+        // figures array and the timing region.
+        for view in [&full, &det] {
+            let f = view.find("\"figures\":").unwrap();
+            let b = view.find("\"failures\":").unwrap();
+            assert!(f < b, "{view}");
+            assert!(view.contains(
+                "\"failures\":{\"exec.job_panic\":3,\"exec.job_retry\":2,\
+                 \"exec.job_quarantined\":1,\"cells\":[{\"figure\":\"fig12_exposed\",\
+                 \"label\":\"fig12_exposed[7]\",\"attempts\":3,\"error\":\"boom\"}]}"
+            ));
+        }
+        assert!(full.find("\"failures\":").unwrap() < full.find("\"timing\":").unwrap());
+    }
+
+    #[test]
+    fn failure_block_keys_match_counter_registry() {
+        use crate::metrics::CounterId;
+        let json = FailureBlock::default().to_json();
+        for id in [
+            CounterId::ExecJobPanic,
+            CounterId::ExecJobRetry,
+            CounterId::ExecJobQuarantined,
+        ] {
+            assert!(
+                json.contains(&format!("\"{}\":", id.name())),
+                "failure block missing key {}",
+                id.name()
+            );
+        }
     }
 }

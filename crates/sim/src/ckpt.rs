@@ -1,0 +1,340 @@
+//! `cmap-ckpt/v1` — the versioned binary checkpoint format.
+//!
+//! A checkpoint is a full serialization of a mid-run [`World`]: simulation
+//! clock, timing-wheel contents, radio bank, per-node RNG stream
+//! positions, MAC state machines, statistics, and fault-plan cursors.
+//! The contract is **byte-identity**: run to event K, checkpoint, restore
+//! in a fresh process over an identically-configured world, run to the
+//! end — every deterministic artifact must be byte-identical to an
+//! uninterrupted same-seed run (`tests/checkpoint_identity.rs` gates
+//! this).
+//!
+//! The encoding is deliberately primitive: little-endian fixed-width
+//! integers, `f64` as raw IEEE bit patterns (bit-exact restore, no
+//! text round-trip), and length-prefixed byte blobs. No
+//! self-description — the format version in the magic line *is* the
+//! schema, and any structural change must bump it. Readers validate
+//! eagerly and return [`CkptError`] rather than panicking: a truncated
+//! or foreign file is an expected input (crash-safe artifact dirs), not
+//! a bug.
+//!
+//! [`World`]: crate::World
+
+/// Format identifier; serialized as the magic prefix of every checkpoint.
+pub const CKPT_MAGIC: &str = "cmap-ckpt/v1";
+
+/// Why a checkpoint could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The magic prefix is missing or names a different format version.
+    BadMagic,
+    /// The buffer ended before a field being read.
+    Truncated,
+    /// A field holds a value outside its legal range.
+    Malformed(String),
+    /// The checkpoint does not match the world it is being applied to
+    /// (different seed, topology size, fault plan, ...).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "not a {CKPT_MAGIC} checkpoint"),
+            CkptError::Truncated => write!(f, "checkpoint truncated"),
+            CkptError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CkptError::Mismatch(what) => write!(f, "checkpoint/world mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Little-endian checkpoint encoder.
+#[derive(Debug, Default)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl CkptWriter {
+    /// A writer primed with the format magic.
+    pub fn new() -> CkptWriter {
+        let mut w = CkptWriter { buf: Vec::new() };
+        w.buf.extend_from_slice(CKPT_MAGIC.as_bytes());
+        w.buf.push(b'\n');
+        w
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw IEEE-754 bit pattern (bit-exact).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a `usize` as `u64` (checkpoints are cross-width portable).
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed byte blob.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.len(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Bound on any single decoded collection length: no legitimate world in
+/// this workspace holds a billion of anything, and refusing early keeps a
+/// corrupt length field from attempting a huge allocation.
+const MAX_LEN: u64 = 1 << 30;
+
+/// Little-endian checkpoint decoder.
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Wrap `buf`, validating the format magic.
+    pub fn new(buf: &'a [u8]) -> Result<CkptReader<'a>, CkptError> {
+        let mut magic = CKPT_MAGIC.as_bytes().to_vec();
+        magic.push(b'\n');
+        if buf.len() < magic.len() || &buf[..magic.len()] != magic.as_slice() {
+            return Err(CkptError::BadMagic);
+        }
+        Ok(CkptReader {
+            buf,
+            pos: magic.len(),
+        })
+    }
+
+    /// Bytes left unread.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CkptError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CkptError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Read an `f64` from its raw bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a collection length (bounds-checked `u64` → `usize`).
+    // Not a container: `len` here is a cursor read op, so `is_empty` has
+    // no meaning.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, CkptError> {
+        let v = self.u64()?;
+        if v > MAX_LEN {
+            return Err(CkptError::Malformed(format!("length {v} out of range")));
+        }
+        usize::try_from(v).map_err(|_| CkptError::Malformed(format!("length {v} out of range")))
+    }
+
+    /// Read a bool byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CkptError::Malformed(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Read a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.len()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CkptError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| CkptError::Malformed("non-UTF-8 string".to_string()))
+    }
+
+    /// Require that the whole buffer was consumed (trailing garbage means
+    /// a format mismatch, not padding).
+    pub fn expect_end(&self) -> Result<(), CkptError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CkptError::Malformed(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+// Tests assert bit-exact f64 round-trips — bitwise equality is the
+// property under test.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = CkptWriter::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.i64(-12345);
+        w.f64(-0.0);
+        w.f64(1.5e-300);
+        w.len(42);
+        w.bool(true);
+        w.bool(false);
+        w.bytes(b"blob");
+        w.str("héllo");
+        let bytes = w.finish();
+
+        let mut r = CkptReader::new(&bytes).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.i64().unwrap(), -12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), 1.5e-300);
+        assert_eq!(r.len().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"blob");
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        assert_eq!(
+            CkptReader::new(b"not-a-checkpoint").unwrap_err(),
+            CkptError::BadMagic
+        );
+        // Magic of a future version must be rejected, not half-read.
+        assert_eq!(
+            CkptReader::new(b"cmap-ckpt/v2\n").unwrap_err(),
+            CkptError::BadMagic
+        );
+
+        let mut w = CkptWriter::new();
+        w.u64(1);
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = CkptReader::new(&bytes).unwrap();
+        assert_eq!(r.u64().unwrap_err(), CkptError::Truncated);
+
+        // An absurd length field fails before allocating.
+        let mut w = CkptWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.finish();
+        let mut r = CkptReader::new(&bytes).unwrap();
+        assert!(matches!(r.len().unwrap_err(), CkptError::Malformed(_)));
+
+        // Bool bytes are strict.
+        let mut w = CkptWriter::new();
+        w.u8(2);
+        let bytes = w.finish();
+        let mut r = CkptReader::new(&bytes).unwrap();
+        assert!(matches!(r.bool().unwrap_err(), CkptError::Malformed(_)));
+
+        // Trailing garbage is flagged.
+        let mut w = CkptWriter::new();
+        w.u8(0);
+        let bytes = w.finish();
+        let mut r = CkptReader::new(&bytes).unwrap();
+        let _ = r.u8().unwrap();
+        r.expect_end().unwrap();
+        let mut w = CkptWriter::new();
+        w.u16(0);
+        let bytes = w.finish();
+        let r = CkptReader::new(&bytes).unwrap();
+        assert!(matches!(
+            r.expect_end().unwrap_err(),
+            CkptError::Malformed(_)
+        ));
+    }
+}

@@ -38,6 +38,7 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::rng::{normal, stream_rng};
 use crate::time::Time;
 use crate::world::NodeId;
@@ -476,6 +477,80 @@ impl FaultState {
         let extra = (i128::from(delay) * i128::from(ppm)) / 1_000_000;
         (i128::from(delay) + extra).max(0) as Time
     }
+
+    // ---- cmap-ckpt/v1 ---------------------------------------------------
+
+    /// Serialize the dynamic cursors: everything [`FaultState::new`] cannot
+    /// rebuild from the plan alone (liveness flags, the corruption stream's
+    /// position, lazily-created GE chains, dispatch watermarks). The static
+    /// derivation (salt, action schedule, skew table) is re-derived on
+    /// restore from the same plan and seed.
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) {
+        w.len(self.node_up.len());
+        for &up in &self.node_up {
+            w.bool(up);
+        }
+        for word in self.corrupt_rng.state() {
+            w.u64(word);
+        }
+        w.len(self.ge_chains.len());
+        for (&(a, b), chain) in &self.ge_chains {
+            w.len(a);
+            w.len(b);
+            for word in chain.rng.state() {
+                w.u64(word);
+            }
+            w.u64(chain.step);
+            w.bool(chain.bad);
+        }
+        for &t in &self.last_dispatch {
+            w.u64(t);
+        }
+    }
+
+    /// Overlay checkpointed cursors onto a state freshly built (same plan,
+    /// seed and node count) by [`FaultState::new`].
+    pub(crate) fn ckpt_load(&mut self, r: &mut CkptReader<'_>) -> Result<(), CkptError> {
+        let n = r.len()?;
+        if n != self.node_up.len() {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint fault state covers {n} nodes, world has {}",
+                self.node_up.len()
+            )));
+        }
+        for up in &mut self.node_up {
+            *up = r.bool()?;
+        }
+        let mut words = [0u64; 4];
+        for word in &mut words {
+            *word = r.u64()?;
+        }
+        self.corrupt_rng = SmallRng::from_state(words);
+        self.ge_chains.clear();
+        let chains = r.len()?;
+        for _ in 0..chains {
+            let a = r.len()?;
+            let b = r.len()?;
+            let mut words = [0u64; 4];
+            for word in &mut words {
+                *word = r.u64()?;
+            }
+            let chain = GeChain {
+                rng: SmallRng::from_state(words),
+                step: r.u64()?,
+                bad: r.bool()?,
+            };
+            if self.ge_chains.insert((a, b), chain).is_some() {
+                return Err(CkptError::Malformed(format!(
+                    "duplicate GE chain for link ({a},{b})"
+                )));
+            }
+        }
+        for t in &mut self.last_dispatch {
+            *t = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 /// Invariant watchdog configuration: how often to audit and how long a MAC
@@ -580,6 +655,83 @@ mod tests {
         assert_eq!(fs.skew_delay(0, d), d + 150_000); // +150 us per second
         assert_eq!(fs.skew_delay(1, d), d - 150_000);
         assert_eq!(fs.skew_delay(2, d), d); // no skew configured
+    }
+
+    /// Satellite of the crash-safety PR: `to_spec`/`from_spec` must be
+    /// lossless for *any* representable plan, not just the canonical trio —
+    /// checkpoint validation compares specs byte-for-byte.
+    mod spec_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+            let outage = (0usize..32, 0u64..1_000_000_000, 1u64..1_000_000_000).prop_map(
+                |(node, down_at, hold)| Outage {
+                    node,
+                    down_at,
+                    up_at: down_at + hold,
+                },
+            );
+            let lockup = (0usize..32, 0u64..1_000_000_000, 1u64..1_000_000_000).prop_map(
+                |(node, at, hold)| Lockup {
+                    node,
+                    at,
+                    until: at + hold,
+                },
+            );
+            let ge = (1u64..10_000_000, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..60.0).prop_map(
+                |(step_ns, p_enter_bad, p_exit_bad, bad_extra_loss_db)| GilbertElliott {
+                    step_ns,
+                    p_enter_bad,
+                    p_exit_bad,
+                    bad_extra_loss_db,
+                },
+            );
+            let shadow = (1u64..10_000_000_000, 0.0f64..16.0)
+                .prop_map(|(step_ns, sigma_db)| Shadowing { step_ns, sigma_db });
+            (
+                prop::collection::vec(outage, 0..5),
+                prop::collection::vec(lockup, 0..5),
+                prop::option::of(ge),
+                prop::option::of(shadow),
+                prop::collection::vec((0usize..32, -500i64..500), 0..5),
+                0.0f64..1.0,
+                0.0f64..1.0,
+            )
+                .prop_map(
+                    |(
+                        churn,
+                        lockups,
+                        gilbert_elliott,
+                        shadowing,
+                        clock_skew_ppm,
+                        corrupt_prob,
+                        dup_frame_prob,
+                    )| FaultPlan {
+                        churn,
+                        lockups,
+                        gilbert_elliott,
+                        shadowing,
+                        clock_skew_ppm,
+                        corrupt_prob,
+                        dup_frame_prob,
+                    },
+                )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn spec_round_trip_is_lossless(plan in arb_plan()) {
+                let spec = plan.to_spec();
+                let back = FaultPlan::from_spec(&spec)
+                    .map_err(|e| TestCaseError::fail(format!("parse: {e}\nspec:\n{spec}")))?;
+                prop_assert_eq!(&plan, &back, "spec:\n{}", spec);
+                // A second trip is a fixed point (spec text is canonical).
+                prop_assert_eq!(back.to_spec(), spec);
+            }
+        }
     }
 
     #[test]

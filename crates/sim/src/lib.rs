@@ -17,7 +17,10 @@
 //!   Gilbert–Elliott burst loss, stepped shadowing, clock skew and frame
 //!   corruption, plus a runtime invariant watchdog, and
 //! * process-wide engine totals ([`perf`]) feeding the benchmark perf
-//!   baseline (events/sec, BER-cache hit rate) across parallel runs.
+//!   baseline (events/sec, BER-cache hit rate) across parallel runs, and
+//! * mid-run checkpoint/restore ([`ckpt`], [`World::checkpoint`],
+//!   [`World::restore`]) in the versioned `cmap-ckpt/v1` format: a
+//!   restored run continues byte-identically to an uninterrupted one.
 //!
 //! Runs are bit-deterministic for a given (topology, MACs, seed): every
 //! random draw derives from the master seed via per-node streams.
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod app;
+pub mod ckpt;
 pub mod config;
 pub mod event;
 pub mod faults;
@@ -50,6 +54,7 @@ pub mod time;
 pub mod world;
 
 pub use app::AppPacket;
+pub use ckpt::{CkptError, CKPT_MAGIC};
 pub use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 pub use config::PhyConfig;
 pub use faults::{FaultPlan, GilbertElliott, Lockup, Outage, Shadowing, WatchdogConfig};

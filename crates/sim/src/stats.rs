@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 
+use crate::ckpt::{CkptError, CkptReader, CkptWriter};
 use crate::time::Time;
 use crate::world::NodeId;
 
@@ -354,6 +355,128 @@ impl Stats {
             }
         }
         out
+    }
+
+    // ---- cmap-ckpt/v1 ---------------------------------------------------
+
+    /// Serialize the complete statistics state. Refuses runs using the
+    /// deprecated dynamic-counter shim or an attached trace sink: both are
+    /// outside the versioned format, and silently dropping them would break
+    /// the byte-identity contract.
+    pub(crate) fn ckpt_save(&self, w: &mut CkptWriter) -> Result<(), CkptError> {
+        if !self.dynamic.is_empty() {
+            return Err(CkptError::Mismatch(
+                "stats with legacy dynamic counters cannot be checkpointed".to_string(),
+            ));
+        }
+        if self.trace.is_some() {
+            return Err(CkptError::Mismatch(
+                "stats with an attached trace sink cannot be checkpointed".to_string(),
+            ));
+        }
+        w.len(self.flows.len());
+        for f in &self.flows {
+            w.len(f.arrivals.len());
+            for &t in &f.arrivals {
+                w.u64(t);
+            }
+            w.len(f.seen.len());
+            for &seq in &f.seen {
+                w.u32(seq);
+            }
+            w.u32(f.seen_floor);
+            w.u64(f.duplicates);
+        }
+        w.len(self.vpkt.len());
+        for (&(src, dst), v) in &self.vpkt {
+            w.len(src);
+            w.len(dst);
+            w.u64(v.sent);
+            w.len(v.got.len());
+            for (&seq, &flags) in &v.got {
+                w.u32(seq);
+                w.u8(flags);
+            }
+            w.u64(v.headers_total);
+            w.u64(v.trailers_total);
+            w.u64(v.either_total);
+            w.u64(v.evicted);
+        }
+        w.len(self.counters.len());
+        for &c in &self.counters {
+            w.u64(c);
+        }
+        w.len(self.gauges.len());
+        for &g in &self.gauges {
+            w.u64(g);
+        }
+        Ok(())
+    }
+
+    /// Rebuild statistics from [`Stats::ckpt_save`] output.
+    pub(crate) fn ckpt_load(r: &mut CkptReader<'_>) -> Result<Stats, CkptError> {
+        let mut stats = Stats::default();
+        let flows = r.len()?;
+        stats.flows.reserve(flows);
+        for _ in 0..flows {
+            let mut f = FlowStats::default();
+            let arrivals = r.len()?;
+            f.arrivals.reserve(arrivals);
+            for _ in 0..arrivals {
+                f.arrivals.push(r.u64()?);
+            }
+            let seen = r.len()?;
+            for _ in 0..seen {
+                f.seen.insert(r.u32()?);
+            }
+            f.seen_floor = r.u32()?;
+            f.duplicates = r.u64()?;
+            stats.flows.push(f);
+        }
+        let links = r.len()?;
+        for _ in 0..links {
+            let key = (r.len()?, r.len()?);
+            let mut v = VpktStats {
+                sent: r.u64()?,
+                ..VpktStats::default()
+            };
+            let got = r.len()?;
+            for _ in 0..got {
+                let seq = r.u32()?;
+                v.got.insert(seq, r.u8()?);
+            }
+            v.headers_total = r.u64()?;
+            v.trailers_total = r.u64()?;
+            v.either_total = r.u64()?;
+            v.evicted = r.u64()?;
+            if stats.vpkt.insert(key, v).is_some() {
+                return Err(CkptError::Malformed(format!(
+                    "duplicate vpkt link ({},{})",
+                    key.0, key.1
+                )));
+            }
+        }
+        let counters = r.len()?;
+        if counters != CounterId::COUNT {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint has {counters} counters, registry has {}",
+                CounterId::COUNT
+            )));
+        }
+        for c in &mut stats.counters {
+            *c = r.u64()?;
+        }
+        let gauges = r.len()?;
+        if gauges != GaugeId::COUNT {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint has {gauges} gauges, registry has {}",
+                GaugeId::COUNT
+            )));
+        }
+        for g in &mut stats.gauges {
+            *g = r.u64()?;
+        }
+        Ok(stats)
     }
 }
 

@@ -787,6 +787,252 @@ impl World {
             self.dispatch(node, |mac, ctx| mac.on_channel_state(ctx, busy));
         }
     }
+
+    // ---- cmap-ckpt/v1 ---------------------------------------------------
+
+    /// Serialize the complete mid-run state to the versioned `cmap-ckpt/v1`
+    /// format: simulation clock, timing-wheel contents, radio bank, RNG
+    /// stream positions, MAC protocol state, in-flight transmissions,
+    /// statistics, and fault-plan cursors. Restoring the bytes via
+    /// [`World::restore`] into an identically-configured world continues
+    /// the run **byte-identically** to never having stopped.
+    ///
+    /// Only callable between [`World::run_until`] calls on a started world;
+    /// configuration (medium, PHY, flows, MAC types, fault plan, watchdog)
+    /// is *not* captured — the restoring process rebuilds it and the
+    /// checkpoint validates that it matches.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, crate::ckpt::CkptError> {
+        use crate::ckpt::{CkptError, CkptWriter};
+        if !self.started {
+            return Err(CkptError::Mismatch(
+                "checkpoint of a world that never started".to_string(),
+            ));
+        }
+        let mut w = CkptWriter::new();
+        // Configuration echo, validated on restore.
+        w.u64(self.seed);
+        w.len(self.node_count());
+        w.len(self.flows.len());
+        for f in &self.flows {
+            w.u16(f.id);
+            w.len(f.src);
+            w.len(f.dst);
+            w.len(f.payload_len);
+            match f.kind {
+                FlowKind::Saturated => w.u8(0),
+                FlowKind::Relay { upstream } => {
+                    w.u8(1);
+                    w.u16(upstream);
+                }
+            }
+            w.u32(f.next_seq);
+        }
+        w.u64(self.watchdog.audit_period);
+        w.u64(self.watchdog.liveness_window);
+        match self.faults.as_deref() {
+            None => w.bool(false),
+            Some(f) => {
+                w.bool(true);
+                w.str(&f.plan.to_spec());
+            }
+        }
+        // Dynamic engine state.
+        w.u64(self.time);
+        w.u64(self.next_tx_id);
+        w.u64(self.ber_lookups);
+        w.u64(self.synced_events);
+        w.u64(self.synced_lookups);
+        w.u64(self.synced_cascades);
+        self.sched.ckpt_save(&mut w);
+        self.radios.ckpt_save(&mut w);
+        for rng in &self.rngs {
+            for word in rng.state() {
+                w.u64(word);
+            }
+        }
+        for app in &self.apps {
+            app.ckpt_save(&mut w);
+        }
+        w.len(self.txs.len());
+        for (&tx_id, rec) in &self.txs {
+            w.u64(tx_id);
+            w.len(rec.node);
+            w.u8(rec.rate.to_u8());
+            w.u64(rec.start);
+            w.bytes(&rec.frame.emit());
+            w.len(rec.wire_len);
+            w.u32(rec.ends_remaining);
+        }
+        self.stats.ckpt_save(&mut w)?;
+        if let Some(f) = self.faults.as_deref() {
+            f.ckpt_save(&mut w);
+        }
+        // Per-MAC protocol state, length-framed so each MAC only sees its
+        // own blob.
+        let mut blob = Vec::new();
+        for (node, mac) in self.macs.iter().enumerate() {
+            blob.clear();
+            mac.as_deref()
+                .unwrap_or_else(|| panic!("mac {node} taken during checkpoint"))
+                .save_state(&mut blob);
+            w.bytes(&blob);
+        }
+        Ok(w.finish())
+    }
+
+    /// Restore a [`World::checkpoint`] into this world, which must be
+    /// configured identically (same medium/PHY/seed, same flows, same MAC
+    /// types, same fault plan and watchdog) and **not yet started**. On
+    /// success the world is mid-run exactly as the checkpointed one was;
+    /// continue with [`World::run_until`]. Do not call [`World::start`] —
+    /// the restored wheel already carries every pending event.
+    ///
+    /// On error the world may be partially overwritten and must be
+    /// discarded.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), crate::ckpt::CkptError> {
+        use crate::ckpt::{CkptError, CkptReader};
+        if self.started {
+            return Err(CkptError::Mismatch(
+                "restore into an already-started world".to_string(),
+            ));
+        }
+        let mut r = CkptReader::new(bytes)?;
+        let seed = r.u64()?;
+        if seed != self.seed {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint seed {seed} != world seed {}",
+                self.seed
+            )));
+        }
+        let nodes = r.len()?;
+        if nodes != self.node_count() {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint has {nodes} nodes, world has {}",
+                self.node_count()
+            )));
+        }
+        let flow_count = r.len()?;
+        if flow_count != self.flows.len() {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint has {flow_count} flows, world has {}",
+                self.flows.len()
+            )));
+        }
+        for f in &mut self.flows {
+            let id = r.u16()?;
+            let src = r.len()?;
+            let dst = r.len()?;
+            let payload_len = r.len()?;
+            let kind = match r.u8()? {
+                0 => FlowKind::Saturated,
+                1 => FlowKind::Relay { upstream: r.u16()? },
+                other => {
+                    return Err(CkptError::Malformed(format!("flow kind tag {other}")));
+                }
+            };
+            if (id, src, dst, payload_len, kind) != (f.id, f.src, f.dst, f.payload_len, f.kind) {
+                return Err(CkptError::Mismatch(format!(
+                    "flow {id} configuration differs from checkpoint"
+                )));
+            }
+            f.next_seq = r.u32()?;
+        }
+        let audit_period = r.u64()?;
+        let liveness_window = r.u64()?;
+        if audit_period != self.watchdog.audit_period
+            || liveness_window != self.watchdog.liveness_window
+        {
+            return Err(CkptError::Mismatch(
+                "watchdog configuration differs from checkpoint".to_string(),
+            ));
+        }
+        let ckpt_has_faults = r.bool()?;
+        if ckpt_has_faults != self.faults.is_some() {
+            return Err(CkptError::Mismatch(
+                "fault plan presence differs from checkpoint".to_string(),
+            ));
+        }
+        if ckpt_has_faults {
+            let spec = r.str()?;
+            let installed = self.faults.as_deref().expect("checked").plan.to_spec();
+            if spec != installed {
+                return Err(CkptError::Mismatch(
+                    "fault plan differs from checkpoint".to_string(),
+                ));
+            }
+        }
+        self.time = r.u64()?;
+        self.next_tx_id = r.u64()?;
+        self.ber_lookups = r.u64()?;
+        self.synced_events = r.u64()?;
+        self.synced_lookups = r.u64()?;
+        self.synced_cascades = r.u64()?;
+        self.sched = Scheduler::ckpt_load(&mut r)?;
+        self.radios = RadioBank::ckpt_load(&mut r, self.node_count())?;
+        for rng in &mut self.rngs {
+            let mut words = [0u64; 4];
+            for word in &mut words {
+                *word = r.u64()?;
+            }
+            *rng = SmallRng::from_state(words);
+        }
+        for app in &mut self.apps {
+            app.ckpt_load(&mut r)?;
+        }
+        self.txs.clear();
+        let tx_count = r.len()?;
+        for _ in 0..tx_count {
+            let tx_id = r.u64()?;
+            let node = r.len()?;
+            if node >= self.node_count() {
+                return Err(CkptError::Malformed(format!("tx node {node}")));
+            }
+            let rate_tag = r.u8()?;
+            let rate = Rate::from_u8(rate_tag)
+                .ok_or_else(|| CkptError::Malformed(format!("rate tag {rate_tag}")))?;
+            let start = r.u64()?;
+            let frame_bytes = r.bytes()?;
+            let frame = Frame::parse(frame_bytes)
+                .map_err(|e| CkptError::Malformed(format!("tx {tx_id} frame: {e:?}")))?;
+            let wire_len = r.len()?;
+            let ends_remaining = r.u32()?;
+            if self
+                .txs
+                .insert(
+                    tx_id,
+                    TxRecord {
+                        node,
+                        rate,
+                        start,
+                        frame: Arc::new(frame),
+                        wire_len,
+                        ends_remaining,
+                    },
+                )
+                .is_some()
+            {
+                return Err(CkptError::Malformed(format!("duplicate tx id {tx_id}")));
+            }
+        }
+        self.stats = Stats::ckpt_load(&mut r)?;
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.ckpt_load(&mut r)?;
+        }
+        for node in 0..self.node_count() {
+            let blob = r.bytes()?;
+            self.macs[node]
+                .as_deref_mut()
+                .unwrap_or_else(|| panic!("mac {node} taken during restore"))
+                .load_state(blob)
+                .map_err(|e| CkptError::Mismatch(format!("node {node} MAC state: {e}")))?;
+        }
+        r.expect_end()?;
+        // Mid-run: `start` must never fire again (the restored wheel
+        // already carries the fault schedule, audits and MAC timers).
+        self.started = true;
+        self.stats.ensure_flows(self.flows.len());
+        Ok(())
+    }
 }
 
 /// Stable snake_case tag for a frame kind (the trace `kind` field).

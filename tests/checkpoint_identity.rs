@@ -1,0 +1,188 @@
+//! The checkpoint byte-identity gate (DESIGN.md "Run-level fault
+//! tolerance"): a run interrupted at an arbitrary mid-point, checkpointed,
+//! and restored into a *fresh* identically-configured world must finish
+//! with byte-identical statistics to the run that was never interrupted.
+//!
+//! This is the strongest form of the crash-safety claim — not "close
+//! enough after resume" but the same determinism bar every other artifact
+//! in the repo is held to (same seed ⇒ same bytes). It exercises the full
+//! serialization surface: scheduler wheel, radio bank, per-node RNGs,
+//! in-flight transmissions, MAC state (CMAP conflict map, windows, defer
+//! table; DCF backoff/NAV), rate-adaptation state, stats, and fault
+//! processes.
+
+use cmap_suite::cmap::{CmapConfig, CmapMac, ThroughputRate};
+use cmap_suite::experiments::{runner, Protocol, Spec};
+use cmap_suite::phy::Rate;
+use cmap_suite::sim::time::{secs, Time};
+use cmap_suite::sim::{CkptError, FaultPlan, World};
+
+fn spec() -> Spec {
+    Spec {
+        duration: secs(4),
+        configs: 2,
+        ..Spec::default()
+    }
+}
+
+/// Build a testbed world with two flows on an exposed-terminal pair,
+/// ready for a protocol install. Every call with the same inputs must
+/// configure identically — that is exactly the contract `World::restore`
+/// checks.
+fn build(spec: &Spec, run_seed: u64) -> World {
+    use cmap_suite::sim::rng::stream_rng;
+    use cmap_suite::topo::select;
+    let ctx = runner::testbed_ctx(spec);
+    let mut rng = stream_rng(spec.run_seed, 0x5e1ec7);
+    let pairs = select::exposed_pairs(&ctx.lm, spec.configs, &mut rng);
+    let pair = pairs.first().expect("an exposed-terminal pair exists");
+    let mut world = runner::build_world(&ctx, run_seed);
+    world.add_flow(pair.s1, pair.r1, spec.payload);
+    world.add_flow(pair.s2, pair.r2, spec.payload);
+    world
+}
+
+fn finish(w: &mut World, until: Time) -> (String, u64) {
+    w.run_until(until);
+    assert_eq!(w.watchdog_violations(), 0, "watchdog violations");
+    (w.stats().snapshot(), w.events_processed())
+}
+
+/// Core gate: straight run vs checkpoint-at-mid + restore-into-fresh-world.
+fn assert_resume_identical(
+    configure: impl Fn(&mut World),
+    faults: Option<FaultPlan>,
+    run_seed: u64,
+) {
+    let spec = spec();
+    let mid = spec.duration / 2;
+    let setup = |s: &Spec| {
+        let mut w = build(s, run_seed);
+        configure(&mut w);
+        if let Some(plan) = &faults {
+            w.install_faults(plan.clone());
+        }
+        w
+    };
+
+    // The uninterrupted reference run.
+    let mut straight = setup(&spec);
+    let reference = finish(&mut straight, spec.duration);
+
+    // Interrupted run: advance to `mid`, checkpoint, drop the world.
+    let ckpt = {
+        let mut w = setup(&spec);
+        w.run_until(mid);
+        w.checkpoint().expect("checkpoint at mid-run")
+    };
+
+    // Checkpoint bytes are themselves deterministic.
+    let ckpt2 = {
+        let mut w = setup(&spec);
+        w.run_until(mid);
+        w.checkpoint().expect("checkpoint at mid-run, second take")
+    };
+    assert_eq!(ckpt, ckpt2, "same-seed checkpoints are not byte-identical");
+
+    // Resume in a fresh world (a stand-in for a fresh process: nothing
+    // carries over but the blob and the configuration recipe).
+    let mut resumed_world = setup(&spec);
+    resumed_world.restore(&ckpt).expect("restore");
+    let resumed = finish(&mut resumed_world, spec.duration);
+
+    assert_eq!(
+        reference, resumed,
+        "resumed run diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn cmap_resume_is_byte_identical() {
+    assert_resume_identical(|w| Protocol::cmap().install(w), None, 11);
+}
+
+#[test]
+fn cmap_resume_under_faults_is_byte_identical() {
+    let plan = FaultPlan::mixed(50, spec().duration);
+    assert_resume_identical(|w| Protocol::cmap().install(w), Some(plan), 12);
+}
+
+#[test]
+fn dcf_resume_is_byte_identical() {
+    assert_resume_identical(|w| Protocol::cs_on().install(w), None, 13);
+}
+
+#[test]
+fn rate_adaptive_cmap_resume_is_byte_identical() {
+    let install = |w: &mut World| {
+        let cfg = CmapConfig {
+            rate_aware: true,
+            ..CmapConfig::default()
+        };
+        for node in 0..w.node_count() {
+            let ladder = vec![Rate::R6, Rate::R12, Rate::R18];
+            let ctl = Box::new(ThroughputRate::new(ladder));
+            w.set_mac(
+                node,
+                Box::new(CmapMac::with_rate_controller(cfg.clone(), ctl)),
+            );
+        }
+    };
+    assert_resume_identical(install, None, 14);
+}
+
+#[test]
+fn restore_rejects_mismatched_configuration() {
+    let spec = spec();
+    let ckpt = {
+        let mut w = build(&spec, 11);
+        Protocol::cmap().install(&mut w);
+        w.run_until(spec.duration / 2);
+        w.checkpoint().expect("checkpoint")
+    };
+
+    // Different seed: the config echo must catch it.
+    let mut wrong_seed = build(&spec, 99);
+    Protocol::cmap().install(&mut wrong_seed);
+    assert!(
+        matches!(wrong_seed.restore(&ckpt), Err(CkptError::Mismatch(_))),
+        "restore accepted a world built with a different seed"
+    );
+
+    // Different flow set.
+    let mut wrong_flows = build(&spec, 11);
+    wrong_flows.add_flow(0, 1, 100);
+    Protocol::cmap().install(&mut wrong_flows);
+    assert!(
+        matches!(wrong_flows.restore(&ckpt), Err(CkptError::Mismatch(_))),
+        "restore accepted a world with extra flows"
+    );
+
+    // Already-started worlds cannot be restored into.
+    let mut started = build(&spec, 11);
+    Protocol::cmap().install(&mut started);
+    started.run_until(secs(1));
+    assert!(
+        matches!(started.restore(&ckpt), Err(CkptError::Mismatch(_))),
+        "restore accepted an already-started world"
+    );
+
+    // Truncated blobs fail loudly (the world is then poisoned and must be
+    // rebuilt — restore makes no atomicity promise, only detection).
+    let mut fresh = build(&spec, 11);
+    Protocol::cmap().install(&mut fresh);
+    assert!(
+        fresh.restore(&ckpt[..ckpt.len() / 2]).is_err(),
+        "restore accepted a truncated checkpoint"
+    );
+}
+
+#[test]
+fn checkpoint_requires_a_started_world() {
+    let spec = spec();
+    let w = build(&spec, 11);
+    assert!(
+        matches!(w.checkpoint(), Err(CkptError::Mismatch(_))),
+        "checkpoint of a never-started world must be refused"
+    );
+}

@@ -486,9 +486,40 @@ pub mod sample {
     }
 }
 
+pub mod option {
+    //! Strategies for `Option<T>` (real proptest's `prop::option`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `None` one case in four, otherwise `Some` of the inner strategy.
+    /// (Real proptest defaults to 1-in-10 `None`; the higher rate keeps
+    /// absent-field paths covered at this engine's smaller case counts.)
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 pub mod prop {
     //! The `prop::` path exposed by the prelude.
     pub use super::collection;
+    pub use super::option;
     pub use super::sample;
 }
 

@@ -300,6 +300,21 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Expose the raw xoshiro256++ state, so checkpointing code can
+        /// serialize a generator mid-stream (`cmap-ckpt/v1`).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from [`SmallRng::state`] output. No all-zero
+        /// nudge: states captured from a live generator are never all-zero
+        /// (the zero state is a fixed point `from_seed` already avoids).
+        pub fn from_state(s: [u64; 4]) -> SmallRng {
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
@@ -431,6 +446,18 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = SmallRng::seed_from_u64(11);
+        for _ in 0..17 {
+            let _ = a.next_u64();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]
