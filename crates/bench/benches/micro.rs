@@ -10,7 +10,7 @@ use cmap_core::{CmapConfig, CmapMac};
 use cmap_phy::{error_model, Rate};
 use cmap_sim::event::{Event, Scheduler};
 use cmap_sim::time::secs;
-use cmap_sim::{Medium, PhyConfig, World};
+use cmap_sim::{MediumBuilder, PhyConfig, World};
 use cmap_wire::{cmap, Frame, MacAddr};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -18,7 +18,13 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut s = Scheduler::new();
             for i in 0..10_000u64 {
-                s.schedule((i * 7919) % 100_000, Event::Timer { node: 0, token: i });
+                s.schedule(
+                    (i * 7919) % 100_000,
+                    Event::Timer {
+                        node: 0.into(),
+                        token: i,
+                    },
+                );
             }
             let mut last = 0;
             while let Some((t, _)) = s.pop() {
@@ -116,8 +122,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             for i in 0..n {
                 gains[i * n + i] = f64::NEG_INFINITY;
             }
-            let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-            let mut w = World::new(medium, phy, 1);
+            let medium = MediumBuilder::new(&phy)
+                .gains_db(n, &gains, &vec![100; n * n])
+                .build();
+            let mut w = World::builder().medium(medium).phy(phy).seed(1).build();
             w.add_flow(0, 1, 1400);
             w.add_flow(2, 3, 1400);
             for node in 0..n {

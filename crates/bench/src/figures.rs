@@ -24,7 +24,7 @@ use cmap_mac80211::{DcfConfig, DcfMac};
 use cmap_obs::{LoopProfile, MetricValue, RunReport, SpecBlock, TimingBlock};
 use cmap_phy::Rate;
 use cmap_sim::time::secs;
-use cmap_sim::{FaultPlan, Medium, PhyConfig, World};
+use cmap_sim::{FaultPlan, MediumBuilder, PhyConfig, SparseStats, World};
 use cmap_stats::{std_dev, Cdf};
 use cmap_topo::{LinkMeasurements, Testbed};
 
@@ -98,6 +98,7 @@ pub fn registry() -> Vec<Box<dyn Figure>> {
         Box::new(ConvergenceSweep),
         Box::new(Ablations),
         Box::new(ChaosSoak),
+        Box::new(ScaleSweep),
     ]
 }
 
@@ -913,8 +914,10 @@ fn ablation_run(
     for &(a, b, rss_dbm) in rss {
         gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
     }
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-    let mut w = World::new(medium, phy, seed);
+    let medium = MediumBuilder::new(&phy)
+        .gains_db(n, &gains, &vec![100; n * n])
+        .build();
+    let mut w = World::builder().medium(medium).phy(phy).seed(seed).build();
     let f1 = w.add_flow(0, 1, 1400);
     let f2 = w.add_flow(2, 3, 1400);
     for node in 0..n {
@@ -1086,8 +1089,10 @@ pub fn exposed_world(seed: u64) -> (World, Vec<u16>) {
         gains[b * SOAK_NODES + a] = rss_dbm - phy.tx_power_dbm;
     }
     let delays = vec![100u64; SOAK_NODES * SOAK_NODES];
-    let medium = Medium::from_gains_db(SOAK_NODES, &gains, &delays, &phy);
-    let mut w = World::new(medium, phy, seed);
+    let medium = MediumBuilder::new(&phy)
+        .gains_db(SOAK_NODES, &gains, &delays)
+        .build();
+    let mut w = World::builder().medium(medium).phy(phy).seed(seed).build();
     let f1 = w.add_flow(0, 1, 1400);
     let f2 = w.add_flow(2, 3, 1400);
     (w, vec![f1, f2])
@@ -1270,6 +1275,217 @@ pub fn profile_event_loop() -> LoopProfile {
     }
     profile.set_dispatch(&w.event_counts());
     profile
+}
+
+// ---------------------------------------------------------------------------
+// City-scale sweep (extension)
+// ---------------------------------------------------------------------------
+
+/// Interference-pruning threshold for sparse scale cells, dB above the
+/// per-link pruning floor. The recorded error bound is deliberately
+/// worst-case — it charges every out-of-range pair as if transmitting
+/// simultaneously at the tail gain — so it grows with N; the chart
+/// records it so regressions in the pruning geometry are visible.
+const SCALE_EPSILON_DB: f64 = 3.0;
+
+/// Street-grid block spacing for generated scale cities, metres.
+const SCALE_BLOCK_M: f64 = 30.0;
+
+/// Saturated flows per cell. Constant offered load across N isolates the
+/// medium/engine cost of topology scale in the events/sec column.
+const SCALE_FLOWS: usize = 16;
+
+/// What one scale cell (node count × MAC) measured.
+struct ScaleCell {
+    events: u64,
+    wall_secs: f64,
+    peak_rss_bytes: u64,
+    delivered: u64,
+}
+
+/// Run one city-scale cell: generate the city, build the sparse medium,
+/// saturate [`SCALE_FLOWS`] nearest-neighbor flows, run, and measure.
+fn scale_cell(n: usize, proto: &Proto, seed: u64, duration: u64) -> (ScaleCell, SparseStats) {
+    let phy = PhyConfig::default();
+    let channel = cmap_topo::ChannelModel::default();
+    let dep = cmap_topo::grid_city(n, SCALE_BLOCK_M, 5.0, channel, seed);
+    // Evaluate out to where even a 3-sigma shadowing boost cannot lift a
+    // link above the noise floor; everything beyond folds into the bound.
+    let min_gain_db = phy.noise_floor_dbm - phy.tx_power_dbm;
+    let medium = MediumBuilder::new(&phy)
+        .epsilon_db(SCALE_EPSILON_DB)
+        .positions(
+            dep.positions.clone(),
+            channel.eval_range_m(min_gain_db),
+            channel.tail_gain_db(min_gain_db),
+            dep.gain_fn(),
+        )
+        .build();
+    let sparse = *medium
+        .sparse_stats()
+        .expect("positions build yields a sparse medium");
+    cmap_obs::rss::reset_peak();
+    let mut w = World::builder().medium(medium).phy(phy).seed(seed).build();
+    let flows = SCALE_FLOWS.min(n / 2).max(1);
+    let mut flow_ids = Vec::with_capacity(flows);
+    for k in 0..flows {
+        let src = cmap_sim::NodeId::new(k * n / flows);
+        // Send to the strongest-gain neighbor; isolated sources (possible
+        // under heavy shadowing at tiny N) simply contribute no flow.
+        let dst = w
+            .medium()
+            .reachable(src)
+            .iter()
+            .copied()
+            .max_by(|&a, &b| w.medium().gain(src, a).total_cmp(&w.medium().gain(src, b)));
+        if let Some(dst) = dst {
+            flow_ids.push(w.add_flow(src, dst, 1400));
+        }
+    }
+    for i in 0..n {
+        match proto {
+            Proto::Cmap => w.set_mac(i, Box::new(CmapMac::new(CmapConfig::default()))),
+            Proto::Dcf => w.set_mac(i, Box::new(DcfMac::new(DcfConfig::status_quo()))),
+        }
+    }
+    // cmap-lint: allow(wall-clock) — harness-shell cell timing for the events/sec column; never feeds simulation state
+    let t0 = std::time::Instant::now();
+    w.run_until(duration);
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let delivered = flow_ids
+        .iter()
+        .map(|&f| w.stats().flow(f).arrivals.len() as u64)
+        .sum();
+    let peak_rss_bytes = cmap_obs::rss::peak_rss_bytes()
+        .or_else(cmap_obs::rss::current_rss_bytes)
+        .unwrap_or(0);
+    (
+        ScaleCell {
+            events: w.events_processed(),
+            wall_secs,
+            peak_rss_bytes,
+            delivered,
+        },
+        sparse,
+    )
+}
+
+/// City-scale sweep: events/sec and peak resident memory vs node count
+/// under CMAP and DCF over the sparse spatially-indexed medium.
+pub struct ScaleSweep;
+
+impl ScaleSweep {
+    fn node_counts(cli: &Cli) -> Vec<usize> {
+        // `--runs N` narrows the sweep to one node count, which is how CI
+        // charts per-N cells in separate processes (clean per-run RSS).
+        if let Some(n) = cli.runs {
+            return vec![n.max(2)];
+        }
+        match cli.effort {
+            Effort::Quick => vec![50, 1_000, 10_000],
+            Effort::Standard => vec![50, 1_000, 10_000, 30_000],
+            // MAC addressing caps instantiated worlds at 65535 nodes.
+            Effort::Full => vec![50, 1_000, 10_000, 60_000],
+        }
+    }
+
+    fn duration(cli: &Cli) -> u64 {
+        match cli.effort {
+            Effort::Quick => cmap_sim::time::millis(200),
+            Effort::Standard => secs(1),
+            Effort::Full => secs(2),
+        }
+    }
+}
+
+impl Figure for ScaleSweep {
+    fn name(&self) -> &'static str {
+        "scale_sweep"
+    }
+    fn title(&self) -> &'static str {
+        "Scale sweep — city-scale sparse medium vs node count"
+    }
+    fn paper_claim(&self) -> &'static str {
+        "extension: sparse spatial medium sustains 10k+ node cities with a recorded interference error bound"
+    }
+    fn spec(&self, cli: &Cli) -> Spec {
+        Spec {
+            testbed_seed: cli.seed,
+            duration: ScaleSweep::duration(cli),
+            configs: ScaleSweep::node_counts(cli).len(),
+            ..Spec::default()
+        }
+    }
+    fn required_metrics(&self) -> &'static [&'static str] {
+        &["scale.cells", "scale.error_bound_db_max"]
+    }
+    fn in_repro(&self) -> bool {
+        false
+    }
+    fn run(&self, cli: &Cli) -> FigureOutput {
+        let counts = ScaleSweep::node_counts(cli);
+        let duration = ScaleSweep::duration(cli);
+        let mut out = FigureOutput::new();
+        out.line(format!(
+            "{} node counts x 2 MACs, {:.1}s sim each, epsilon {SCALE_EPSILON_DB} dB, seed {}",
+            counts.len(),
+            duration as f64 / 1e9,
+            cli.seed,
+        ));
+        out.line(format!(
+            "{:>7} {:>5} {:>12} {:>12} {:>10} {:>9} {:>9} {:>12}",
+            "nodes", "mac", "events", "events/s", "rss MiB", "links", "pruned", "err bound dB"
+        ));
+        // Cells run serially under the supervised executor: a panicking
+        // cell is retried and quarantined instead of killing the sweep,
+        // and one-at-a-time keeps per-cell peak-RSS readings honest.
+        let pool = cmap_exec::Pool::new(1);
+        let mut cells: Vec<(usize, Proto)> = Vec::new();
+        for &n in &counts {
+            cells.push((n, Proto::Cmap));
+            cells.push((n, Proto::Dcf));
+        }
+        let seed = cli.seed;
+        let results = pool.map(&cells, |(n, proto)| scale_cell(*n, proto, seed, duration));
+        let mut err_bound_max = 0.0f64;
+        for ((n, proto), (cell, sparse)) in cells.iter().zip(&results) {
+            let mac = match proto {
+                Proto::Cmap => "cmap",
+                Proto::Dcf => "dcf",
+            };
+            let eps = cell.events as f64 / cell.wall_secs.max(1e-9);
+            err_bound_max = err_bound_max.max(sparse.error_bound_db);
+            out.line(format!(
+                "{n:>7} {mac:>5} {:>12} {:>12.0} {:>10.1} {:>9} {:>9} {:>12.6}",
+                cell.events,
+                eps,
+                cell.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                sparse.links,
+                sparse.pruned,
+                sparse.error_bound_db,
+            ));
+            let k = format!("scale.n{n}.{mac}");
+            out.metric(format!("{k}.events"), cell.events);
+            out.metric(format!("{k}.events_per_sec"), eps);
+            out.metric(format!("{k}.peak_rss_bytes"), cell.peak_rss_bytes);
+            out.metric(format!("{k}.delivered"), cell.delivered);
+            out.metric(format!("{k}.links"), sparse.links);
+            out.metric(format!("{k}.pruned"), sparse.pruned);
+            out.metric(format!("{k}.error_bound_db"), sparse.error_bound_db);
+            if cell.events == 0 {
+                out.failures
+                    .push(format!("[n={n} {mac}] no events processed"));
+            }
+            if cell.delivered == 0 && *n >= 50 {
+                out.failures
+                    .push(format!("[n={n} {mac}] nothing delivered"));
+            }
+        }
+        out.metric("scale.cells", cells.len());
+        out.metric("scale.error_bound_db_max", err_bound_max);
+        out.metric("scale.epsilon_db", SCALE_EPSILON_DB);
+        out
+    }
 }
 
 #[cfg(test)]

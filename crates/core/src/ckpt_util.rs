@@ -1,4 +1,4 @@
-//! Shared field codecs for the per-module `cmap-ckpt/v1` state
+//! Shared field codecs for the per-module `cmap-ckpt/v2` state
 //! serializers: link-layer addresses and bit-rates as fixed-width fields.
 
 use cmap_phy::Rate;

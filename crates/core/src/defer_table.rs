@@ -140,7 +140,7 @@ impl DeferTable {
     }
 
     /// Append the full table (entries with expiry and rate annotation) to a
-    /// `cmap-ckpt/v1` checkpoint.
+    /// `cmap-ckpt/v2` checkpoint.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
         w.len(self.entries.len());
         for (e, m) in &self.entries {

@@ -235,7 +235,7 @@ impl InterfererTracker {
     }
 
     /// Append the full tracker state (activity windows, pair counters,
-    /// qualified entries, promotions log) to a `cmap-ckpt/v1` checkpoint.
+    /// qualified entries, promotions log) to a `cmap-ckpt/v2` checkpoint.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
         w.len(self.activity.len());
         for (&node, windows) in &self.activity {

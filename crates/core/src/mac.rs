@@ -323,7 +323,7 @@ impl CmapMac {
                 let wait = (until.saturating_sub(now) + jitter).min(self.cfg.max_defer_wait);
                 if ctx.trace_enabled() {
                     ctx.trace(TraceEvent::DeferDecision {
-                        node: u32::try_from(ctx.node()).unwrap_or(u32::MAX),
+                        node: u32::try_from(ctx.node().index()).unwrap_or(u32::MAX),
                         dst: dst.node_index().unwrap_or(u16::MAX),
                         wait_ns: wait,
                         fallback,
@@ -560,7 +560,7 @@ impl CmapMac {
         ctx.stats().add(CounterId::CmapPktsAcked, newly as u64);
         if newly > 0 && ctx.trace_enabled() {
             ctx.trace(TraceEvent::AckWindowSlide {
-                node: u32::try_from(ctx.node()).unwrap_or(u32::MAX),
+                node: u32::try_from(ctx.node().index()).unwrap_or(u32::MAX),
                 peer: ack.src.node_index().unwrap_or(u16::MAX),
                 newly_acked: newly as u32,
             });
@@ -806,7 +806,7 @@ impl CmapMac {
         }
     }
 
-    // ---- cmap-ckpt/v1 ----------------------------------------------------
+    // ---- cmap-ckpt/v2 ----------------------------------------------------
 
     /// Parse a [`Mac::save_state`] blob into this (identically-configured)
     /// instance; typed-error core of [`Mac::load_state`].
@@ -1042,7 +1042,7 @@ impl Mac for CmapMac {
                     && ctx.trace_enabled()
                 {
                     ctx.trace(TraceEvent::FallbackToCsma {
-                        node: u32::try_from(ctx.node()).unwrap_or(u32::MAX),
+                        node: u32::try_from(ctx.node().index()).unwrap_or(u32::MAX),
                         timeout_streak: self.consecutive_ack_timeouts,
                     });
                 }
@@ -1253,7 +1253,7 @@ mod tests {
     use super::*;
     use cmap_mac80211::{DcfConfig, DcfMac};
     use cmap_sim::time::secs;
-    use cmap_sim::{Medium, PhyConfig, World};
+    use cmap_sim::{MediumBuilder, PhyConfig, World};
 
     fn world_from_rss(n: usize, rss: &[(usize, usize, f64)], seed: u64) -> World {
         let phy = PhyConfig::default();
@@ -1262,8 +1262,10 @@ mod tests {
             gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
         }
         let delays = vec![100u64; n * n];
-        let medium = Medium::from_gains_db(n, &gains, &delays, &phy);
-        World::new(medium, phy, seed)
+        let medium = MediumBuilder::new(&phy)
+            .gains_db(n, &gains, &delays)
+            .build();
+        World::builder().medium(medium).phy(phy).seed(seed).build()
     }
 
     fn sym(a: usize, b: usize, rss: f64) -> [(usize, usize, f64); 2] {
@@ -1659,7 +1661,7 @@ mod tests {
         cmap_all(&mut w, 2, &CmapConfig::default());
         let mut plan = FaultPlan::clean();
         plan.churn.push(Outage {
-            node: 0,
+            node: cmap_sim::NodeId::new(0),
             down_at: secs(3),
             up_at: secs(4),
         });

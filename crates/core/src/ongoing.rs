@@ -107,7 +107,7 @@ impl OngoingList {
     }
 
     /// Append the list (in insertion order — the order is part of the
-    /// deterministic state) to a `cmap-ckpt/v1` checkpoint.
+    /// deterministic state) to a `cmap-ckpt/v2` checkpoint.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
         w.len(self.entries.len());
         for e in &self.entries {

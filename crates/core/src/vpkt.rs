@@ -240,7 +240,7 @@ impl SendWindow {
 
     /// Append the full window state (sequence counters, outstanding virtual
     /// packets, retransmission queue, pending rate feedback) to a
-    /// `cmap-ckpt/v1` checkpoint.
+    /// `cmap-ckpt/v2` checkpoint.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
         w.len(self.next_seq.len());
         for (&dst, &seq) in &self.next_seq {
@@ -453,7 +453,7 @@ impl PeerRx {
     }
 
     /// Append the per-sender reception state (reception records, finalised
-    /// set, ACK-window cursor) to a `cmap-ckpt/v1` checkpoint.
+    /// set, ACK-window cursor) to a `cmap-ckpt/v2` checkpoint.
     pub fn ckpt_save(&self, w: &mut CkptWriter) {
         w.len(self.records.len());
         for (&seq, rec) in &self.records {

@@ -1,7 +1,7 @@
 //! Shared run machinery: specs, world construction, measurement.
 
 use cmap_sim::time::{secs, Time};
-use cmap_sim::{CounterId, Medium, PhyConfig, World};
+use cmap_sim::{CounterId, MediumBuilder, PhyConfig, World};
 use cmap_topo::{LinkMeasurements, RadioEnv, Testbed};
 
 use crate::protocol::Protocol;
@@ -101,8 +101,14 @@ pub fn testbed_ctx(spec: &Spec) -> TestbedCtx {
 
 /// Build a world over the testbed's medium.
 pub fn build_world(ctx: &TestbedCtx, seed: u64) -> World {
-    let medium = Medium::from_gains_db(ctx.tb.len(), &ctx.tb.gains_db, &ctx.tb.delay_ns, &ctx.phy);
-    World::new(medium, ctx.phy.clone(), seed)
+    let medium = MediumBuilder::new(&ctx.phy)
+        .gains_db(ctx.tb.len(), &ctx.tb.gains_db, &ctx.tb.delay_ns)
+        .build();
+    World::builder()
+        .medium(medium)
+        .phy(ctx.phy.clone())
+        .seed(seed)
+        .build()
 }
 
 /// What one run produces.

@@ -277,7 +277,7 @@ impl DcfMac {
         self.finish_packet(ctx);
     }
 
-    // ---- cmap-ckpt/v1 ----------------------------------------------------
+    // ---- cmap-ckpt/v2 ----------------------------------------------------
 
     /// Parse a [`Mac::save_state`] blob into this (identically-configured)
     /// instance; typed-error core of [`Mac::load_state`].
@@ -303,7 +303,7 @@ impl DcfMac {
         self.cur = if r.bool()? {
             let flow = r.u16()?;
             let flow_seq = r.u32()?;
-            let dst = r.len()?;
+            let dst = cmap_sim::NodeId::new(r.len()?);
             let dst_mac = get_addr(&mut r)?;
             let payload_len = r.len()?;
             let seq = r.u16()?;
@@ -526,7 +526,7 @@ impl Mac for DcfMac {
                 w.bool(true);
                 w.u16(cur.pkt.flow);
                 w.u32(cur.pkt.flow_seq);
-                w.len(cur.pkt.dst);
+                w.len(cur.pkt.dst.index());
                 put_addr(&mut w, cur.pkt.dst_mac);
                 w.len(cur.pkt.payload_len);
                 w.u16(cur.seq);
@@ -564,7 +564,7 @@ impl Mac for DcfMac {
 mod tests {
     use super::*;
     use cmap_sim::time::secs;
-    use cmap_sim::{Medium, PhyConfig, World};
+    use cmap_sim::{MediumBuilder, PhyConfig, World};
 
     /// Build a world from RSS values in dBm (gain = rss - tx_power).
     fn world_from_rss(n: usize, rss: &[(usize, usize, f64)], seed: u64) -> World {
@@ -574,8 +574,10 @@ mod tests {
             gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
         }
         let delays = vec![100u64; n * n];
-        let medium = Medium::from_gains_db(n, &gains, &delays, &phy);
-        World::new(medium, phy, seed)
+        let medium = MediumBuilder::new(&phy)
+            .gains_db(n, &gains, &delays)
+            .build();
+        World::builder().medium(medium).phy(phy).seed(seed).build()
     }
 
     fn tput(w: &World, flow: u16, from: Time, to: Time) -> f64 {
@@ -621,12 +623,12 @@ mod tests {
         w.set_mac(1, Box::new(DcfMac::new(DcfConfig::status_quo())));
         let mut plan = FaultPlan::clean();
         plan.churn.push(Outage {
-            node: 0,
+            node: cmap_sim::NodeId::new(0),
             down_at: secs(1),
             up_at: secs(2),
         });
         plan.churn.push(Outage {
-            node: 1,
+            node: cmap_sim::NodeId::new(1),
             down_at: secs(3),
             up_at: secs(4),
         });

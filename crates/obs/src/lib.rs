@@ -32,6 +32,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod rss;
 pub mod trace;
 
 pub use artifact::{atomic_write, fnv1a64, Manifest, MANIFEST_SCHEMA};

@@ -99,7 +99,7 @@ impl NodeApp {
             flow,
             flow_seq,
             dst: f.dst,
-            dst_mac: MacAddr::from_node_index(f.dst as u16),
+            dst_mac: MacAddr::from_node_index(f.dst.index() as u16),
             payload_len: f.payload_len,
         })
     }
@@ -133,7 +133,7 @@ impl NodeApp {
         None
     }
 
-    // ---- cmap-ckpt/v1 ---------------------------------------------------
+    // ---- cmap-ckpt/v2 ---------------------------------------------------
 
     /// Serialize the dynamic state: relay queue contents and the
     /// round-robin cursor. The flow membership itself is configuration,
@@ -201,20 +201,24 @@ impl NodeApp {
 mod tests {
     use super::*;
 
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
     fn flows() -> Vec<Flow> {
         vec![
             Flow {
                 id: 0,
-                src: 0,
-                dst: 1,
+                src: nid(0),
+                dst: nid(1),
                 payload_len: 1400,
                 kind: FlowKind::Saturated,
                 next_seq: 0,
             },
             Flow {
                 id: 1,
-                src: 0,
-                dst: 2,
+                src: nid(0),
+                dst: nid(2),
                 payload_len: 700,
                 kind: FlowKind::Relay { upstream: 0 },
                 next_seq: 0,
@@ -240,7 +244,7 @@ mod tests {
         let b = app.pop(&mut fl).unwrap();
         assert_eq!(a.flow_seq, 0);
         assert_eq!(b.flow_seq, 1);
-        assert_eq!(a.dst, 1);
+        assert_eq!(a.dst, nid(1));
         assert_eq!(a.payload_len, 1400);
     }
 
@@ -255,7 +259,7 @@ mod tests {
         assert!(!app.push_relay(1, 43));
         let p = app.pop(&mut fl).unwrap();
         assert_eq!(p.flow_seq, 42);
-        assert_eq!(p.dst, 2);
+        assert_eq!(p.dst, nid(2));
         assert_eq!(p.payload_len, 700);
     }
 
@@ -278,11 +282,11 @@ mod tests {
         let mut fl = flows();
         let mut app = app_with_both();
         app.push_relay(1, 9);
-        let p = app.pop_to(&mut fl, 2).unwrap();
+        let p = app.pop_to(&mut fl, nid(2)).unwrap();
         assert_eq!(p.flow, 1);
-        assert!(app.pop_to(&mut fl, 2).is_none());
-        let p = app.pop_to(&mut fl, 1).unwrap();
+        assert!(app.pop_to(&mut fl, nid(2)).is_none());
+        let p = app.pop_to(&mut fl, nid(1)).unwrap();
         assert_eq!(p.flow, 0);
-        assert!(app.pop_to(&mut fl, 99).is_none());
+        assert!(app.pop_to(&mut fl, nid(99)).is_none());
     }
 }

@@ -1,4 +1,4 @@
-//! `cmap-ckpt/v1` — the versioned binary checkpoint format.
+//! `cmap-ckpt/v2` — the versioned binary checkpoint format.
 //!
 //! A checkpoint is a full serialization of a mid-run [`World`]: simulation
 //! clock, timing-wheel contents, radio bank, per-node RNG stream
@@ -21,7 +21,10 @@
 //! [`World`]: crate::World
 
 /// Format identifier; serialized as the magic prefix of every checkpoint.
-pub const CKPT_MAGIC: &str = "cmap-ckpt/v1";
+/// v2 (city-scale medium PR) extends the config echo with the medium
+/// fingerprint, so a checkpoint can no longer be restored over a world
+/// whose propagation engine or link set drifted from the saved one.
+pub const CKPT_MAGIC: &str = "cmap-ckpt/v2";
 
 /// Why a checkpoint could not be decoded or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -294,9 +297,14 @@ mod tests {
             CkptReader::new(b"not-a-checkpoint").unwrap_err(),
             CkptError::BadMagic
         );
-        // Magic of a future version must be rejected, not half-read.
+        // Magic of a past or future version must be rejected, not
+        // half-read.
         assert_eq!(
-            CkptReader::new(b"cmap-ckpt/v2\n").unwrap_err(),
+            CkptReader::new(b"cmap-ckpt/v1\n").unwrap_err(),
+            CkptError::BadMagic
+        );
+        assert_eq!(
+            CkptReader::new(b"cmap-ckpt/v3\n").unwrap_err(),
             CkptError::BadMagic
         );
 

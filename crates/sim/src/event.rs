@@ -303,7 +303,7 @@ impl Scheduler {
     }
 }
 
-// ---- cmap-ckpt/v1 -------------------------------------------------------
+// ---- cmap-ckpt/v2 -------------------------------------------------------
 
 impl Event {
     /// Encode this event for a checkpoint (tag byte = [`Event::kind_idx`]).
@@ -311,15 +311,15 @@ impl Event {
         w.u8(self.kind_idx() as u8);
         match *self {
             Event::TxEnd { node, tx_id } => {
-                w.len(node);
+                w.len(node.index());
                 w.u64(tx_id);
             }
             Event::FrameStart { rx, tx_id } | Event::FrameEnd { rx, tx_id } => {
-                w.len(rx);
+                w.len(rx.index());
                 w.u64(tx_id);
             }
             Event::Timer { node, token } => {
-                w.len(node);
+                w.len(node.index());
                 w.u64(token);
             }
             Event::Fault { idx } => w.u32(idx),
@@ -331,19 +331,19 @@ impl Event {
     pub(crate) fn ckpt_load(r: &mut CkptReader<'_>) -> Result<Event, CkptError> {
         Ok(match r.u8()? {
             0 => Event::TxEnd {
-                node: r.len()?,
+                node: NodeId::new(r.len()?),
                 tx_id: r.u64()?,
             },
             1 => Event::FrameStart {
-                rx: r.len()?,
+                rx: NodeId::new(r.len()?),
                 tx_id: r.u64()?,
             },
             2 => Event::FrameEnd {
-                rx: r.len()?,
+                rx: NodeId::new(r.len()?),
                 tx_id: r.u64()?,
             },
             3 => Event::Timer {
-                node: r.len()?,
+                node: NodeId::new(r.len()?),
                 token: r.u64()?,
             },
             4 => Event::Fault { idx: r.u32()? },
@@ -460,8 +460,11 @@ impl Scheduler {
 mod tests {
     use super::*;
 
-    fn timer(node: NodeId, token: u64) -> Event {
-        Event::Timer { node, token }
+    fn timer(node: usize, token: u64) -> Event {
+        Event::Timer {
+            node: NodeId::new(node),
+            token,
+        }
     }
 
     #[test]

@@ -39,9 +39,9 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::ckpt::{CkptError, CkptReader, CkptWriter};
+use crate::node::NodeId;
 use crate::rng::{normal, stream_rng};
 use crate::time::Time;
-use crate::world::NodeId;
 
 /// RNG stream indices far above the per-node streams (node `i` uses stream
 /// `i + 1`), so fault randomness never collides with node randomness.
@@ -128,7 +128,7 @@ impl FaultPlan {
             .map(|i| {
                 let down_at = duration * (i + 1) / (n + 2);
                 Outage {
-                    node: i as NodeId,
+                    node: NodeId::new(i as usize),
                     down_at,
                     up_at: down_at + duration / 12,
                 }
@@ -164,7 +164,7 @@ impl FaultPlan {
             .map(|i| {
                 let at = duration * (2 * i + 3) / (2 * n + 4);
                 Lockup {
-                    node: i as NodeId,
+                    node: NodeId::new(i as usize),
                     at,
                     until: at + duration / 20,
                 }
@@ -173,7 +173,7 @@ impl FaultPlan {
         let clock_skew_ppm = (0..nodes)
             .map(|i| {
                 let ppm = if i % 2 == 0 { 150 } else { -150 };
-                (i, ppm)
+                (NodeId::new(i), ppm)
             })
             .collect();
         FaultPlan {
@@ -267,7 +267,7 @@ impl FaultPlan {
                     for item in value.split(',') {
                         let f = parse_fields(item, 3)?;
                         plan.churn.push(Outage {
-                            node: f[0] as NodeId,
+                            node: NodeId::new(f[0] as usize),
                             down_at: f[1],
                             up_at: f[2],
                         });
@@ -277,7 +277,7 @@ impl FaultPlan {
                     for item in value.split(',') {
                         let f = parse_fields(item, 3)?;
                         plan.lockups.push(Lockup {
-                            node: f[0] as NodeId,
+                            node: NodeId::new(f[0] as usize),
                             at: f[1],
                             until: f[2],
                         });
@@ -311,7 +311,7 @@ impl FaultPlan {
                             .split_once(':')
                             .ok_or_else(|| format!("bad skew item: {item}"))?;
                         plan.clock_skew_ppm.push((
-                            parse_u64(node)? as NodeId,
+                            NodeId::new(parse_u64(node)? as usize),
                             ppm.parse::<i64>().map_err(|e| format!("{item}: {e}"))?,
                         ));
                     }
@@ -385,13 +385,13 @@ impl FaultState {
     pub fn new(plan: FaultPlan, seed: u64, n: usize) -> FaultState {
         let mut actions: Vec<(Time, FaultAction)> = Vec::new();
         for o in &plan.churn {
-            assert!(o.node < n, "churn node out of range");
+            assert!(o.node.index() < n, "churn node out of range");
             assert!(o.down_at < o.up_at, "outage must end after it starts");
             actions.push((o.down_at, FaultAction::NodeDown(o.node)));
             actions.push((o.up_at, FaultAction::NodeUp(o.node)));
         }
         for l in &plan.lockups {
-            assert!(l.node < n, "lockup node out of range");
+            assert!(l.node.index() < n, "lockup node out of range");
             assert!(l.at < l.until, "lockup must end after it starts");
             actions.push((l.at, FaultAction::LockupStart(l.node)));
             actions.push((l.until, FaultAction::LockupEnd(l.node)));
@@ -400,8 +400,8 @@ impl FaultState {
         actions.sort_by_key(|&(t, _)| t);
         let mut skew_ppm = vec![0i64; n];
         for &(node, ppm) in &plan.clock_skew_ppm {
-            assert!(node < n, "skew node out of range");
-            skew_ppm[node] = ppm;
+            assert!(node.index() < n, "skew node out of range");
+            skew_ppm[node.index()] = ppm;
         }
         FaultState {
             salt: crate::rng::derive_seed(seed, STREAM_GE_BASE - 1),
@@ -430,7 +430,7 @@ impl FaultState {
     pub fn link_offset_db(&mut self, tx: NodeId, rx: NodeId, now: Time) -> f64 {
         let mut db = 0.0;
         let key = Self::link_key(tx, rx);
-        let link_index = (key.0 * self.n + key.1) as u64;
+        let link_index = (key.0.index() * self.n + key.1.index()) as u64;
         if let Some(ge) = self.plan.gilbert_elliott {
             let step = now / ge.step_ns.max(1);
             let chain = self.ge_chains.entry(key).or_insert_with(|| GeChain {
@@ -470,7 +470,7 @@ impl FaultState {
 
     /// Stretch a timer delay by the node's clock skew.
     pub fn skew_delay(&self, node: NodeId, delay: Time) -> Time {
-        let ppm = self.skew_ppm[node];
+        let ppm = self.skew_ppm[node.index()];
         if ppm == 0 {
             return delay;
         }
@@ -478,7 +478,7 @@ impl FaultState {
         (i128::from(delay) + extra).max(0) as Time
     }
 
-    // ---- cmap-ckpt/v1 ---------------------------------------------------
+    // ---- cmap-ckpt/v2 ---------------------------------------------------
 
     /// Serialize the dynamic cursors: everything [`FaultState::new`] cannot
     /// rebuild from the plan alone (liveness flags, the corruption stream's
@@ -495,8 +495,8 @@ impl FaultState {
         }
         w.len(self.ge_chains.len());
         for (&(a, b), chain) in &self.ge_chains {
-            w.len(a);
-            w.len(b);
+            w.len(a.index());
+            w.len(b.index());
             for word in chain.rng.state() {
                 w.u64(word);
             }
@@ -529,8 +529,8 @@ impl FaultState {
         self.ge_chains.clear();
         let chains = r.len()?;
         for _ in 0..chains {
-            let a = r.len()?;
-            let b = r.len()?;
+            let a = NodeId::new(r.len()?);
+            let b = NodeId::new(r.len()?);
             let mut words = [0u64; 4];
             for word in &mut words {
                 *word = r.u64()?;
@@ -579,6 +579,10 @@ mod tests {
     use super::*;
     use crate::time::{millis, secs};
 
+    fn nid(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
     #[test]
     fn spec_round_trips() {
         for (_, plan) in FaultPlan::canonical(6, secs(10)) {
@@ -615,17 +619,17 @@ mod tests {
         let t = secs(3);
         // Query link (0,1) directly at t…
         let mut a = FaultState::new(plan.clone(), 9, 4);
-        let direct = a.link_offset_db(0, 1, t);
+        let direct = a.link_offset_db(nid(0), nid(1), t);
         // …vs. stepping through many intermediate queries first.
         let mut b = FaultState::new(plan, 9, 4);
         for ms in (0..3000).step_by(7) {
-            let _ = b.link_offset_db(2, 3, millis(ms));
-            let _ = b.link_offset_db(0, 1, millis(ms));
+            let _ = b.link_offset_db(nid(2), nid(3), millis(ms));
+            let _ = b.link_offset_db(nid(0), nid(1), millis(ms));
         }
-        let stepped = b.link_offset_db(0, 1, t);
+        let stepped = b.link_offset_db(nid(0), nid(1), t);
         assert!((direct - stepped).abs() < 1e-12, "{direct} vs {stepped}");
         // Symmetric: (1,0) matches (0,1).
-        let sym = b.link_offset_db(1, 0, t);
+        let sym = b.link_offset_db(nid(1), nid(0), t);
         assert!((stepped - sym).abs() < 1e-12);
     }
 
@@ -636,7 +640,7 @@ mod tests {
         for ms in 0..5000 {
             // Shadowing contributes ±sigma; the GE bad state is -25 dB, so
             // anything below -10 dB means the chain is bad.
-            if fs.link_offset_db(0, 1, millis(ms)) < -10.0 {
+            if fs.link_offset_db(nid(0), nid(1), millis(ms)) < -10.0 {
                 bad_steps += 1;
             }
         }
@@ -647,14 +651,14 @@ mod tests {
     #[test]
     fn skew_stretches_delays() {
         let plan = FaultPlan {
-            clock_skew_ppm: vec![(0, 150), (1, -150)],
+            clock_skew_ppm: vec![(nid(0), 150), (nid(1), -150)],
             ..FaultPlan::default()
         };
         let fs = FaultState::new(plan, 1, 3);
         let d = secs(1);
-        assert_eq!(fs.skew_delay(0, d), d + 150_000); // +150 us per second
-        assert_eq!(fs.skew_delay(1, d), d - 150_000);
-        assert_eq!(fs.skew_delay(2, d), d); // no skew configured
+        assert_eq!(fs.skew_delay(nid(0), d), d + 150_000); // +150 us per second
+        assert_eq!(fs.skew_delay(nid(1), d), d - 150_000);
+        assert_eq!(fs.skew_delay(nid(2), d), d); // no skew configured
     }
 
     /// Satellite of the crash-safety PR: `to_spec`/`from_spec` must be
@@ -667,14 +671,14 @@ mod tests {
         fn arb_plan() -> impl Strategy<Value = FaultPlan> {
             let outage = (0usize..32, 0u64..1_000_000_000, 1u64..1_000_000_000).prop_map(
                 |(node, down_at, hold)| Outage {
-                    node,
+                    node: NodeId::new(node),
                     down_at,
                     up_at: down_at + hold,
                 },
             );
             let lockup = (0usize..32, 0u64..1_000_000_000, 1u64..1_000_000_000).prop_map(
                 |(node, at, hold)| Lockup {
-                    node,
+                    node: NodeId::new(node),
                     at,
                     until: at + hold,
                 },
@@ -694,7 +698,10 @@ mod tests {
                 prop::collection::vec(lockup, 0..5),
                 prop::option::of(ge),
                 prop::option::of(shadow),
-                prop::collection::vec((0usize..32, -500i64..500), 0..5),
+                prop::collection::vec(
+                    (0usize..32, -500i64..500).prop_map(|(n, ppm)| (NodeId::new(n), ppm)),
+                    0..5,
+                ),
                 0.0f64..1.0,
                 0.0f64..1.0,
             )

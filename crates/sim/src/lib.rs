@@ -4,7 +4,10 @@
 //! deterministic discrete-event engine with
 //!
 //! * a nanosecond event queue with stable tie-breaking ([`event`]),
-//! * a shared [`Medium`] of frozen link gains and propagation delays,
+//! * a shared [`Medium`] of frozen link gains and propagation delays
+//!   behind the [`Propagation`] trait — dense matrix for testbed-scale
+//!   topologies, sparse spatially-indexed storage for city scale
+//!   ([`MediumBuilder`]),
 //! * a half-duplex [`radio`] per node with preamble locking, preamble
 //!   capture, SINR-segmented reception grading and 802.11-style CCA,
 //! * a [`Mac`] trait that link layers (`cmap-core`, `cmap-mac80211`)
@@ -19,7 +22,7 @@
 //! * process-wide engine totals ([`perf`]) feeding the benchmark perf
 //!   baseline (events/sec, BER-cache hit rate) across parallel runs, and
 //! * mid-run checkpoint/restore ([`ckpt`], [`World::checkpoint`],
-//!   [`World::restore`]) in the versioned `cmap-ckpt/v1` format: a
+//!   [`World::restore`]) in the versioned `cmap-ckpt/v2` format: a
 //!   restored run continues byte-identically to an uninterrupted one.
 //!
 //! Runs are bit-deterministic for a given (topology, MACs, seed): every
@@ -28,11 +31,11 @@
 //! ## Example
 //!
 //! ```
-//! use cmap_sim::{Medium, PhyConfig, World, time};
+//! use cmap_sim::{MediumBuilder, PhyConfig, World, time};
 //!
 //! let phy = PhyConfig::default();
-//! let medium = Medium::uniform(2, -70.0, &phy);
-//! let mut world = World::new(medium, phy, 42);
+//! let medium = MediumBuilder::new(&phy).uniform(2, -70.0).build();
+//! let mut world = World::builder().medium(medium).phy(phy).seed(42).build();
 //! let flow = world.add_flow(0, 1, 1400);
 //! // (install MACs here; nodes default to a silent NullMac)
 //! world.run_until(time::secs(1));
@@ -46,6 +49,7 @@ pub mod event;
 pub mod faults;
 pub mod mac;
 pub mod medium;
+pub mod node;
 pub mod perf;
 pub mod radio;
 pub mod rng;
@@ -59,8 +63,8 @@ pub use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 pub use config::PhyConfig;
 pub use faults::{FaultPlan, GilbertElliott, Lockup, Outage, Shadowing, WatchdogConfig};
 pub use mac::{Mac, NodeCtx, NullMac, RxErrorInfo, RxInfo};
-pub use medium::Medium;
+pub use medium::{DenseMedium, Medium, MediumBuilder, Propagation, SparseMedium, SparseStats};
 pub use radio::RadioPhase;
 pub use stats::Stats;
 pub use time::Time;
-pub use world::{Flow, FlowKind, NodeId, World};
+pub use world::{Flow, FlowKind, NodeId, World, WorldBuilder};

@@ -437,7 +437,7 @@ impl RadioBank {
         was
     }
 
-    // ---- cmap-ckpt/v1 ---------------------------------------------------
+    // ---- cmap-ckpt/v2 ---------------------------------------------------
 
     /// Serialize every behavioural field. `spare_profile` is skipped on
     /// purpose: parked buffer capacity is an allocation optimisation with

@@ -170,15 +170,21 @@ impl Stats {
     }
 
     /// The sender announced (sent the header of) a virtual packet to `dst`.
-    pub fn vpkt_sent(&mut self, src: NodeId, dst: NodeId) {
-        self.vpkt.entry((src, dst)).or_default().sent += 1;
+    pub fn vpkt_sent(&mut self, src: impl Into<NodeId>, dst: impl Into<NodeId>) {
+        self.vpkt.entry((src.into(), dst.into())).or_default().sent += 1;
     }
 
     /// The intended receiver decoded the header (`is_trailer = false`) or
     /// trailer (`true`) of virtual packet `seq` from `src`.
-    pub fn vpkt_received(&mut self, src: NodeId, dst: NodeId, seq: u32, is_trailer: bool) {
+    pub fn vpkt_received(
+        &mut self,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        seq: u32,
+        is_trailer: bool,
+    ) {
         let flag = if is_trailer { 2u8 } else { 1 };
-        let v = self.vpkt.entry((src, dst)).or_default();
+        let v = self.vpkt.entry((src.into(), dst.into())).or_default();
         let entry = v.got.entry(seq).or_insert(0);
         let old = *entry;
         *entry |= flag;
@@ -201,8 +207,8 @@ impl Stats {
     }
 
     /// Header/trailer bookkeeping for one ordered link, if any.
-    pub fn vpkt_stats(&self, src: NodeId, dst: NodeId) -> Option<&VpktStats> {
-        self.vpkt.get(&(src, dst))
+    pub fn vpkt_stats(&self, src: impl Into<NodeId>, dst: impl Into<NodeId>) -> Option<&VpktStats> {
+        self.vpkt.get(&(src.into(), dst.into()))
     }
 
     /// All links with virtual-packet bookkeeping.
@@ -357,7 +363,7 @@ impl Stats {
         out
     }
 
-    // ---- cmap-ckpt/v1 ---------------------------------------------------
+    // ---- cmap-ckpt/v2 ---------------------------------------------------
 
     /// Serialize the complete statistics state. Refuses runs using the
     /// deprecated dynamic-counter shim or an attached trace sink: both are
@@ -389,8 +395,8 @@ impl Stats {
         }
         w.len(self.vpkt.len());
         for (&(src, dst), v) in &self.vpkt {
-            w.len(src);
-            w.len(dst);
+            w.len(src.index());
+            w.len(dst.index());
             w.u64(v.sent);
             w.len(v.got.len());
             for (&seq, &flags) in &v.got {
@@ -435,7 +441,7 @@ impl Stats {
         }
         let links = r.len()?;
         for _ in 0..links {
-            let key = (r.len()?, r.len()?);
+            let key = (NodeId::new(r.len()?), NodeId::new(r.len()?));
             let mut v = VpktStats {
                 sent: r.u64()?,
                 ..VpktStats::default()

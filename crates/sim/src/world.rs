@@ -30,8 +30,7 @@ use cmap_phy::units::db_to_ratio;
 use cmap_phy::{mw_to_dbm, BerTable, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
 use cmap_wire::{Frame, FrameKind, MacAddr};
 
-/// Index of a node in the world.
-pub type NodeId = usize;
+pub use crate::node::NodeId;
 
 /// How a flow generates packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,9 +106,101 @@ pub struct World {
     synced_cascades: u64,
 }
 
+/// Step-by-step [`World`] construction: medium, PHY, seed, and the
+/// optional pieces (fault plan, watchdog cadence, tracing) that used to
+/// require separate mutating calls between `World::new` and
+/// [`World::start`].
+///
+/// ```
+/// use cmap_sim::{MediumBuilder, PhyConfig, World};
+/// let phy = PhyConfig::default();
+/// let medium = MediumBuilder::new(&phy).uniform(2, -70.0).build();
+/// let mut world = World::builder().medium(medium).phy(phy).seed(42).build();
+/// world.add_flow(0, 1, 1400);
+/// ```
+#[derive(Default)]
+pub struct WorldBuilder {
+    medium: Option<Medium>,
+    phy: Option<PhyConfig>,
+    seed: u64,
+    faults: Option<FaultPlan>,
+    watchdog: Option<WatchdogConfig>,
+    trace_capacity: Option<usize>,
+}
+
+impl WorldBuilder {
+    /// The propagation medium (required). Build one with
+    /// [`MediumBuilder`](crate::MediumBuilder).
+    pub fn medium(mut self, medium: Medium) -> Self {
+        self.medium = Some(medium);
+        self
+    }
+
+    /// PHY configuration; defaults to [`PhyConfig::default`].
+    pub fn phy(mut self, phy: PhyConfig) -> Self {
+        self.phy = Some(phy);
+        self
+    }
+
+    /// Seed for every deterministic random stream (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Install a fault plan (arms the invariant watchdog).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Override the watchdog cadence.
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Enable structured tracing with a ring buffer of `capacity` records.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Build the world. Panics when no medium was supplied.
+    pub fn build(self) -> World {
+        let medium = self.medium.expect("WorldBuilder: no medium configured");
+        let phy = self.phy.unwrap_or_default();
+        let mut w = World::construct(medium, phy, self.seed);
+        if let Some(plan) = self.faults {
+            w.install_faults(plan);
+        }
+        if let Some(cfg) = self.watchdog {
+            w.set_watchdog(cfg);
+        }
+        if let Some(capacity) = self.trace_capacity {
+            w.enable_trace(capacity);
+        }
+        w
+    }
+}
+
 impl World {
-    /// Build a world over `medium`; every node starts with a [`NullMac`].
+    /// Start building a world (see [`WorldBuilder`]).
+    pub fn builder() -> WorldBuilder {
+        WorldBuilder::default()
+    }
+
+    /// Deprecated shim for the pre-builder constructor.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use World::builder().medium(..).phy(..).seed(..).build()"
+    )]
     pub fn new(medium: Medium, phy: PhyConfig, seed: u64) -> World {
+        World::construct(medium, phy, seed)
+    }
+
+    /// Build a world over `medium`; every node starts with a [`NullMac`].
+    fn construct(medium: Medium, phy: PhyConfig, seed: u64) -> World {
         let n = medium.len();
         World {
             phy,
@@ -187,32 +278,38 @@ impl World {
 
     /// Install the MAC protocol for `node`. Must be called before
     /// [`World::start`].
-    pub fn set_mac(&mut self, node: NodeId, mac: Box<dyn Mac>) {
+    pub fn set_mac(&mut self, node: impl Into<NodeId>, mac: Box<dyn Mac>) {
         assert!(!self.started, "set_mac after start");
-        self.macs[node] = Some(mac);
+        self.macs[node.into().index()] = Some(mac);
     }
 
     /// Borrow a node's MAC for inspection (tests, experiment harnesses).
-    pub fn mac_ref(&self, node: NodeId) -> &dyn Mac {
-        self.macs[node]
+    pub fn mac_ref(&self, node: impl Into<NodeId>) -> &dyn Mac {
+        self.macs[node.into().index()]
             .as_deref()
             .expect("mac taken during callback")
     }
 
     /// Declare a saturated flow; returns its id.
-    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, payload_len: usize) -> u16 {
-        self.add_flow_kind(src, dst, payload_len, FlowKind::Saturated)
+    pub fn add_flow(
+        &mut self,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
+        payload_len: usize,
+    ) -> u16 {
+        self.add_flow_kind(src.into(), dst.into(), payload_len, FlowKind::Saturated)
     }
 
     /// Declare a relay flow forwarding `upstream`'s deliveries from `src` on
     /// to `dst`; returns its id.
     pub fn add_relay_flow(
         &mut self,
-        src: NodeId,
-        dst: NodeId,
+        src: impl Into<NodeId>,
+        dst: impl Into<NodeId>,
         payload_len: usize,
         upstream: u16,
     ) -> u16 {
+        let (src, dst) = (src.into(), dst.into());
         assert_eq!(
             self.flows[upstream as usize].dst, src,
             "relay must start where the upstream flow ends"
@@ -228,7 +325,7 @@ impl World {
         kind: FlowKind,
     ) -> u16 {
         assert!(!self.started, "add_flow after start");
-        assert!(src < self.node_count() && dst < self.node_count());
+        assert!(src.index() < self.node_count() && dst.index() < self.node_count());
         assert_ne!(src, dst);
         let id = u16::try_from(self.flows.len()).expect("too many flows");
         self.flows.push(Flow {
@@ -239,7 +336,7 @@ impl World {
             kind,
             next_seq: 0,
         });
-        self.apps[src].add_source(id, &kind);
+        self.apps[src.index()].add_source(id, &kind);
         id
     }
 
@@ -318,7 +415,8 @@ impl World {
             self.sched
                 .schedule(self.watchdog.audit_period, Event::Audit);
         }
-        for node in 0..self.node_count() {
+        for i in 0..self.node_count() {
+            let node = NodeId::new(i);
             self.dispatch(node, |mac, ctx| mac.on_start(ctx));
             self.check_channel_edge(node);
         }
@@ -387,7 +485,7 @@ impl World {
                 self.check_channel_edge(node);
             }
             Event::TxEnd { node, tx_id } => {
-                if !self.radios.end_tx(node) {
+                if !self.radios.end_tx(node.index()) {
                     self.stats.bump(CounterId::WatchdogRadioState);
                 }
                 self.release_tx(tx_id);
@@ -404,21 +502,21 @@ impl World {
                     None => self.medium.rss_mw(src, rx),
                 };
                 let boost = if self.phy.fading_boost_prob > 0.0
-                    && self.rngs[rx].gen_bool(self.phy.fading_boost_prob)
+                    && self.rngs[rx.index()].gen_bool(self.phy.fading_boost_prob)
                 {
                     self.phy.fading_boost_db
                 } else {
                     0.0
                 };
-                let fading_db = normal(&mut self.rngs[rx], boost, self.phy.fading_sigma_db);
+                let fading_db = normal(&mut self.rngs[rx.index()], boost, self.phy.fading_sigma_db);
                 let power_mw = base_mw * db_to_ratio(fading_db);
                 let outcome = self.radios.frame_start(
-                    rx,
+                    rx.index(),
                     tx_id,
                     power_mw,
                     self.time,
                     &self.phy,
-                    &mut self.rngs[rx],
+                    &mut self.rngs[rx.index()],
                 );
                 match outcome {
                     LockOutcome::Locked => self.stats.bump(CounterId::SimLock),
@@ -428,7 +526,7 @@ impl World {
                 self.check_channel_edge(rx);
             }
             Event::FrameEnd { rx, tx_id } => {
-                if let Some(completion) = self.radios.frame_end(rx, tx_id, self.time) {
+                if let Some(completion) = self.radios.frame_end(rx.index(), tx_id, self.time) {
                     self.grade_and_deliver(rx, completion);
                 }
                 self.release_tx(tx_id);
@@ -444,25 +542,25 @@ impl World {
         let (_, action) = f.actions[idx as usize];
         match action {
             FaultAction::NodeDown(node) => {
-                if self.radios.power_off(node) {
+                if self.radios.power_off(node.index()) {
                     self.stats.bump(CounterId::FaultRxDropped);
                 }
-                self.faults.as_deref_mut().expect("checked").node_up[node] = false;
+                self.faults.as_deref_mut().expect("checked").node_up[node.index()] = false;
                 self.stats.bump(CounterId::FaultNodeDown);
                 self.trace_fault("node_down", node);
             }
             FaultAction::NodeUp(node) => {
-                self.radios.power_on(node);
+                self.radios.power_on(node.index());
                 let f = self.faults.as_deref_mut().expect("checked");
-                f.node_up[node] = true;
-                f.last_dispatch[node] = self.time;
+                f.node_up[node.index()] = true;
+                f.last_dispatch[node.index()] = self.time;
                 self.stats.bump(CounterId::FaultNodeUp);
                 self.trace_fault("node_up", node);
                 self.dispatch(node, |mac, ctx| mac.on_restart(ctx));
                 self.check_channel_edge(node);
             }
             FaultAction::LockupStart(node) => {
-                if self.radios.power_off(node) {
+                if self.radios.power_off(node.index()) {
                     self.stats.bump(CounterId::FaultRxDropped);
                 }
                 self.stats.bump(CounterId::FaultLockup);
@@ -471,7 +569,7 @@ impl World {
                 self.check_channel_edge(node);
             }
             FaultAction::LockupEnd(node) => {
-                self.radios.power_on(node);
+                self.radios.power_on(node.index());
                 self.stats.bump(CounterId::FaultLockupEnd);
                 self.trace_fault("lockup_end", node);
                 // Busy -> idle recovery edge wakes carrier-waiting MACs.
@@ -486,7 +584,7 @@ impl World {
                 self.time,
                 TraceEvent::FaultInjected {
                     kind,
-                    node: u32::try_from(node).unwrap_or(u32::MAX),
+                    node: u32::try_from(node.index()).unwrap_or(u32::MAX),
                 },
             );
         }
@@ -529,7 +627,7 @@ impl World {
             grade_reception(&c, self.time, rate, wire_len, &self.phy, self.ber_table);
         self.ber_lookups += lookups;
         let rss_dbm = mw_to_dbm(c.signal_mw);
-        let decoded = self.rngs[rx].gen_bool(p_success.clamp(0.0, 1.0));
+        let decoded = self.rngs[rx.index()].gen_bool(p_success.clamp(0.0, 1.0));
         // Fault injection: a decoded frame may be corrupted (CRC escape
         // caught late) or delivered twice (duplication). Draws come from a
         // dedicated stream and only when the plan asks, so fault-free runs
@@ -572,7 +670,7 @@ impl World {
         }
         // The interference profile buffer goes back to the radio for the
         // next lock — grading is the hottest allocation site otherwise.
-        self.radios.recycle_profile(rx, c.interference);
+        self.radios.recycle_profile(rx.index(), c.interference);
     }
 
     fn release_tx(&mut self, tx_id: TxId) {
@@ -590,35 +688,35 @@ impl World {
     /// operations it queued.
     fn dispatch<F: FnOnce(&mut dyn Mac, &mut NodeCtx<'_>)>(&mut self, node: NodeId, f: F) {
         if let Some(fs) = self.faults.as_deref_mut() {
-            if !fs.node_up[node] {
+            if !fs.node_up[node.index()] {
                 // A crashed node's MAC gets no callbacks; pending timers
                 // from before the crash are swallowed here.
                 self.stats.bump(CounterId::FaultDispatchSuppressed);
                 return;
             }
-            fs.last_dispatch[node] = self.time;
+            fs.last_dispatch[node.index()] = self.time;
         }
-        let mut mac = self.macs[node].take().expect("mac reentrancy");
+        let mut mac = self.macs[node.index()].take().expect("mac reentrancy");
         let mut ops: Vec<Op> = self.ops_pool.pop().unwrap_or_default();
         {
             let mut ctx = NodeCtx {
                 node,
                 now: self.time,
-                phase: self.radios.phase(node),
-                busy: self.radios.busy(node, &self.phy),
-                mac_addr: MacAddr::from_node_index(node as u16),
+                phase: self.radios.phase(node.index()),
+                busy: self.radios.busy(node.index(), &self.phy),
+                mac_addr: MacAddr::from_node_index(node.index() as u16),
                 abort_rx_on_tx: self.phy.abort_rx_on_tx,
                 tx_requested: false,
-                radio_ok: !self.radios.is_disabled(node),
-                rng: &mut self.rngs[node],
-                app: &mut self.apps[node],
+                radio_ok: !self.radios.is_disabled(node.index()),
+                rng: &mut self.rngs[node.index()],
+                app: &mut self.apps[node.index()],
                 flows: &mut self.flows,
                 stats: &mut self.stats,
                 ops: &mut ops,
             };
             f(&mut *mac, &mut ctx);
         }
-        self.macs[node] = Some(mac);
+        self.macs[node.index()] = Some(mac);
         self.apply_ops(node, &mut ops);
         ops.clear();
         self.ops_pool.push(ops);
@@ -667,7 +765,7 @@ impl World {
     }
 
     fn start_tx(&mut self, node: NodeId, frame: Frame, rate: Rate) {
-        if self.radios.is_disabled(node) {
+        if self.radios.is_disabled(node.index()) {
             // `NodeCtx::transmit` already gates on this; belt-and-braces so
             // a fault landing between callback and apply can't raise a dead
             // node's antenna.
@@ -675,7 +773,7 @@ impl World {
             return;
         }
         debug_assert!(
-            self.radios.phase(node) != RadioPhase::Transmitting,
+            self.radios.phase(node.index()) != RadioPhase::Transmitting,
             "start_tx while transmitting"
         );
         // Release builds never materialise the bytes: `wire_len` is computed
@@ -695,7 +793,7 @@ impl World {
         let airtime = rate.frame_airtime_ns(wire_len);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        if !self.radios.begin_tx(node, tx_id) {
+        if !self.radios.begin_tx(node.index(), tx_id) {
             // Half-duplex violation: refuse the transmission and record it
             // rather than corrupting the radio state machine.
             self.stats.bump(CounterId::WatchdogHalfDuplex);
@@ -704,8 +802,8 @@ impl World {
         // No notification for our own busy edge: the MAC knows it started
         // transmitting. Keep the cached flag consistent so the TxEnd edge
         // (busy -> idle) is seen.
-        let busy = self.radios.busy(node, &self.phy);
-        self.radios.set_last_busy(node, busy);
+        let busy = self.radios.busy(node.index(), &self.phy);
+        self.radios.set_last_busy(node.index(), busy);
 
         let end = self.time + airtime;
         self.sched.schedule(end, Event::TxEnd { node, tx_id });
@@ -723,7 +821,7 @@ impl World {
             self.stats.emit(
                 self.time,
                 TraceEvent::TxStart {
-                    node: u32::try_from(node).unwrap_or(u32::MAX),
+                    node: u32::try_from(node.index()).unwrap_or(u32::MAX),
                     kind: frame_kind_tag(frame.kind()),
                     bytes: u32::try_from(wire_len).unwrap_or(u32::MAX),
                     rate_mbps: u32::try_from(rate.bits_per_sec() / 1_000_000).unwrap_or(u32::MAX),
@@ -766,7 +864,7 @@ impl World {
             .collect();
         let mut wake = false;
         for rid in relay_ids {
-            if self.apps[node].push_relay(rid, seq) {
+            if self.apps[node.index()].push_relay(rid, seq) {
                 wake = true;
             }
         }
@@ -779,18 +877,18 @@ impl World {
     /// Fire `on_channel_state` edges until the node's CCA stabilises.
     fn check_channel_edge(&mut self, node: NodeId) {
         for _ in 0..4 {
-            let busy = self.radios.busy(node, &self.phy);
-            if busy == self.radios.last_busy(node) {
+            let busy = self.radios.busy(node.index(), &self.phy);
+            if busy == self.radios.last_busy(node.index()) {
                 break;
             }
-            self.radios.set_last_busy(node, busy);
+            self.radios.set_last_busy(node.index(), busy);
             self.dispatch(node, |mac, ctx| mac.on_channel_state(ctx, busy));
         }
     }
 
-    // ---- cmap-ckpt/v1 ---------------------------------------------------
+    // ---- cmap-ckpt/v2 ---------------------------------------------------
 
-    /// Serialize the complete mid-run state to the versioned `cmap-ckpt/v1`
+    /// Serialize the complete mid-run state to the versioned `cmap-ckpt/v2`
     /// format: simulation clock, timing-wheel contents, radio bank, RNG
     /// stream positions, MAC protocol state, in-flight transmissions,
     /// statistics, and fault-plan cursors. Restoring the bytes via
@@ -815,8 +913,8 @@ impl World {
         w.len(self.flows.len());
         for f in &self.flows {
             w.u16(f.id);
-            w.len(f.src);
-            w.len(f.dst);
+            w.len(f.src.index());
+            w.len(f.dst.index());
             w.len(f.payload_len);
             match f.kind {
                 FlowKind::Saturated => w.u8(0),
@@ -829,6 +927,10 @@ impl World {
         }
         w.u64(self.watchdog.audit_period);
         w.u64(self.watchdog.liveness_window);
+        // v2: the medium's structural fingerprint, so a checkpoint refuses
+        // to restore over a world whose propagation engine or link set
+        // differs from the one it was taken under.
+        w.u64(self.medium.fingerprint());
         match self.faults.as_deref() {
             None => w.bool(false),
             Some(f) => {
@@ -856,7 +958,7 @@ impl World {
         w.len(self.txs.len());
         for (&tx_id, rec) in &self.txs {
             w.u64(tx_id);
-            w.len(rec.node);
+            w.len(rec.node.index());
             w.u8(rec.rate.to_u8());
             w.u64(rec.start);
             w.bytes(&rec.frame.emit());
@@ -920,8 +1022,8 @@ impl World {
         }
         for f in &mut self.flows {
             let id = r.u16()?;
-            let src = r.len()?;
-            let dst = r.len()?;
+            let src = NodeId::new(r.len()?);
+            let dst = NodeId::new(r.len()?);
             let payload_len = r.len()?;
             let kind = match r.u8()? {
                 0 => FlowKind::Saturated,
@@ -945,6 +1047,13 @@ impl World {
             return Err(CkptError::Mismatch(
                 "watchdog configuration differs from checkpoint".to_string(),
             ));
+        }
+        let fingerprint = r.u64()?;
+        if fingerprint != self.medium.fingerprint() {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint medium fingerprint {fingerprint:#018x} != world {:#018x}",
+                self.medium.fingerprint()
+            )));
         }
         let ckpt_has_faults = r.bool()?;
         if ckpt_has_faults != self.faults.is_some() {
@@ -987,6 +1096,7 @@ impl World {
             if node >= self.node_count() {
                 return Err(CkptError::Malformed(format!("tx node {node}")));
             }
+            let node = NodeId::new(node);
             let rate_tag = r.u8()?;
             let rate = Rate::from_u8(rate_tag)
                 .ok_or_else(|| CkptError::Malformed(format!("rate tag {rate_tag}")))?;
@@ -1162,8 +1272,19 @@ mod tests {
 
     fn strong_pair_world(seed: u64) -> World {
         let phy = PhyConfig::default();
-        let medium = Medium::uniform(2, -70.0, &phy); // -55 dBm RSS: clean
-        World::new(medium, phy, seed)
+        // -55 dBm RSS: clean
+        let medium = crate::medium::MediumBuilder::new(&phy)
+            .uniform(2, -70.0)
+            .build();
+        World::builder().medium(medium).phy(phy).seed(seed).build()
+    }
+
+    fn uniform_world(n: usize, seed: u64) -> World {
+        let phy = PhyConfig::default();
+        let medium = crate::medium::MediumBuilder::new(&phy)
+            .uniform(n, -70.0)
+            .build();
+        World::builder().medium(medium).phy(phy).seed(seed).build()
     }
 
     #[test]
@@ -1198,9 +1319,7 @@ mod tests {
     #[test]
     fn colliding_transmissions_corrupt_each_other() {
         // Three nodes: 0 and 1 blast at the same period and phase, 2 listens.
-        let phy = PhyConfig::default();
-        let medium = Medium::uniform(3, -70.0, &phy);
-        let mut w = World::new(medium, phy, 3);
+        let mut w = uniform_world(3, 3);
         w.add_flow(0, 2, 1000);
         w.add_flow(1, 2, 1000);
         for src in [0usize, 1] {
@@ -1243,9 +1362,7 @@ mod tests {
     fn staggered_transmissions_all_decode() {
         // Same three nodes, but sender 1 offset by half a period: no overlap
         // (frames are ~153 us long, spacing is 1 ms).
-        let phy = PhyConfig::default();
-        let medium = Medium::uniform(3, -70.0, &phy);
-        let mut w = World::new(medium, phy, 4);
+        let mut w = uniform_world(3, 4);
         w.add_flow(0, 2, 100);
         w.add_flow(1, 2, 100);
         w.set_mac(
@@ -1359,9 +1476,7 @@ mod tests {
             }
         }
 
-        let phy = PhyConfig::default();
-        let medium = Medium::uniform(3, -70.0, &phy);
-        let mut w = World::new(medium, phy, 5);
+        let mut w = uniform_world(3, 5);
         let a = w.add_flow(0, 1, 64);
         let b = w.add_relay_flow(1, 2, 64, a);
         w.set_mac(
@@ -1469,7 +1584,7 @@ mod tests {
         // rate resumes after restart, and the watchdog stays quiet.
         let plan = FaultPlan {
             churn: vec![Outage {
-                node: 1,
+                node: NodeId::new(1),
                 down_at: millis(300),
                 up_at: millis(600),
             }],
@@ -1498,7 +1613,7 @@ mod tests {
         w.set_mac(1, Box::new(Sniffer::default()));
         w.install_faults(FaultPlan {
             lockups: vec![Lockup {
-                node: 0,
+                node: NodeId::new(0),
                 at: millis(300),
                 until: millis(600),
             }],
@@ -1521,9 +1636,7 @@ mod tests {
     fn same_seed_fault_runs_are_identical() {
         use crate::faults::FaultPlan;
         let run = |seed| {
-            let phy = PhyConfig::default();
-            let medium = Medium::uniform(3, -70.0, &phy);
-            let mut w = World::new(medium, phy, seed);
+            let mut w = uniform_world(3, seed);
             let flow = w.add_flow(0, 2, 200);
             w.set_mac(
                 0,

@@ -22,8 +22,10 @@ fn main() {
     set(0, 3, -63.0); // ...and destroy each other's receivers
     set(2, 1, -63.0);
     set(1, 3, -80.0);
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-    let mut world = World::new(medium, phy, 11);
+    let medium = MediumBuilder::new(&phy)
+        .gains_db(n, &gains, &vec![100; n * n])
+        .build();
+    let mut world = World::builder().medium(medium).phy(phy).seed(11).build();
     let f1 = world.add_flow(0, 1, 1400);
     let f2 = world.add_flow(2, 3, 1400);
     for node in 0..n {

@@ -23,8 +23,14 @@ fn exposed_world(phy: &PhyConfig, seed: u64) -> World {
     set(0, 3, -93.0); // but each receiver barely hears the other sender
     set(2, 1, -93.0);
     set(1, 3, -95.0);
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], phy);
-    World::new(medium, phy.clone(), seed)
+    let medium = MediumBuilder::new(phy)
+        .gains_db(n, &gains, &vec![100; n * n])
+        .build();
+    World::builder()
+        .medium(medium)
+        .phy(phy.clone())
+        .seed(seed)
+        .build()
 }
 
 fn run(label: &str, install: impl Fn(&mut World)) -> (f64, f64) {

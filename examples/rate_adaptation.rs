@@ -17,8 +17,10 @@ fn run(rss_dbm: f64, mode: &str, seed: u64) -> f64 {
     let mut gains = vec![f64::NEG_INFINITY; n * n];
     gains[1] = rss_dbm - phy.tx_power_dbm;
     gains[2] = rss_dbm - phy.tx_power_dbm;
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-    let mut w = World::new(medium, phy, seed);
+    let medium = MediumBuilder::new(&phy)
+        .gains_db(n, &gains, &vec![100; n * n])
+        .build();
+    let mut w = World::builder().medium(medium).phy(phy).seed(seed).build();
     let f = w.add_flow(0, 1, 1400);
     for node in 0..n {
         let mac: Box<dyn Mac> = match mode {

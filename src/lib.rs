@@ -40,8 +40,10 @@
 //! set(0, 3, -93.0); // cross links weak
 //! set(2, 1, -93.0);
 //!
-//! let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-//! let mut world = World::new(medium, phy, 7);
+//! let medium = MediumBuilder::new(&phy)
+//!     .gains_db(n, &gains, &vec![100; n * n])
+//!     .build();
+//! let mut world = World::builder().medium(medium).phy(phy).seed(7).build();
 //! let f1 = world.add_flow(0, 1, 1400);
 //! let f2 = world.add_flow(2, 3, 1400);
 //! for node in 0..n {
@@ -72,7 +74,10 @@ pub mod prelude {
     pub use cmap_obs::{CounterId, GaugeId, RunReport, SuiteReport, TraceEvent, TraceSink};
     pub use cmap_phy::Rate;
     pub use cmap_sim::time;
-    pub use cmap_sim::{FaultPlan, Mac, Medium, NodeCtx, PhyConfig, World};
+    pub use cmap_sim::{
+        FaultPlan, Mac, Medium, MediumBuilder, NodeCtx, NodeId, PhyConfig, Propagation, World,
+        WorldBuilder,
+    };
     pub use cmap_topo::{LinkMeasurements, Testbed, TestbedParams};
     pub use cmap_wire::{Frame, MacAddr};
 }

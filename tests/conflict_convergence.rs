@@ -12,8 +12,10 @@ fn world_from_rss(rss: &[(usize, usize, f64)], seed: u64) -> World {
         gains[a * n + b] = rss_dbm - phy.tx_power_dbm;
         gains[b * n + a] = rss_dbm - phy.tx_power_dbm;
     }
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-    World::new(medium, phy, seed)
+    let medium = MediumBuilder::new(&phy)
+        .gains_db(n, &gains, &vec![100; n * n])
+        .build();
+    World::builder().medium(medium).phy(phy).seed(seed).build()
 }
 
 fn cmap_world(rss: &[(usize, usize, f64)], seed: u64) -> World {

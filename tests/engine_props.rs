@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use cmap_suite::sim::event::{Event, Scheduler};
 use cmap_suite::sim::rng::{derive_seed, normal, stream_rng};
 use cmap_suite::sim::time::bits_duration;
+use cmap_suite::sim::NodeId;
 
 proptest! {
     /// Events pop in (time, insertion) order no matter the insert order.
@@ -12,7 +13,7 @@ proptest! {
     fn scheduler_is_a_stable_priority_queue(times in proptest::collection::vec(0u64..1_000_000, 1..300)) {
         let mut s = Scheduler::new();
         for (i, &t) in times.iter().enumerate() {
-            s.schedule(t, Event::Timer { node: 0, token: i as u64 });
+            s.schedule(t, Event::Timer { node: NodeId::new(0), token: i as u64 });
         }
         let mut last: Option<(u64, u64)> = None;
         let mut popped = 0;
@@ -64,7 +65,7 @@ proptest! {
         };
         for (pops, times) in &ops {
             for &t in times {
-                wheel.schedule(t, Event::Timer { node: 0, token: seq });
+                wheel.schedule(t, Event::Timer { node: NodeId::new(0), token: seq });
                 heap.push(Reverse((t, seq)));
                 seq += 1;
             }

@@ -91,8 +91,10 @@ fn snapshot_world(seed: u64) -> String {
     set(0, 2, -75.0);
     set(0, 3, -93.0);
     set(2, 1, -93.0);
-    let medium = Medium::from_gains_db(n, &gains, &vec![100; n * n], &phy);
-    let mut world = World::new(medium, phy, seed);
+    let medium = MediumBuilder::new(&phy)
+        .gains_db(n, &gains, &vec![100; n * n])
+        .build();
+    let mut world = World::builder().medium(medium).phy(phy).seed(seed).build();
     world.add_flow(0, 1, 1400);
     world.add_flow(2, 3, 1400);
     for node in 0..n {
