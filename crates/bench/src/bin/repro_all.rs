@@ -11,7 +11,7 @@
 //! * `--json PATH` (default `BENCH_repro.json`): a `SuiteReport` with one
 //!   `RunReport` per figure, suite wall-clock, and an event-loop profile,
 //! * `--perf-out PATH` (default `BENCH_perf.json`): the tracked perf
-//!   baseline (`cmap-perf/v3`) — per-figure wall-clock, events/sec,
+//!   baseline (`cmap-perf/v4`) — per-figure wall-clock, events/sec,
 //!   BER-table lookups and allocation counts, plus suite-level scheduler
 //!   stats, BER-table identity/error, and pool utilization; with
 //!   `--perf-baseline` pointing at a `--jobs 1` artifact it also carries
@@ -41,7 +41,7 @@ use std::path::{Path, PathBuf};
 
 use cmap_bench::figures::{profile_event_loop, registry, report_for, spec_block};
 use cmap_bench::perf_baseline::{
-    parse_serial_baseline, BerTablePerf, FigurePerf, PerfReport, SchedPerf,
+    parse_serial_baseline, BerTablePerf, FigurePerf, FramePoolPerf, PerfReport, SchedPerf,
 };
 use cmap_bench::Cli;
 use cmap_obs::artifact::{atomic_write, Manifest};
@@ -360,6 +360,11 @@ fn main() {
             max_occupancy: engine_totals.sched_max_occupancy,
         },
         ber_table: BerTablePerf::current(),
+        frame_pool: FramePoolPerf {
+            high_water: engine_totals.pool_high_water,
+            recycled: engine_totals.pool_recycled,
+            bytes: engine_totals.pool_bytes,
+        },
         allocs: cmap_obs::alloc::allocations(),
         figures: perf_figures,
         baseline,

@@ -22,6 +22,18 @@
 //! v3 files; the schema tag check in [`parse_serial_baseline`] enforces
 //! the same for this module's own scanner.
 //!
+//! # Schema migration: `cmap-perf/v3` → `cmap-perf/v4`
+//!
+//! v4 adds one suite-level block, `frame_pool` — the engine's pooled
+//! frame-buffer statistics (`cmap_sim::perf`): `high_water` (most slots
+//! any world held claimed at once), `recycled` (slot frees across all
+//! worlds) and `bytes` (largest parked-buffer footprint). The key is
+//! deliberately distinct from the existing executor `pool` block, which
+//! meters worker threads, not buffers. No field was removed or renamed,
+//! but the tag still bumps: the alloc-regression gate in CI compares v4
+//! `allocs` fields against a v4 baseline, and mixing in a v3 file (whose
+//! figures predate the pooled allocator) would make that comparison lie.
+//!
 //! Speedup tracking: pass `--perf-baseline PATH` pointing at a
 //! `BENCH_perf.json` produced by a `--jobs 1` run of the same suite and the
 //! report gains `speedup_vs_jobs1` fields (serial wall over this run's
@@ -36,7 +48,7 @@ use std::fmt::Write as _;
 use cmap_obs::json::fmt_f64;
 
 /// Schema tag stamped into the artifact.
-pub const PERF_SCHEMA: &str = "cmap-perf/v3";
+pub const PERF_SCHEMA: &str = "cmap-perf/v4";
 
 /// One figure's measured performance.
 #[derive(Debug, Clone)]
@@ -97,6 +109,18 @@ impl BerTablePerf {
     }
 }
 
+/// Engine frame-pool statistics over the whole suite (new in v4). Distinct
+/// from the executor `pool` block, which meters worker threads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FramePoolPerf {
+    /// Most pooled frame slots any world held claimed at once.
+    pub high_water: u64,
+    /// Pool slot recycle events (frees) across all worlds.
+    pub recycled: u64,
+    /// Largest parked-buffer footprint any world reached, in bytes.
+    pub bytes: u64,
+}
+
 /// Wall-clock figures extracted from a serial (`--jobs 1`) baseline file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BaselineWalls {
@@ -134,6 +158,8 @@ pub struct PerfReport {
     pub sched: SchedPerf,
     /// BER-table identity and measured error bound.
     pub ber_table: BerTablePerf,
+    /// Engine frame-pool statistics over the whole suite.
+    pub frame_pool: FramePoolPerf,
     /// Heap allocations over the whole suite (0 when not instrumented).
     pub allocs: u64,
     /// Per-figure measurements, in run order.
@@ -183,6 +209,11 @@ impl PerfReport {
             self.ber_table.version,
             self.ber_table.grid_points,
             fmt_f64(self.ber_table.max_abs_err),
+        );
+        let _ = write!(
+            s,
+            ",\"frame_pool\":{{\"high_water\":{},\"recycled\":{},\"bytes\":{}}}",
+            self.frame_pool.high_water, self.frame_pool.recycled, self.frame_pool.bytes,
         );
         let _ = write!(s, ",\"allocs\":{}", self.allocs);
         s.push_str(",\"figures\":[");
@@ -283,6 +314,11 @@ mod tests {
                 grid_points: 4097,
                 max_abs_err: 0.0011,
             },
+            frame_pool: FramePoolPerf {
+                high_water: 12,
+                recycled: 90_000,
+                bytes: 24_576,
+            },
             allocs: 5000,
             figures: vec![
                 FigurePerf {
@@ -308,7 +344,7 @@ mod tests {
     fn json_shape_and_meters() {
         let r = sample(2);
         let j = r.to_json();
-        assert!(j.starts_with("{\"schema\":\"cmap-perf/v3\",\"jobs\":2,\"cores_detected\":8,"));
+        assert!(j.starts_with("{\"schema\":\"cmap-perf/v4\",\"jobs\":2,\"cores_detected\":8,"));
         assert!(j.contains("\"events_per_sec\":2000"), "{j}");
         assert!(j.contains("\"ber_lookups\":1000"), "{j}");
         assert!(
@@ -317,6 +353,10 @@ mod tests {
         );
         assert!(
             j.contains("\"ber_table\":{\"version\":\"ber-table/v1\",\"grid_points\":4097,"),
+            "{j}"
+        );
+        assert!(
+            j.contains("\"frame_pool\":{\"high_water\":12,\"recycled\":90000,\"bytes\":24576}"),
             "{j}"
         );
         assert!(j.contains("\"allocs\":5000"), "{j}");
@@ -362,9 +402,14 @@ mod tests {
     fn non_serial_files_are_rejected_as_baselines() {
         let parallel = sample(2);
         assert!(parse_serial_baseline(&parallel.to_json()).is_none());
-        // A v2-era artifact is rejected by schema tag, serial or not.
+        // Artifacts from older schema eras are rejected by tag, serial or
+        // not — a v3 baseline's alloc counts predate the pooled allocator.
         assert!(parse_serial_baseline(
             "{\"schema\":\"cmap-perf/v2\",\"jobs\":1,\"suite_wall_secs\":1}"
+        )
+        .is_none());
+        assert!(parse_serial_baseline(
+            "{\"schema\":\"cmap-perf/v3\",\"jobs\":1,\"suite_wall_secs\":1}"
         )
         .is_none());
         assert!(parse_serial_baseline("{\"schema\":\"other\"}").is_none());

@@ -216,14 +216,24 @@ impl InterfererTracker {
     /// Live `(source, interferer, rate)` entries at `now` — the interferer
     /// list to broadcast.
     pub fn entries_at(&self, now: Time) -> Vec<(MacAddr, MacAddr, Rate)> {
-        let mut v: Vec<_> = self
-            .entries
-            .iter()
-            .filter(|&(_, &(exp, _))| exp > now)
-            .map(|(&(u, x), &(_, rate))| (u, x, rate))
-            .collect();
-        v.sort_unstable_by_key(|&(u, x, _)| (u, x));
+        let mut v = Vec::new();
+        self.for_each_entry_at(now, |u, x, rate| {
+            v.push((u, x, rate));
+            true
+        });
         v
+    }
+
+    /// Allocation-free walk of the qualified entries at `now`, in the same
+    /// deterministic `(source, interferer)` order as
+    /// [`InterfererTracker::entries_at`] (the entry map is ordered by that
+    /// key). `f` returns `false` to stop early (e.g. at frame capacity).
+    pub fn for_each_entry_at(&self, now: Time, mut f: impl FnMut(MacAddr, MacAddr, Rate) -> bool) {
+        for (&(u, x), &(exp, rate)) in &self.entries {
+            if exp > now && !f(u, x, rate) {
+                break;
+            }
+        }
     }
 
     /// Loss statistics for a pair, for tests and diagnostics:

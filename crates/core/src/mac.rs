@@ -28,7 +28,8 @@ use rand::Rng;
 use cmap_sim::time::{micros, millis, ns_to_us_ceil, Time};
 use cmap_sim::{CounterId, Mac, NodeCtx, RxInfo, TraceEvent};
 use cmap_wire::cmap::{self, HeaderTrailer};
-use cmap_wire::{Frame, MacAddr};
+use cmap_wire::view::compose;
+use cmap_wire::{FrameKind, FrameView, MacAddr};
 
 use crate::config::CmapConfig;
 use crate::defer_table::DeferTable;
@@ -101,6 +102,29 @@ struct PeerState {
     last_heard: Time,
 }
 
+/// Padding value for the unused tail of a [`PendingAck`]'s entry array.
+const NULL_ENTRY: cmap::InterfererEntry = cmap::InterfererEntry {
+    source: MacAddr::BROADCAST,
+    interferer: MacAddr::BROADCAST,
+    source_rate: cmap_phy::Rate::BASE,
+};
+
+/// A queued cumulative ACK in fixed-size storage (the wire format caps
+/// bitmaps at [`cmap::MAX_ACK_WINDOW`] and piggybacked entries at
+/// [`cmap::Ack::MAX_IL_ENTRIES`]), so the receive path queues and sends
+/// ACKs without allocating.
+#[derive(Clone, Copy)]
+struct PendingAck {
+    src: MacAddr,
+    dst: MacAddr,
+    base_vpkt_seq: u32,
+    bitmap_count: u8,
+    bitmaps: [u32; cmap::MAX_ACK_WINDOW],
+    loss_rate: u8,
+    il_count: u8,
+    il_entries: [cmap::InterfererEntry; cmap::Ack::MAX_IL_ENTRIES],
+}
+
 /// The CMAP link layer (see crate docs).
 pub struct CmapMac {
     cfg: CmapConfig,
@@ -124,7 +148,9 @@ pub struct CmapMac {
     /// Last time an interferer-list entry (broadcast or ACK-piggybacked)
     /// was applied to the defer table — the other staleness input.
     last_map_refresh: Time,
-    pending_acks: std::collections::VecDeque<cmap::Ack>,
+    pending_acks: std::collections::VecDeque<PendingAck>,
+    /// Reusable scratch for composing interferer-list broadcasts.
+    il_scratch: Vec<cmap::InterfererEntry>,
     /// Virtual packets awaiting timer-based finalisation when trailers are
     /// disabled: (sender, seq, count, data rate, data-burst start).
     pending_finalize: std::collections::VecDeque<(MacAddr, u32, u8, cmap_phy::Rate, Time)>,
@@ -160,6 +186,7 @@ impl CmapMac {
             consecutive_ack_timeouts: 0,
             last_map_refresh: 0,
             pending_acks: std::collections::VecDeque::new(),
+            il_scratch: Vec::new(),
             pending_finalize: std::collections::VecDeque::new(),
             in_flight: None,
             rate_ctl,
@@ -401,15 +428,12 @@ impl CmapMac {
             )
         };
         let remaining = burst_ns + self.hdr_airtime(); // data + trailer
-        let header = Frame::CmapHeader(HeaderTrailer {
-            src: ctx.mac_addr(),
-            dst,
-            tx_time_us: ns_to_us_ceil(remaining),
-            vpkt_seq: seq,
-            pkt_count: count,
-            data_rate: rate,
+        let me = ctx.mac_addr();
+        let tx_time_us = ns_to_us_ceil(remaining);
+        let sent = ctx.transmit_with(self.cfg.control_rate, |buf| {
+            compose::header_trailer(buf, FrameKind::CmapHeader, me, dst, tx_time_us, seq, count, rate);
         });
-        if ctx.transmit(header, self.cfg.control_rate) {
+        if sent {
             self.in_flight = Some(InFlight::Header);
             self.state = SState::TxVpkt;
             ctx.stats().bump(CounterId::CmapTxVpkt);
@@ -427,23 +451,15 @@ impl CmapMac {
     }
 
     fn send_data(&mut self, ctx: &mut NodeCtx<'_>, idx: usize) {
-        let (frame, rate) = {
+        let (dst, seq, p, rate) = {
             let cur = self.cur.as_ref().expect("send_data without vpkt");
-            let p = cur.pkts[idx];
-            (
-                Frame::CmapData(cmap::Data {
-                    src: ctx.mac_addr(),
-                    dst: cur.dst,
-                    vpkt_seq: cur.seq,
-                    index: idx as u8,
-                    flow: p.flow,
-                    flow_seq: p.flow_seq,
-                    payload: vec![0xC5; p.payload_len],
-                }),
-                cur.rate,
-            )
+            (cur.dst, cur.seq, cur.pkts[idx], cur.rate)
         };
-        if ctx.transmit(frame, rate) {
+        let me = ctx.mac_addr();
+        let sent = ctx.transmit_with(rate, |buf| {
+            compose::cmap_data(buf, me, dst, seq, idx as u8, p.flow, p.flow_seq, p.payload_len, 0xC5);
+        });
+        if sent {
             self.in_flight = Some(InFlight::Data { idx });
         } else {
             self.abort_vpkt(ctx);
@@ -451,19 +467,22 @@ impl CmapMac {
     }
 
     fn send_trailer(&mut self, ctx: &mut NodeCtx<'_>) {
-        let frame = {
+        let (dst, tx_time_us, seq, count, rate) = {
             let cur = self.cur.as_ref().expect("send_trailer without vpkt");
             let total = 2 * self.hdr_airtime() + self.burst_airtime(&cur.pkts, cur.rate);
-            Frame::CmapTrailer(HeaderTrailer {
-                src: ctx.mac_addr(),
-                dst: cur.dst,
-                tx_time_us: ns_to_us_ceil(total),
-                vpkt_seq: cur.seq,
-                pkt_count: cur.pkts.len() as u8,
-                data_rate: cur.rate,
-            })
+            (
+                cur.dst,
+                ns_to_us_ceil(total),
+                cur.seq,
+                cur.pkts.len() as u8,
+                cur.rate,
+            )
         };
-        if ctx.transmit(frame, self.cfg.control_rate) {
+        let me = ctx.mac_addr();
+        let sent = ctx.transmit_with(self.cfg.control_rate, |buf| {
+            compose::header_trailer(buf, FrameKind::CmapTrailer, me, dst, tx_time_us, seq, count, rate);
+        });
+        if sent {
             self.in_flight = Some(InFlight::Trailer);
         } else {
             self.abort_vpkt(ctx);
@@ -553,20 +572,27 @@ impl CmapMac {
         }
     }
 
-    fn handle_ack(&mut self, ctx: &mut NodeCtx<'_>, ack: &cmap::Ack) {
+    fn handle_ack(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        src: MacAddr,
+        base_vpkt_seq: u32,
+        bitmaps: &[u32],
+        loss: f64,
+    ) {
         ctx.stats().bump(CounterId::CmapAckRx);
         self.consecutive_ack_timeouts = 0;
-        let newly = self.window.on_ack(ack.src, ack.base_vpkt_seq, &ack.bitmaps);
+        let newly = self.window.on_ack(src, base_vpkt_seq, bitmaps);
         ctx.stats().add(CounterId::CmapPktsAcked, newly as u64);
         if newly > 0 && ctx.trace_enabled() {
             ctx.trace(TraceEvent::AckWindowSlide {
                 node: u32::try_from(ctx.node().index()).unwrap_or(u32::MAX),
-                peer: ack.src.node_index().unwrap_or(u16::MAX),
+                peer: src.node_index().unwrap_or(u16::MAX),
                 newly_acked: newly as u32,
             });
         }
         self.drain_rate_feedback(ctx);
-        self.update_cw(ctx, ack.loss_rate_fraction());
+        self.update_cw(ctx, loss);
         match self.state {
             SState::AckWait => {
                 self.sender_gen += 1;
@@ -711,31 +737,38 @@ impl CmapMac {
         } else {
             ctx.stats().bump(CounterId::CmapDupFinalize);
         }
-        let (base, bitmaps, loss) = {
+        let mut bitmaps = [0u32; cmap::MAX_ACK_WINDOW];
+        let (base, bitmap_count, loss) = {
             let peer = self.peers.get_mut(&src).expect("created above");
-            peer.rx
-                .build_ack(vpkt_seq, self.cfg.n_window, self.cfg.n_vpkt as u8)
+            peer.rx.build_ack_into(
+                vpkt_seq,
+                self.cfg.n_window,
+                self.cfg.n_vpkt as u8,
+                &mut bitmaps,
+            )
         };
-        let il_entries = if self.cfg.il_in_acks {
+        let mut il_entries = [NULL_ENTRY; cmap::Ack::MAX_IL_ENTRIES];
+        let mut il_count = 0u8;
+        if self.cfg.il_in_acks {
             self.tracker
-                .entries_at(now)
-                .into_iter()
-                .take(cmap::Ack::MAX_IL_ENTRIES)
-                .map(|(source, interferer, source_rate)| cmap::InterfererEntry {
-                    source,
-                    interferer,
-                    source_rate,
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        self.pending_acks.push_back(cmap::Ack {
+                .for_each_entry_at(now, |source, interferer, source_rate| {
+                    il_entries[il_count as usize] = cmap::InterfererEntry {
+                        source,
+                        interferer,
+                        source_rate,
+                    };
+                    il_count += 1;
+                    (il_count as usize) < cmap::Ack::MAX_IL_ENTRIES
+                });
+        }
+        self.pending_acks.push_back(PendingAck {
             src: ctx.mac_addr(),
             dst: src,
             base_vpkt_seq: base,
+            bitmap_count,
             bitmaps,
             loss_rate: cmap::Ack::scale_loss_rate(loss),
+            il_count,
             il_entries,
         });
         self.rx_gen += 1;
@@ -764,7 +797,18 @@ impl CmapMac {
             ctx.stats().bump(CounterId::CmapAckBlocked);
             return;
         }
-        if ctx.transmit(Frame::CmapAck(ack), self.cfg.control_rate) {
+        let sent = ctx.transmit_with(self.cfg.control_rate, |buf| {
+            compose::cmap_ack(
+                buf,
+                ack.src,
+                ack.dst,
+                ack.base_vpkt_seq,
+                &ack.bitmaps[..ack.bitmap_count as usize],
+                ack.loss_rate,
+                &ack.il_entries[..ack.il_count as usize],
+            );
+        });
+        if sent {
             self.in_flight = Some(InFlight::Ack);
             ctx.stats().bump(CounterId::CmapAckTx);
         } else {
@@ -772,28 +816,18 @@ impl CmapMac {
         }
     }
 
-    fn on_interferer_list(&mut self, ctx: &mut NodeCtx<'_>, il: &cmap::InterfererList) {
-        self.apply_il_entries(ctx, il.src, &il.entries);
-    }
-
     /// Apply update rules 1 and 2 (§3.1) to entries advertised by
     /// receiver `r` — whether they arrived in a standalone broadcast or
     /// piggybacked on an (overheard) ACK.
-    fn apply_il_entries(
-        &mut self,
-        ctx: &mut NodeCtx<'_>,
-        r: MacAddr,
-        entries: &[cmap::InterfererEntry],
-    ) {
+    fn apply_il_entries<I>(&mut self, ctx: &mut NodeCtx<'_>, r: MacAddr, entries: I)
+    where
+        I: IntoIterator<Item = cmap::InterfererEntry>,
+    {
         let me = ctx.mac_addr();
-        if !entries.is_empty() {
-            // Any interferer-list reception counts as fresh conflict-map
-            // information for the staleness clock, whether or not an entry
-            // names us: the network's map machinery is demonstrably alive.
-            self.last_map_refresh = ctx.now();
-        }
         let expires = ctx.now() + self.cfg.defer_entry_timeout;
+        let mut any = false;
         for e in entries {
+            any = true;
             if e.source == me {
                 // Update rule 1: (r : q -> *).
                 self.defer
@@ -803,6 +837,12 @@ impl CmapMac {
                 // Update rule 2: (* : q -> r).
                 self.defer.apply_rule2(r, e.source, e.source_rate, expires);
             }
+        }
+        if any {
+            // Any interferer-list reception counts as fresh conflict-map
+            // information for the staleness clock, whether or not an entry
+            // names us: the network's map machinery is demonstrably alive.
+            self.last_map_refresh = ctx.now();
         }
     }
 
@@ -890,14 +930,31 @@ impl CmapMac {
                     source_rate: get_rate(&mut r)?,
                 });
             }
-            self.pending_acks.push_back(cmap::Ack {
+            if bitmaps.len() > cmap::MAX_ACK_WINDOW {
+                return Err(CkptError::Malformed(format!(
+                    "pending-ack bitmap count {}",
+                    bitmaps.len()
+                )));
+            }
+            if il_entries.len() > cmap::Ack::MAX_IL_ENTRIES {
+                return Err(CkptError::Malformed(format!(
+                    "pending-ack IL count {}",
+                    il_entries.len()
+                )));
+            }
+            let mut ack = PendingAck {
                 src,
                 dst,
                 base_vpkt_seq,
-                bitmaps,
+                bitmap_count: bitmaps.len() as u8,
+                bitmaps: [0u32; cmap::MAX_ACK_WINDOW],
                 loss_rate,
-                il_entries,
-            });
+                il_count: il_entries.len() as u8,
+                il_entries: [NULL_ENTRY; cmap::Ack::MAX_IL_ENTRIES],
+            };
+            ack.bitmaps[..bitmaps.len()].copy_from_slice(&bitmaps);
+            ack.il_entries[..il_entries.len()].copy_from_slice(&il_entries);
+            self.pending_acks.push_back(ack);
         }
         self.pending_finalize.clear();
         for _ in 0..r.len()? {
@@ -942,23 +999,24 @@ impl CmapMac {
             ctx.stats()
                 .add(CounterId::CmapPeerEvicted, peers_evicted as u64);
         }
-        let entries: Vec<_> = self
-            .tracker
-            .entries_at(now)
-            .into_iter()
-            .take(cmap::InterfererList::MAX_ENTRIES)
-            .map(|(source, interferer, source_rate)| cmap::InterfererEntry {
-                source,
-                interferer,
-                source_rate,
-            })
-            .collect();
-        if !entries.is_empty() && self.in_flight.is_none() {
-            let frame = Frame::CmapInterfererList(cmap::InterfererList {
-                src: ctx.mac_addr(),
-                entries,
+        let scratch = &mut self.il_scratch;
+        scratch.clear();
+        self.tracker
+            .for_each_entry_at(now, |source, interferer, source_rate| {
+                scratch.push(cmap::InterfererEntry {
+                    source,
+                    interferer,
+                    source_rate,
+                });
+                scratch.len() < cmap::InterfererList::MAX_ENTRIES
             });
-            if ctx.transmit(frame, self.cfg.control_rate) {
+        if !self.il_scratch.is_empty() && self.in_flight.is_none() {
+            let me = ctx.mac_addr();
+            let entries = &self.il_scratch;
+            let sent = ctx.transmit_with(self.cfg.control_rate, |buf| {
+                compose::interferer_list(buf, me, entries);
+            });
+            if sent {
                 self.in_flight = Some(InFlight::Broadcast);
                 ctx.stats().bump(CounterId::CmapIlBroadcast);
             } else {
@@ -1072,39 +1130,56 @@ impl Mac for CmapMac {
         }
     }
 
-    fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, info: RxInfo) {
+    fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &FrameView<'_>, info: RxInfo) {
         match frame {
-            Frame::CmapHeader(h) => self.on_cmap_header(ctx, h, info),
-            Frame::CmapTrailer(t) => self.on_cmap_trailer(ctx, t, info),
-            Frame::CmapData(d) => {
-                self.tracker.note_activity(d.src, info.start, info.end);
-                if d.dst == ctx.mac_addr() {
-                    let peer = self.peers.entry(d.src).or_default();
+            FrameView::CmapHeader(h) => {
+                let h = h.to_body();
+                self.on_cmap_header(ctx, &h, info);
+            }
+            FrameView::CmapTrailer(t) => {
+                let t = t.to_body();
+                self.on_cmap_trailer(ctx, &t, info);
+            }
+            FrameView::CmapData(d) => {
+                self.tracker.note_activity(d.src(), info.start, info.end);
+                if d.dst() == ctx.mac_addr() {
+                    let peer = self.peers.entry(d.src()).or_default();
                     peer.last_heard = info.end;
-                    peer.rx.on_data(d.vpkt_seq, d.index);
-                    ctx.deliver(d.flow, d.flow_seq);
+                    peer.rx.on_data(d.vpkt_seq(), d.index());
+                    ctx.deliver(d.flow(), d.flow_seq());
                 } else {
                     // Missed the header? Keep the ongoing entry alive long
                     // enough to cover a couple more packets.
-                    let guard = 2 * self.data_airtime(d.payload.len(), info.rate);
+                    let guard = 2 * self.data_airtime(d.payload().len(), info.rate);
                     self.ongoing
-                        .note_data(d.src, d.dst, ctx.now(), guard, info.rate);
+                        .note_data(d.src(), d.dst(), ctx.now(), guard, info.rate);
                 }
             }
-            Frame::CmapAck(a) => {
-                self.tracker.note_activity(a.src, info.start, info.end);
-                if !a.il_entries.is_empty() {
-                    self.apply_il_entries(ctx, a.src, &a.il_entries);
+            FrameView::CmapAck(a) => {
+                self.tracker.note_activity(a.src(), info.start, info.end);
+                if a.il_count() > 0 {
+                    self.apply_il_entries(ctx, a.src(), a.il_entries());
                 }
-                if a.dst == ctx.mac_addr() {
-                    self.handle_ack(ctx, a);
+                if a.dst() == ctx.mac_addr() {
+                    let mut bitmaps = [0u32; cmap::MAX_ACK_WINDOW];
+                    let n = a.bitmap_count();
+                    for (i, slot) in bitmaps.iter_mut().enumerate().take(n) {
+                        *slot = a.bitmap(i);
+                    }
+                    self.handle_ack(
+                        ctx,
+                        a.src(),
+                        a.base_vpkt_seq(),
+                        &bitmaps[..n],
+                        a.loss_rate_fraction(),
+                    );
                 }
             }
-            Frame::CmapInterfererList(il) => {
-                self.tracker.note_activity(il.src, info.start, info.end);
-                self.on_interferer_list(ctx, il);
+            FrameView::CmapInterfererList(il) => {
+                self.tracker.note_activity(il.src(), info.start, info.end);
+                self.apply_il_entries(ctx, il.src(), il.entries());
             }
-            Frame::Dot11Data(_) | Frame::Dot11Ack(_) => {
+            FrameView::Dot11Data(_) | FrameView::Dot11Ack(_) => {
                 // Foreign MAC's frames: energy was already modelled; CMAP
                 // cannot decode their semantics (paper note 1).
             }
@@ -1206,13 +1281,13 @@ impl Mac for CmapMac {
             put_addr(&mut w, a.src);
             put_addr(&mut w, a.dst);
             w.u32(a.base_vpkt_seq);
-            w.len(a.bitmaps.len());
-            for &bm in &a.bitmaps {
+            w.len(a.bitmap_count as usize);
+            for &bm in &a.bitmaps[..a.bitmap_count as usize] {
                 w.u32(bm);
             }
             w.u8(a.loss_rate);
-            w.len(a.il_entries.len());
-            for e in &a.il_entries {
+            w.len(a.il_count as usize);
+            for e in &a.il_entries[..a.il_count as usize] {
                 put_addr(&mut w, e.source);
                 put_addr(&mut w, e.interferer);
                 put_rate(&mut w, e.source_rate);

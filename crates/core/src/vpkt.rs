@@ -417,28 +417,44 @@ impl PeerRx {
         n_window: usize,
         default_expected: u8,
     ) -> (u32, Vec<u32>, f64) {
+        let mut out = [0u32; MAX_ACK_WINDOW];
+        let (base, n, loss) = self.build_ack_into(upto, n_window, default_expected, &mut out);
+        (base, out[..n as usize].to_vec(), loss)
+    }
+
+    /// Allocation-free core of [`PeerRx::build_ack`]: bitmaps are written
+    /// into `out`, returning `(base_seq, bitmap_count, loss_rate)`.
+    pub fn build_ack_into(
+        &mut self,
+        upto: u32,
+        n_window: usize,
+        default_expected: u8,
+        out: &mut [u32; MAX_ACK_WINDOW],
+    ) -> (u32, u8, f64) {
         let n_window = n_window.clamp(1, MAX_ACK_WINDOW);
         // A reordered trailer for an old virtual packet must not regress
         // the window: always ACK up to the newest sequence ever finalised.
         let upto = self.last_ack_upto.map_or(upto, |last| upto.max(last));
         self.last_ack_upto = Some(upto);
         let base = (upto + 1).saturating_sub(n_window as u32);
-        let mut bitmaps = Vec::with_capacity(n_window);
+        let mut count = 0u8;
         let (mut expected_total, mut got_total) = (0u64, 0u64);
         for seq in base..=upto {
-            match self.records.get(&seq) {
+            let bits = match self.records.get(&seq) {
                 Some(r) => {
                     let expected = u64::from(r.expected.unwrap_or(default_expected));
                     let got = u64::from(r.bits.count_ones()).min(expected);
                     expected_total += expected;
                     got_total += got;
-                    bitmaps.push(r.bits);
+                    r.bits
                 }
                 None => {
                     expected_total += u64::from(default_expected);
-                    bitmaps.push(0);
+                    0
                 }
-            }
+            };
+            out[count as usize] = bits;
+            count += 1;
         }
         // Prune records that fell out of every future window.
         let cutoff = base;
@@ -449,7 +465,7 @@ impl PeerRx {
         } else {
             1.0 - got_total as f64 / expected_total as f64
         };
-        (base, bitmaps, loss)
+        (base, count, loss)
     }
 
     /// Append the per-sender reception state (reception records, finalised

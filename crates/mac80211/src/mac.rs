@@ -16,7 +16,8 @@ use rand::Rng;
 use cmap_sim::app::AppPacket;
 use cmap_sim::time::{ns_to_u32_saturating, whole_slots, Time};
 use cmap_sim::{CounterId, Mac, NodeCtx, RxInfo};
-use cmap_wire::{dot11, Frame, MacAddr};
+use cmap_wire::view::compose;
+use cmap_wire::{dot11, FrameView, MacAddr};
 
 use crate::config::DcfConfig;
 use crate::timing::{DIFS_NS, EIFS_NS, SIFS_NS, SLOT_NS};
@@ -196,27 +197,28 @@ impl DcfMac {
     }
 
     fn transmit_data(&mut self, ctx: &mut NodeCtx<'_>) {
-        let (frame, _dst) = {
+        let (dst, seq, retry, duration, flow, flow_seq, payload_len) = {
             let cur = self.cur.as_ref().expect("transmit without packet");
-            let dst = cur.pkt.dst_mac;
             let duration = if self.ack_expected() {
                 ns_to_u32_saturating(SIFS_NS + self.ack_airtime())
             } else {
                 0
             };
-            let frame = Frame::Dot11Data(dot11::Data {
-                src: ctx.mac_addr(),
-                dst,
-                seq: cur.seq,
-                retry: cur.retries > 0,
-                duration_ns: duration,
-                flow: cur.pkt.flow,
-                flow_seq: cur.pkt.flow_seq,
-                payload: vec![0xC5; cur.pkt.payload_len],
-            });
-            (frame, dst)
+            (
+                cur.pkt.dst_mac,
+                cur.seq,
+                cur.retries > 0,
+                duration,
+                cur.pkt.flow,
+                cur.pkt.flow_seq,
+                cur.pkt.payload_len,
+            )
         };
-        if ctx.transmit(frame, self.cfg.rate) {
+        let me = ctx.mac_addr();
+        let sent = ctx.transmit_with(self.cfg.rate, |buf| {
+            compose::dot11_data(buf, me, dst, seq, retry, duration, flow, flow_seq, payload_len, 0xC5);
+        });
+        if sent {
             self.state = TxState::Transmitting;
             self.in_flight = Some(InFlight::Data);
             ctx.stats().bump(CounterId::DcfTxData);
@@ -386,8 +388,10 @@ impl Mac for DcfMac {
         match class {
             CLASS_SIFS_ACK if gen == self.rx_gen => {
                 if let Some(dst) = self.pending_ack_to.take() {
-                    let frame = Frame::Dot11Ack(dot11::Ack { dst });
-                    if ctx.transmit(frame, self.cfg.ack_rate) {
+                    let sent = ctx.transmit_with(self.cfg.ack_rate, |buf| {
+                        compose::dot11_ack(buf, dst);
+                    });
+                    if sent {
                         self.in_flight = Some(InFlight::Ack);
                         ctx.stats().bump(CounterId::DcfAckTx);
                     } else {
@@ -426,21 +430,23 @@ impl Mac for DcfMac {
         }
     }
 
-    fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, info: RxInfo) {
+    fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &FrameView<'_>, info: RxInfo) {
         match frame {
-            Frame::Dot11Data(d) => {
-                if d.dst == ctx.mac_addr() {
-                    ctx.deliver(d.flow, d.flow_seq);
+            FrameView::Dot11Data(d) => {
+                if d.dst() == ctx.mac_addr() {
+                    ctx.deliver(d.flow(), d.flow_seq());
                     if self.cfg.acks {
-                        self.pending_ack_to = Some(d.src);
+                        self.pending_ack_to = Some(d.src());
                         self.rx_gen += 1;
                         ctx.set_timer(SIFS_NS, token(CLASS_SIFS_ACK, self.rx_gen));
                     }
                 } else {
-                    self.update_nav(ctx, info.end, d.duration_ns);
+                    self.update_nav(ctx, info.end, d.duration_ns());
                 }
             }
-            Frame::Dot11Ack(a) if a.dst == ctx.mac_addr() && self.state == TxState::WaitAck => {
+            FrameView::Dot11Ack(a)
+                if a.dst() == ctx.mac_addr() && self.state == TxState::WaitAck =>
+            {
                 self.on_ack_received(ctx);
             }
             _ => {} // frames from other protocols: energy already modelled

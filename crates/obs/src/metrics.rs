@@ -203,6 +203,13 @@ define_ids! {
         SimSchedMaxOccupancy => "sim.sched_max_occupancy",
         /// Trace records dropped by the ring buffer (0 when tracing is off).
         TraceDropped => "trace.dropped",
+        /// Frame-pool slots still claimed when the run clock stopped
+        /// (mirrors `sim.inflight_tx`; must drain to ~0 at quiesce).
+        PoolFramesLive => "pool.frames_live",
+        /// Frame-pool slot recycle events (frees) over the whole run.
+        PoolRecycled => "pool.recycled",
+        /// Most frame-pool slots claimed at once over the whole run.
+        PoolHighWater => "pool.high_water",
     }
 }
 

@@ -140,11 +140,50 @@ impl Default for Scheduler {
     }
 }
 
+/// Retired bucket arrays, recycled across schedulers on the same thread so
+/// each new world inherits warmed-up slot capacities instead of re-growing
+/// all `LEVELS * SLOTS` bucket `Vec`s from empty. Capacity is invisible to
+/// behavior — recycled and fresh schedulers produce identical event orders
+/// — this only removes the per-world allocation warm-up (one experiment
+/// cell builds one world, so suites pay it hundreds of times otherwise).
+fn take_recycled_buckets() -> Option<Box<[Vec<Scheduled>]>> {
+    BUCKET_POOL.with(|p| p.borrow_mut().pop())
+}
+
+fn retire_buckets(mut buckets: Box<[Vec<Scheduled>]>) {
+    const MAX_RETIRED: usize = 4;
+    if buckets.len() != LEVELS * SLOTS {
+        return;
+    }
+    for b in buckets.iter_mut() {
+        b.clear();
+    }
+    BUCKET_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_RETIRED {
+            pool.push(buckets);
+        }
+    });
+}
+
+thread_local! {
+    // cmap-analyze: allow(shared-state) — per-thread capacity recycling; never observable in artifacts
+    static BUCKET_POOL: std::cell::RefCell<Vec<Box<[Vec<Scheduled>]>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        retire_buckets(std::mem::take(&mut self.buckets));
+    }
+}
+
 impl Scheduler {
     /// An empty queue.
     pub fn new() -> Scheduler {
         Scheduler {
-            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            buckets: take_recycled_buckets()
+                .unwrap_or_else(|| (0..LEVELS * SLOTS).map(|_| Vec::new()).collect()),
             occupied: [[0; BITMAP_WORDS]; LEVELS],
             now_tick: 0,
             cur: Vec::new(),

@@ -51,6 +51,7 @@ pub mod mac;
 pub mod medium;
 pub mod node;
 pub mod perf;
+pub(crate) mod pool;
 pub mod radio;
 pub mod rng;
 pub mod stats;

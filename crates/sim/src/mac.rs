@@ -10,12 +10,14 @@
 use rand::rngs::SmallRng;
 
 use crate::app::{AppPacket, NodeApp};
+use crate::event::TxId;
+use crate::pool::FramePool;
 use crate::radio::RadioPhase;
 use crate::stats::Stats;
 use crate::time::Time;
 use crate::world::{Flow, NodeId};
 use cmap_phy::Rate;
-use cmap_wire::{Frame, MacAddr};
+use cmap_wire::{Frame, FrameView, MacAddr};
 
 /// Metadata for a successfully decoded frame.
 #[derive(Debug, Clone, Copy)]
@@ -64,9 +66,11 @@ pub trait Mac {
     /// timers are delivered too — MACs ignore stale tokens.
     fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
 
-    /// A frame was received and decoded. Frames are delivered promiscuously:
-    /// check `frame.dst()` yourself.
-    fn on_rx_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: &Frame, _info: RxInfo) {}
+    /// A frame was received and decoded. Frames are delivered promiscuously
+    /// (check `frame.dst()` yourself) as zero-copy [`FrameView`]s over the
+    /// pooled wire bytes; materialize a [`Frame`] via
+    /// [`FrameView::to_frame`] only when owned storage is really needed.
+    fn on_rx_frame(&mut self, _ctx: &mut NodeCtx<'_>, _frame: &FrameView<'_>, _info: RxInfo) {}
 
     /// The radio locked onto a frame but the payload failed to decode.
     fn on_rx_error(&mut self, _ctx: &mut NodeCtx<'_>, _err: RxErrorInfo) {}
@@ -123,7 +127,7 @@ impl Mac for NullMac {
 #[derive(Debug)]
 pub(crate) enum Op {
     Timer { at: Time, token: u64 },
-    StartTx { frame: Frame, rate: Rate },
+    StartTx { tx_id: TxId, rate: Rate },
     Deliver { flow: u16, flow_seq: u32 },
 }
 
@@ -140,6 +144,7 @@ pub struct NodeCtx<'a> {
     /// transmit attempts fail, mirroring a wedged front-end.
     pub(crate) radio_ok: bool,
     pub(crate) rng: &'a mut SmallRng,
+    pub(crate) pool: &'a mut FramePool,
     pub(crate) app: &'a mut NodeApp,
     pub(crate) flows: &'a mut [Flow],
     pub(crate) stats: &'a mut Stats,
@@ -209,15 +214,19 @@ impl NodeCtx<'_> {
         });
     }
 
-    /// Start transmitting `frame` at `rate` now.
+    /// Start a transmission at `rate`, composing the frame directly into a
+    /// recycled pool buffer — the allocation-free hot path. `fill` receives
+    /// the (stale-content) buffer and must leave it holding exactly one
+    /// complete wire frame; the `cmap_wire::view::compose` helpers do this
+    /// (clear, write fields in place, append CRC).
     ///
-    /// Returns `false` (and does nothing) if the radio is already
-    /// transmitting, if a transmission was already requested in this
-    /// callback, if the radio is disabled by fault injection, or if the
-    /// radio is mid-reception and the PHY is configured not to abort
+    /// Returns `false` (and calls nothing, claims nothing) if the radio is
+    /// already transmitting, if a transmission was already requested in
+    /// this callback, if the radio is disabled by fault injection, or if
+    /// the radio is mid-reception and the PHY is configured not to abort
     /// receptions. On success the radio transmits immediately;
     /// [`Mac::on_tx_done`] fires when the frame leaves the air.
-    pub fn transmit(&mut self, frame: Frame, rate: Rate) -> bool {
+    pub fn transmit_with(&mut self, rate: Rate, fill: impl FnOnce(&mut Vec<u8>)) -> bool {
         if self.tx_requested || self.phase == RadioPhase::Transmitting || !self.radio_ok {
             return false;
         }
@@ -225,8 +234,20 @@ impl NodeCtx<'_> {
             return false;
         }
         self.tx_requested = true;
-        self.ops.push(Op::StartTx { frame, rate });
+        let tx_id = self.pool.alloc();
+        fill(self.pool.buf_mut(tx_id));
+        self.ops.push(Op::StartTx { tx_id, rate });
         true
+    }
+
+    /// Start transmitting an owned `frame` at `rate` now — the slow-path
+    /// convenience over [`NodeCtx::transmit_with`] (same gating, same
+    /// semantics, plus one serialization of `frame`).
+    pub fn transmit(&mut self, frame: Frame, rate: Rate) -> bool {
+        self.transmit_with(rate, |buf| {
+            buf.clear();
+            buf.extend_from_slice(&frame.emit());
+        })
     }
 
     /// Hand a received data packet to the node's higher layer. The world

@@ -22,6 +22,12 @@ static BER_LOOKUPS: AtomicU64 = AtomicU64::new(0);
 static SCHED_CASCADES: AtomicU64 = AtomicU64::new(0);
 // cmap-analyze: allow(shared-state) — relaxed monotonic high-water mark for the observability report; never read by simulation state
 static SCHED_MAX_OCCUPANCY: AtomicU64 = AtomicU64::new(0);
+// cmap-analyze: allow(shared-state) — relaxed monotonic high-water mark for the observability report; never read by simulation state
+static POOL_HIGH_WATER: AtomicU64 = AtomicU64::new(0);
+// cmap-analyze: allow(shared-state) — relaxed monotonic meter for the observability report; never read by simulation state
+static POOL_RECYCLED: AtomicU64 = AtomicU64::new(0);
+// cmap-analyze: allow(shared-state) — relaxed monotonic high-water mark for the observability report; never read by simulation state
+static POOL_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// Aggregate simulation-engine totals since the last [`reset`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +41,13 @@ pub struct PerfTotals {
     pub sched_cascades: u64,
     /// Largest scheduler occupancy (pending events) any world reached.
     pub sched_max_occupancy: u64,
+    /// Most frame-pool slots any world held claimed at once.
+    pub pool_high_water: u64,
+    /// Frame-pool slot recycle events (frees) across all worlds.
+    pub pool_recycled: u64,
+    /// Largest frame-pool buffer footprint (bytes of parked buffer
+    /// capacity) any world reached.
+    pub pool_bytes: u64,
 }
 
 /// Record one run's deltas (called from the `run_until` tail).
@@ -53,6 +66,20 @@ pub fn note_run(events: u64, ber_lookups: u64, sched_cascades: u64, sched_max_oc
     }
 }
 
+/// Record one run's frame-pool readings (called from the `run_until` tail):
+/// high-water mark and buffer bytes are monotone maxima, recycles a delta.
+pub fn note_pool(high_water: u64, recycled: u64, bytes: u64) {
+    if high_water > 0 {
+        POOL_HIGH_WATER.fetch_max(high_water, Ordering::Relaxed);
+    }
+    if recycled > 0 {
+        POOL_RECYCLED.fetch_add(recycled, Ordering::Relaxed);
+    }
+    if bytes > 0 {
+        POOL_BYTES.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
 /// Current totals.
 pub fn totals() -> PerfTotals {
     PerfTotals {
@@ -60,6 +87,9 @@ pub fn totals() -> PerfTotals {
         ber_lookups: BER_LOOKUPS.load(Ordering::Relaxed),
         sched_cascades: SCHED_CASCADES.load(Ordering::Relaxed),
         sched_max_occupancy: SCHED_MAX_OCCUPANCY.load(Ordering::Relaxed),
+        pool_high_water: POOL_HIGH_WATER.load(Ordering::Relaxed),
+        pool_recycled: POOL_RECYCLED.load(Ordering::Relaxed),
+        pool_bytes: POOL_BYTES.load(Ordering::Relaxed),
     }
 }
 
@@ -69,6 +99,9 @@ pub fn reset() {
     BER_LOOKUPS.store(0, Ordering::Relaxed);
     SCHED_CASCADES.store(0, Ordering::Relaxed);
     SCHED_MAX_OCCUPANCY.store(0, Ordering::Relaxed);
+    POOL_HIGH_WATER.store(0, Ordering::Relaxed);
+    POOL_RECYCLED.store(0, Ordering::Relaxed);
+    POOL_BYTES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -89,5 +122,16 @@ mod tests {
         // The occupancy mark never regresses, and reflects at least the
         // largest value we just fed it.
         assert!(after.sched_max_occupancy >= before.sched_max_occupancy.max(7));
+    }
+
+    #[test]
+    fn pool_totals_mix_maxima_and_sums() {
+        let before = totals();
+        note_pool(5, 100, 4096);
+        note_pool(3, 50, 1024);
+        let after = totals();
+        assert!(after.pool_high_water >= before.pool_high_water.max(5));
+        assert!(after.pool_recycled >= before.pool_recycled + 150);
+        assert!(after.pool_bytes >= before.pool_bytes.max(4096));
     }
 }

@@ -1,0 +1,420 @@
+//! Deterministic free-list pool of in-flight frame buffers.
+//!
+//! Every transmission owns one pool slot from the moment its MAC composes
+//! the frame until the last receiver's `FrameEnd` (or the sender's `TxEnd`)
+//! releases it. The slot *is* the transmission record: raw wire bytes plus
+//! the metadata the engine needs to grade receptions. Slots are addressed
+//! by [`TxId`] — a `(generation, index)` pair packed into the `u64` the
+//! event queue already carries — so every hot-path access
+//! (`FrameStart`/`FrameEnd`/`TxEnd`) is one bounds-checked array index
+//! instead of the ordered-map lookup the engine used before.
+//!
+//! Invariants:
+//! * Slot buffers are recycled, never shrunk: a released slot keeps its
+//!   `Vec` capacity, so a steady-state world composes frames without
+//!   allocating (the frame-buffer twin of the radio layer's
+//!   interference-profile recycling).
+//! * The free list is LIFO and all allocation order is driven by the
+//!   deterministic event loop, so same-seed runs produce identical
+//!   `TxId` sequences and identical checkpoints.
+//! * Generations make stale handles loudly detectable in debug builds; the
+//!   release accounting (`ends_remaining`) guarantees no double-free — a
+//!   slot only returns to the free list when its last share is released.
+//!
+//! Checkpoint interaction (`cmap-ckpt/v2`): only *live* slots are
+//! serialised (as `(tx_id, metadata, bytes)` tuples, exactly the old
+//! `TxRecord` encoding). On restore each live slot is placed back at the
+//! index/generation its `TxId` encodes, and every other index below the
+//! saved pool capacity becomes free with generation 0. Free-slot
+//! generations are an allocation detail with no behavioural effect: no
+//! pending event references a freed slot, and `TxId` values are opaque to
+//! statistics and traces.
+
+use crate::event::TxId;
+use crate::node::NodeId;
+use crate::time::Time;
+use cmap_phy::Rate;
+
+/// One in-flight (or free) frame slot.
+struct Slot {
+    /// Bumped on every allocation of this index; packed into the `TxId`.
+    gen: u32,
+    /// Full wire bytes (tag through CRC). Capacity persists across reuse.
+    buf: Vec<u8>,
+    /// Transmitting node.
+    node: NodeId,
+    /// Bit-rate of the transmission.
+    rate: Rate,
+    /// When the transmission started.
+    start: Time,
+    /// Outstanding releases: one per receiver `FrameEnd` plus one for the
+    /// sender's `TxEnd`. Zero while free or not yet armed.
+    ends_remaining: u32,
+}
+
+impl Slot {
+    fn fresh() -> Slot {
+        Slot {
+            gen: 0,
+            buf: Vec::new(),
+            node: NodeId::new(0),
+            rate: Rate::R6,
+            start: 0,
+            ends_remaining: 0,
+        }
+    }
+}
+
+const INDEX_MASK: u64 = 0xFFFF_FFFF;
+
+#[inline]
+fn pack(gen: u32, index: usize) -> TxId {
+    (u64::from(gen) << 32) | index as u64
+}
+
+#[inline]
+fn index_of(id: TxId) -> usize {
+    (id & INDEX_MASK) as usize
+}
+
+/// The per-world frame pool. See the module docs for the lifecycle.
+pub(crate) struct FramePool {
+    slots: Vec<Slot>,
+    /// LIFO free list of slot indices.
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+    recycled: u64,
+}
+
+impl FramePool {
+    pub fn new() -> FramePool {
+        FramePool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            high_water: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Claim a slot (reusing buffer capacity when one is free) and return
+    /// its handle. The buffer contents are stale — callers compose into it
+    /// via [`FramePool::buf_mut`] before arming.
+    pub fn alloc(&mut self) -> TxId {
+        let index = match self.free.pop() {
+            Some(i) => i as usize,
+            None => {
+                self.slots.push(Slot::fresh());
+                self.slots.len() - 1
+            }
+        };
+        let slot = &mut self.slots[index];
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.ends_remaining = 0;
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        pack(slot.gen, index)
+    }
+
+    #[inline]
+    fn slot(&self, id: TxId) -> &Slot {
+        let slot = &self.slots[index_of(id)];
+        debug_assert_eq!(u64::from(slot.gen), id >> 32, "stale TxId {id:#x}");
+        slot
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, id: TxId) -> &mut Slot {
+        let slot = &mut self.slots[index_of(id)];
+        debug_assert_eq!(u64::from(slot.gen), id >> 32, "stale TxId {id:#x}");
+        slot
+    }
+
+    /// The slot's wire bytes.
+    #[inline]
+    pub fn buf(&self, id: TxId) -> &[u8] {
+        &self.slot(id).buf
+    }
+
+    /// The slot's buffer for composition (clear-and-fill; capacity is
+    /// retained from previous occupants).
+    #[inline]
+    pub fn buf_mut(&mut self, id: TxId) -> &mut Vec<u8> {
+        &mut self.slot_mut(id).buf
+    }
+
+    /// Move the slot's buffer out for borrow-free inspection (the RX
+    /// dispatch path: MAC callbacks may allocate new slots while reading
+    /// this frame). The slot stays live; pair with [`FramePool::put_buf`].
+    #[inline]
+    pub fn take_buf(&mut self, id: TxId) -> Vec<u8> {
+        std::mem::take(&mut self.slot_mut(id).buf)
+    }
+
+    /// Return a buffer taken with [`FramePool::take_buf`].
+    #[inline]
+    pub fn put_buf(&mut self, id: TxId, buf: Vec<u8>) {
+        self.slot_mut(id).buf = buf;
+    }
+
+    /// Arm an allocated slot as an in-flight transmission with `ends`
+    /// outstanding releases.
+    pub fn arm(&mut self, id: TxId, node: NodeId, rate: Rate, start: Time, ends: u32) {
+        debug_assert!(ends > 0);
+        let slot = self.slot_mut(id);
+        debug_assert_eq!(slot.ends_remaining, 0, "re-arming a live transmission");
+        slot.node = node;
+        slot.rate = rate;
+        slot.start = start;
+        slot.ends_remaining = ends;
+    }
+
+    /// Transmitting node of a live slot.
+    #[inline]
+    pub fn node_of(&self, id: TxId) -> NodeId {
+        self.slot(id).node
+    }
+
+    /// Bit-rate of a live slot.
+    #[inline]
+    pub fn rate_of(&self, id: TxId) -> Rate {
+        self.slot(id).rate
+    }
+
+    /// Transmission start time of a live slot.
+    #[inline]
+    pub fn start_of(&self, id: TxId) -> Time {
+        self.slot(id).start
+    }
+
+    /// Serialised frame length of a live slot.
+    #[inline]
+    pub fn wire_len(&self, id: TxId) -> usize {
+        self.slot(id).buf.len()
+    }
+
+    /// Outstanding releases of a live slot.
+    #[inline]
+    pub fn ends_of(&self, id: TxId) -> u32 {
+        self.slot(id).ends_remaining
+    }
+
+    fn free_slot(&mut self, index: usize) {
+        debug_assert!(self.live > 0);
+        self.live -= 1;
+        self.recycled += 1;
+        self.free.push(index as u32);
+    }
+
+    /// Release one share of an armed slot (`TxEnd` or a receiver's
+    /// `FrameEnd`); the slot is recycled when the last share goes.
+    pub fn release(&mut self, id: TxId) {
+        let index = index_of(id);
+        let slot = &mut self.slots[index];
+        debug_assert_eq!(u64::from(slot.gen), id >> 32, "stale TxId {id:#x}");
+        debug_assert!(slot.ends_remaining > 0, "release of a free slot");
+        slot.ends_remaining -= 1;
+        if slot.ends_remaining == 0 {
+            self.free_slot(index);
+        }
+    }
+
+    /// Recycle a slot that was allocated but never armed (transmission
+    /// refused: disabled radio, half-duplex violation).
+    pub fn free_unsent(&mut self, id: TxId) {
+        let index = index_of(id);
+        debug_assert_eq!(self.slots[index].ends_remaining, 0);
+        self.free_slot(index);
+    }
+
+    /// Currently-claimed slots (in-flight transmissions).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most slots ever claimed at once.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total slot recycle events (frees) so far.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Bytes of buffer capacity parked across all slots.
+    pub fn bytes(&self) -> usize {
+        self.slots.iter().map(|s| s.buf.capacity()).sum()
+    }
+
+    // ---- cmap-ckpt/v2 ---------------------------------------------------
+
+    /// Slot-array length (the checkpoint's pool-capacity field).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Handles of all live slots in ascending `TxId` order (the
+    /// checkpoint's deterministic transmission order).
+    pub fn live_ids(&self) -> Vec<TxId> {
+        let mut ids: Vec<TxId> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.ends_remaining > 0)
+            .map(|(i, s)| pack(s.gen, i))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Begin a restore: `capacity` empty generation-0 slots, nothing live.
+    pub fn reset_for_restore(&mut self, capacity: usize) {
+        self.slots.clear();
+        self.slots.extend((0..capacity).map(|_| Slot::fresh()));
+        self.free.clear();
+        self.live = 0;
+        self.high_water = 0;
+        self.recycled = 0;
+    }
+
+    /// Place one checkpointed live transmission back at the index and
+    /// generation its `tx_id` encodes. Returns `false` on an out-of-range
+    /// index or a duplicate (already-live) slot.
+    pub fn restore_slot(
+        &mut self,
+        tx_id: TxId,
+        node: NodeId,
+        rate: Rate,
+        start: Time,
+        buf: Vec<u8>,
+        ends_remaining: u32,
+    ) -> bool {
+        let index = index_of(tx_id);
+        if index >= self.slots.len() || ends_remaining == 0 {
+            return false;
+        }
+        let slot = &mut self.slots[index];
+        if slot.ends_remaining != 0 {
+            return false;
+        }
+        *slot = Slot {
+            gen: (tx_id >> 32) as u32,
+            buf,
+            node,
+            rate,
+            start,
+            ends_remaining,
+        };
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        true
+    }
+
+    /// Finish a restore: every non-live index becomes free, lowest index
+    /// first off the stack.
+    pub fn finish_restore(&mut self) {
+        self.free = (0..self.slots.len() as u32)
+            .rev()
+            .filter(|&i| self.slots[i as usize].ends_remaining == 0)
+            .collect();
+    }
+
+    /// Restore the lifetime counters (`pool.high_water` / `pool.recycled`
+    /// gauges must continue across a resume, not restart at the restore
+    /// point). The high-water mark is floored at the restored live count.
+    pub fn restore_counters(&mut self, high_water: usize, recycled: u64) {
+        self.high_water = high_water.max(self.live);
+        self.recycled = recycled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_recycles_lifo_and_keeps_capacity() {
+        let mut p = FramePool::new();
+        let a = p.alloc();
+        p.buf_mut(a).extend_from_slice(&[1, 2, 3, 4, 5]);
+        p.arm(a, NodeId::new(0), Rate::R6, 0, 2);
+        assert_eq!(p.live(), 1);
+        assert_eq!(p.buf(a), &[1, 2, 3, 4, 5]);
+        p.release(a);
+        assert_eq!(p.live(), 1, "one share released, slot still live");
+        p.release(a);
+        assert_eq!(p.live(), 0);
+        assert_eq!(p.recycled(), 1);
+        // LIFO reuse of the same index with a bumped generation.
+        let b = p.alloc();
+        assert_eq!(b & INDEX_MASK, a & INDEX_MASK);
+        assert_ne!(b, a);
+        assert!(p.buf_mut(b).capacity() >= 5, "capacity retained");
+        assert_eq!(p.capacity(), 1);
+        assert_eq!(p.high_water(), 1);
+    }
+
+    #[test]
+    fn distinct_live_slots_and_high_water() {
+        let mut p = FramePool::new();
+        let ids: Vec<TxId> = (0..4).map(|_| p.alloc()).collect();
+        for &id in &ids {
+            p.arm(id, NodeId::new(1), Rate::R12, 7, 1);
+        }
+        assert_eq!(p.live(), 4);
+        assert_eq!(p.high_water(), 4);
+        assert_eq!(p.live_ids(), {
+            let mut s = ids.clone();
+            s.sort_unstable();
+            s
+        });
+        for &id in &ids {
+            p.release(id);
+        }
+        assert_eq!(p.live(), 0);
+        assert_eq!(p.high_water(), 4);
+        // Steady state: churn at depth 1 never grows the slot array.
+        for _ in 0..100 {
+            let id = p.alloc();
+            p.arm(id, NodeId::new(0), Rate::R6, 0, 1);
+            p.release(id);
+        }
+        assert_eq!(p.capacity(), 4);
+        assert_eq!(p.high_water(), 4);
+    }
+
+    #[test]
+    fn free_unsent_recycles_without_arming() {
+        let mut p = FramePool::new();
+        let id = p.alloc();
+        p.buf_mut(id).extend_from_slice(&[9; 64]);
+        p.free_unsent(id);
+        assert_eq!(p.live(), 0);
+        assert_eq!(p.recycled(), 1);
+        let again = p.alloc();
+        assert!(p.buf_mut(again).capacity() >= 64);
+    }
+
+    #[test]
+    fn restore_places_slots_by_id_and_frees_the_rest() {
+        let mut p = FramePool::new();
+        p.reset_for_restore(4);
+        let id = pack(5, 2);
+        assert!(p.restore_slot(id, NodeId::new(3), Rate::R24, 99, vec![1, 2, 3], 2));
+        assert!(!p.restore_slot(id, NodeId::new(3), Rate::R24, 99, vec![], 2), "duplicate");
+        assert!(
+            !p.restore_slot(pack(1, 9), NodeId::new(0), Rate::R6, 0, vec![], 1),
+            "out of range"
+        );
+        p.finish_restore();
+        assert_eq!(p.live(), 1);
+        assert_eq!(p.node_of(id), NodeId::new(3));
+        assert_eq!(p.wire_len(id), 3);
+        assert_eq!(p.live_ids(), vec![id]);
+        // Lowest free index allocates first.
+        let next = p.alloc();
+        assert_eq!(index_of(next), 0);
+    }
+}

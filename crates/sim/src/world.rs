@@ -6,12 +6,6 @@
 //! callback returns, so the engine never hands out two mutable views of the
 //! same state.
 
-// BTreeMap as a matter of policy (cmap-lint R1): even keyed-only maps in
-// the simulator stay ordered so later iteration cannot reintroduce
-// hash-order nondeterminism.
-use std::collections::BTreeMap;
-use std::sync::Arc;
-
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -21,6 +15,7 @@ use crate::event::{Event, Scheduler, TxId};
 use crate::faults::{FaultAction, FaultPlan, FaultState, WatchdogConfig};
 use crate::mac::{Mac, NodeCtx, NullMac, Op, RxErrorInfo, RxInfo};
 use crate::medium::Medium;
+use crate::pool::FramePool;
 use crate::radio::{LockOutcome, RadioBank, RadioPhase, RxCompletion};
 use crate::rng::{normal, stream_rng};
 use crate::stats::Stats;
@@ -28,7 +23,7 @@ use crate::time::Time;
 use cmap_obs::{CounterId, GaugeId, TraceEvent, TraceSink};
 use cmap_phy::units::db_to_ratio;
 use cmap_phy::{mw_to_dbm, BerTable, Rate, PLCP_PREAMBLE_NS, PLCP_SIG_NS};
-use cmap_wire::{Frame, FrameKind, MacAddr};
+use cmap_wire::{Frame, FrameKind, FrameView, MacAddr};
 
 pub use crate::node::NodeId;
 
@@ -61,18 +56,6 @@ pub struct Flow {
     pub(crate) next_seq: u32,
 }
 
-struct TxRecord {
-    node: NodeId,
-    rate: Rate,
-    #[allow(dead_code)]
-    start: Time,
-    /// Parsed form shared by every receiver (the bytes are emitted once for
-    /// length/airtime and round-trip-checked in debug builds).
-    frame: Arc<Frame>,
-    wire_len: usize,
-    ends_remaining: u32,
-}
-
 /// A complete simulated network.
 pub struct World {
     phy: PhyConfig,
@@ -84,8 +67,9 @@ pub struct World {
     macs: Vec<Option<Box<dyn Mac>>>,
     apps: Vec<NodeApp>,
     flows: Vec<Flow>,
-    txs: BTreeMap<TxId, TxRecord>,
-    next_tx_id: TxId,
+    /// In-flight transmissions: pooled wire-byte buffers addressed by
+    /// `TxId` (generation ‖ slot index), recycled when the air clears.
+    pool: FramePool,
     stats: Stats,
     started: bool,
     seed: u64,
@@ -104,6 +88,7 @@ pub struct World {
     synced_events: u64,
     synced_lookups: u64,
     synced_cascades: u64,
+    synced_pool_recycled: u64,
 }
 
 /// Step-by-step [`World`] construction: medium, PHY, seed, and the
@@ -213,8 +198,7 @@ impl World {
                 .collect(),
             apps: (0..n).map(|_| NodeApp::default()).collect(),
             flows: Vec::new(),
-            txs: BTreeMap::new(),
-            next_tx_id: 0,
+            pool: FramePool::new(),
             stats: Stats::default(),
             medium,
             started: false,
@@ -227,6 +211,7 @@ impl World {
             synced_events: 0,
             synced_lookups: 0,
             synced_cascades: 0,
+            synced_pool_recycled: 0,
         }
     }
 
@@ -254,10 +239,27 @@ impl World {
         self.faults.as_deref().map(|f| &f.plan)
     }
 
-    /// Transmissions whose records are still held (in-flight frames). Must
-    /// drain to ~zero when the air clears; the chaos soak asserts this.
+    /// Transmissions whose pool slots are still held (in-flight frames).
+    /// Must drain to ~zero when the air clears; the chaos soak asserts this.
     pub fn inflight_tx_count(&self) -> usize {
-        self.txs.len()
+        self.pool.live()
+    }
+
+    /// Frame-pool slots currently claimed (same reading as
+    /// [`World::inflight_tx_count`], named for the `pool.frames_live`
+    /// gauge).
+    pub fn pool_frames_live(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Frame-pool slot recycle events (frees) so far.
+    pub fn pool_recycled(&self) -> u64 {
+        self.pool.recycled()
+    }
+
+    /// Most frame-pool slots ever claimed at once.
+    pub fn pool_high_water(&self) -> usize {
+        self.pool.high_water()
     }
 
     /// Total invariant-watchdog violations recorded so far (all
@@ -467,9 +469,22 @@ impl World {
             self.stats.add(CounterId::SimSchedCascades, casc_d);
         }
         crate::perf::note_run(ev_d, look_d, casc_d, sched_stats.max_occupancy);
+        let recycled = self.pool.recycled();
+        let recycled_d = recycled - self.synced_pool_recycled;
+        self.synced_pool_recycled = recycled;
+        crate::perf::note_pool(
+            self.pool.high_water() as u64,
+            recycled_d,
+            self.pool.bytes() as u64,
+        );
         // Level readings at the (deterministic) stop point.
         self.stats
-            .set_gauge(GaugeId::SimInflightTx, self.txs.len() as u64);
+            .set_gauge(GaugeId::SimInflightTx, self.pool.live() as u64);
+        self.stats
+            .set_gauge(GaugeId::PoolFramesLive, self.pool.live() as u64);
+        self.stats.set_gauge(GaugeId::PoolRecycled, recycled);
+        self.stats
+            .set_gauge(GaugeId::PoolHighWater, self.pool.high_water() as u64);
         self.stats
             .set_gauge(GaugeId::SimSchedPending, self.sched.len() as u64);
         self.stats
@@ -488,12 +503,12 @@ impl World {
                 if !self.radios.end_tx(node.index()) {
                     self.stats.bump(CounterId::WatchdogRadioState);
                 }
-                self.release_tx(tx_id);
+                self.pool.release(tx_id);
                 self.dispatch(node, |mac, ctx| mac.on_tx_done(ctx));
                 self.check_channel_edge(node);
             }
             Event::FrameStart { rx, tx_id } => {
-                let src = self.txs[&tx_id].node;
+                let src = self.pool.node_of(tx_id);
                 let base_mw = match self.faults.as_deref_mut() {
                     Some(f) => {
                         let offset_db = f.link_offset_db(src, rx, self.time);
@@ -529,7 +544,7 @@ impl World {
                 if let Some(completion) = self.radios.frame_end(rx.index(), tx_id, self.time) {
                     self.grade_and_deliver(rx, completion);
                 }
-                self.release_tx(tx_id);
+                self.pool.release(tx_id);
                 self.check_channel_edge(rx);
             }
             Event::Fault { idx } => self.handle_fault(idx),
@@ -619,10 +634,8 @@ impl World {
     }
 
     fn grade_and_deliver(&mut self, rx: NodeId, c: RxCompletion) {
-        let rec = &self.txs[&c.tx_id];
-        let rate = rec.rate;
-        let wire_len = rec.wire_len;
-        let frame = Arc::clone(&rec.frame);
+        let rate = self.pool.rate_of(c.tx_id);
+        let wire_len = self.pool.wire_len(c.tx_id);
         let (p_success, lookups) =
             grade_reception(&c, self.time, rate, wire_len, &self.phy, self.ber_table);
         self.ber_lookups += lookups;
@@ -648,7 +661,13 @@ impl World {
                 end: self.time,
                 rate,
             };
-            self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &frame, info));
+            // Move the bytes out of the slot for the duration of the
+            // callback: the MAC may itself claim a pool slot (e.g. to
+            // compose an ACK), which must not alias the frame it is
+            // reading. The slot stays live, so its index cannot be reused.
+            let buf = self.pool.take_buf(c.tx_id);
+            let view = FrameView::parse(&buf).expect("pool frames are engine-composed");
+            self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &view, info));
             let duplicated = match self.faults.as_deref_mut() {
                 Some(f) if f.plan.dup_frame_prob > 0.0 => {
                     f.corrupt_rng.gen_bool(f.plan.dup_frame_prob)
@@ -657,8 +676,9 @@ impl World {
             };
             if duplicated {
                 self.stats.bump(CounterId::FaultDupDelivered);
-                self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &frame, info));
+                self.dispatch(rx, |mac, ctx| mac.on_rx_frame(ctx, &view, info));
             }
+            self.pool.put_buf(c.tx_id, buf);
         } else {
             self.stats.bump(CounterId::SimRxFail);
             let err = RxErrorInfo {
@@ -671,17 +691,6 @@ impl World {
         // The interference profile buffer goes back to the radio for the
         // next lock — grading is the hottest allocation site otherwise.
         self.radios.recycle_profile(rx.index(), c.interference);
-    }
-
-    fn release_tx(&mut self, tx_id: TxId) {
-        let done = {
-            let rec = self.txs.get_mut(&tx_id).expect("tx record");
-            rec.ends_remaining -= 1;
-            rec.ends_remaining == 0
-        };
-        if done {
-            self.txs.remove(&tx_id);
-        }
     }
 
     /// Run `f` against `node`'s MAC with a fresh context, then apply the
@@ -709,6 +718,7 @@ impl World {
                 tx_requested: false,
                 radio_ok: !self.radios.is_disabled(node.index()),
                 rng: &mut self.rngs[node.index()],
+                pool: &mut self.pool,
                 app: &mut self.apps[node.index()],
                 flows: &mut self.flows,
                 stats: &mut self.stats,
@@ -745,16 +755,9 @@ impl World {
                 );
             }
         }
-        for op in ops.iter_mut() {
-            if let Op::StartTx { frame, rate } = op {
-                let frame = std::mem::replace(
-                    frame,
-                    Frame::Dot11Ack(cmap_wire::dot11::Ack {
-                        dst: MacAddr::BROADCAST,
-                    }),
-                );
-                let rate = *rate;
-                self.start_tx(node, frame, rate);
+        for op in ops.iter() {
+            if let Op::StartTx { tx_id, rate } = op {
+                self.start_tx(node, *tx_id, *rate);
             }
         }
         for op in ops.iter() {
@@ -764,39 +767,33 @@ impl World {
         }
     }
 
-    fn start_tx(&mut self, node: NodeId, frame: Frame, rate: Rate) {
+    fn start_tx(&mut self, node: NodeId, tx_id: TxId, rate: Rate) {
         if self.radios.is_disabled(node.index()) {
-            // `NodeCtx::transmit` already gates on this; belt-and-braces so
-            // a fault landing between callback and apply can't raise a dead
-            // node's antenna.
+            // `NodeCtx::transmit_with` already gates on this; belt-and-braces
+            // so a fault landing between callback and apply can't raise a
+            // dead node's antenna.
             self.stats.bump(CounterId::FaultTxBlocked);
+            self.pool.free_unsent(tx_id);
             return;
         }
         debug_assert!(
             self.radios.phase(node.index()) != RadioPhase::Transmitting,
             "start_tx while transmitting"
         );
-        // Release builds never materialise the bytes: `wire_len` is computed
-        // from the frame shape. Debug builds still emit and round-trip-check
-        // every transmitted frame.
-        #[cfg(debug_assertions)]
-        {
-            let bytes = frame.emit();
-            debug_assert_eq!(
-                Frame::parse(&bytes).as_ref(),
-                Ok(&frame),
-                "wire round-trip mismatch"
-            );
-            debug_assert_eq!(bytes.len(), frame.wire_len());
-        }
-        let wire_len = frame.wire_len();
+        // The MAC already composed the wire bytes into the pool slot;
+        // debug builds re-parse every transmitted frame against the
+        // reference decoder.
+        debug_assert!(
+            Frame::parse(self.pool.buf(tx_id)).is_ok(),
+            "composed frame fails the reference parser"
+        );
+        let wire_len = self.pool.wire_len(tx_id);
         let airtime = rate.frame_airtime_ns(wire_len);
-        let tx_id = self.next_tx_id;
-        self.next_tx_id += 1;
         if !self.radios.begin_tx(node.index(), tx_id) {
             // Half-duplex violation: refuse the transmission and record it
             // rather than corrupting the radio state machine.
             self.stats.bump(CounterId::WatchdogHalfDuplex);
+            self.pool.free_unsent(tx_id);
             return;
         }
         // No notification for our own busy edge: the MAC knows it started
@@ -818,27 +815,19 @@ impl World {
             ends += 1;
         }
         if self.stats.trace_enabled() {
+            let kind = FrameKind::from_u8(self.pool.buf(tx_id)[0])
+                .expect("composed frame has a valid tag");
             self.stats.emit(
                 self.time,
                 TraceEvent::TxStart {
                     node: u32::try_from(node.index()).unwrap_or(u32::MAX),
-                    kind: frame_kind_tag(frame.kind()),
+                    kind: frame_kind_tag(kind),
                     bytes: u32::try_from(wire_len).unwrap_or(u32::MAX),
                     rate_mbps: u32::try_from(rate.bits_per_sec() / 1_000_000).unwrap_or(u32::MAX),
                 },
             );
         }
-        self.txs.insert(
-            tx_id,
-            TxRecord {
-                node,
-                rate,
-                start: self.time,
-                frame: Arc::new(frame),
-                wire_len,
-                ends_remaining: ends,
-            },
-        );
+        self.pool.arm(tx_id, node, rate, self.time, ends);
         self.stats.bump(CounterId::SimTx);
     }
 
@@ -938,9 +927,13 @@ impl World {
                 w.str(&f.plan.to_spec());
             }
         }
-        // Dynamic engine state.
+        // Dynamic engine state. (The u64 after the clock held the next tx
+        // id before the frame pool; it now carries the pool's slot-array
+        // capacity so restore rebuilds an identically-shaped free list.)
         w.u64(self.time);
-        w.u64(self.next_tx_id);
+        w.u64(self.pool.capacity() as u64);
+        w.u64(self.pool.high_water() as u64);
+        w.u64(self.pool.recycled());
         w.u64(self.ber_lookups);
         w.u64(self.synced_events);
         w.u64(self.synced_lookups);
@@ -955,15 +948,16 @@ impl World {
         for app in &self.apps {
             app.ckpt_save(&mut w);
         }
-        w.len(self.txs.len());
-        for (&tx_id, rec) in &self.txs {
+        let live = self.pool.live_ids();
+        w.len(live.len());
+        for tx_id in live {
             w.u64(tx_id);
-            w.len(rec.node.index());
-            w.u8(rec.rate.to_u8());
-            w.u64(rec.start);
-            w.bytes(&rec.frame.emit());
-            w.len(rec.wire_len);
-            w.u32(rec.ends_remaining);
+            w.len(self.pool.node_of(tx_id).index());
+            w.u8(self.pool.rate_of(tx_id).to_u8());
+            w.u64(self.pool.start_of(tx_id));
+            w.bytes(self.pool.buf(tx_id));
+            w.len(self.pool.wire_len(tx_id));
+            w.u32(self.pool.ends_of(tx_id));
         }
         self.stats.ckpt_save(&mut w)?;
         if let Some(f) = self.faults.as_deref() {
@@ -1071,7 +1065,17 @@ impl World {
             }
         }
         self.time = r.u64()?;
-        self.next_tx_id = r.u64()?;
+        let pool_capacity = r.u64()?;
+        // 2^24 in-flight slots is far beyond any reachable state; larger
+        // values mean a corrupt checkpoint, not a big run.
+        if pool_capacity > (1 << 24) {
+            return Err(CkptError::Malformed(format!(
+                "frame-pool capacity {pool_capacity}"
+            )));
+        }
+        self.pool.reset_for_restore(pool_capacity as usize);
+        let pool_high_water = r.u64()?;
+        let pool_recycled = r.u64()?;
         self.ber_lookups = r.u64()?;
         self.synced_events = r.u64()?;
         self.synced_lookups = r.u64()?;
@@ -1088,7 +1092,6 @@ impl World {
         for app in &mut self.apps {
             app.ckpt_load(&mut r)?;
         }
-        self.txs.clear();
         let tx_count = r.len()?;
         for _ in 0..tx_count {
             let tx_id = r.u64()?;
@@ -1101,29 +1104,30 @@ impl World {
             let rate = Rate::from_u8(rate_tag)
                 .ok_or_else(|| CkptError::Malformed(format!("rate tag {rate_tag}")))?;
             let start = r.u64()?;
-            let frame_bytes = r.bytes()?;
-            let frame = Frame::parse(frame_bytes)
+            let frame_bytes = r.bytes()?.to_vec();
+            Frame::parse(&frame_bytes)
                 .map_err(|e| CkptError::Malformed(format!("tx {tx_id} frame: {e:?}")))?;
             let wire_len = r.len()?;
             let ends_remaining = r.u32()?;
-            if self
-                .txs
-                .insert(
-                    tx_id,
-                    TxRecord {
-                        node,
-                        rate,
-                        start,
-                        frame: Arc::new(frame),
-                        wire_len,
-                        ends_remaining,
-                    },
-                )
-                .is_some()
+            if wire_len != frame_bytes.len() {
+                return Err(CkptError::Malformed(format!(
+                    "tx {tx_id} wire_len {wire_len} != {} frame bytes",
+                    frame_bytes.len()
+                )));
+            }
+            if !self
+                .pool
+                .restore_slot(tx_id, node, rate, start, frame_bytes, ends_remaining)
             {
-                return Err(CkptError::Malformed(format!("duplicate tx id {tx_id}")));
+                return Err(CkptError::Malformed(format!("bad or duplicate tx {tx_id}")));
             }
         }
+        self.pool.finish_restore();
+        self.pool
+            .restore_counters(pool_high_water as usize, pool_recycled);
+        // The perf-totals sync point follows the restored counter so the
+        // next `run_until` only publishes post-restore recycle deltas.
+        self.synced_pool_recycled = self.pool.recycled();
         self.stats = Stats::ckpt_load(&mut r)?;
         if let Some(f) = self.faults.as_deref_mut() {
             f.ckpt_load(&mut r)?;
@@ -1205,8 +1209,10 @@ fn grade_reception(
 mod tests {
     use super::*;
     use crate::time::{micros, millis};
+    use std::collections::BTreeMap;
 
-    /// A MAC that transmits one Dot11 data frame per timer tick, forever.
+    /// A MAC that transmits one Dot11 data frame per timer tick, forever —
+    /// composing straight into the pool buffer (the hot path).
     struct Blaster {
         dst: MacAddr,
         period: Time,
@@ -1219,17 +1225,15 @@ mod tests {
             ctx.set_timer(self.period, 0);
         }
         fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, _token: u64) {
-            let frame = Frame::Dot11Data(cmap_wire::dot11::Data {
-                src: ctx.mac_addr(),
-                dst: self.dst,
-                seq: self.sent as u16,
-                retry: false,
-                duration_ns: 0,
-                flow: 0,
-                flow_seq: self.sent as u32,
-                payload: vec![0xC5; self.payload],
+            let (src, dst) = (ctx.mac_addr(), self.dst);
+            let (seq, flow_seq) = (self.sent as u16, self.sent as u32);
+            let payload = self.payload;
+            let ok = ctx.transmit_with(Rate::R6, |buf| {
+                cmap_wire::view::compose::dot11_data(
+                    buf, src, dst, seq, false, 0, 0, flow_seq, payload, 0xC5,
+                );
             });
-            if ctx.transmit(frame, Rate::R6) {
+            if ok {
                 self.sent += 1;
             }
             ctx.set_timer(self.period, 0);
@@ -1249,11 +1253,11 @@ mod tests {
 
     impl Mac for Sniffer {
         fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
-        fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, _info: RxInfo) {
+        fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &FrameView<'_>, _info: RxInfo) {
             self.frames += 1;
-            if let Frame::Dot11Data(d) = frame {
-                if d.dst == ctx.mac_addr() {
-                    ctx.deliver(d.flow, d.flow_seq);
+            if let FrameView::Dot11Data(d) = frame {
+                if d.dst() == ctx.mac_addr() {
+                    ctx.deliver(d.flow(), d.flow_seq());
                 }
             }
         }
@@ -1445,10 +1449,10 @@ mod tests {
         }
         impl Mac for Relay {
             fn on_start(&mut self, _ctx: &mut NodeCtx<'_>) {}
-            fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &Frame, _info: RxInfo) {
-                if let Frame::Dot11Data(d) = frame {
-                    if d.dst == ctx.mac_addr() {
-                        ctx.deliver(d.flow, d.flow_seq);
+            fn on_rx_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: &FrameView<'_>, _info: RxInfo) {
+                if let FrameView::Dot11Data(d) = frame {
+                    if d.dst() == ctx.mac_addr() {
+                        ctx.deliver(d.flow(), d.flow_seq());
                     }
                 }
             }

@@ -54,6 +54,87 @@ pub fn append_crc(buf: &mut Vec<u8>) {
     buf.extend_from_slice(&crc.to_le_bytes());
 }
 
+/// Pre-inversion CRC state over `data` (the `crc32` loop without the final
+/// complement), so the state can be advanced further before finalizing.
+fn raw_state(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    crc
+}
+
+/// One CRC step with a zero input byte — the *linear* part of any step,
+/// since the table is GF(2)-linear (`T[a ^ b] = T[a] ^ T[b]`), making a
+/// step with byte `c` the affine map `s ↦ L(s) ^ T[c]`.
+#[inline]
+fn step_linear(s: u32, table: &[u32; 256]) -> u32 {
+    (s >> 8) ^ table[(s & 0xff) as usize]
+}
+
+/// The affine map advancing a raw CRC state through `n` copies of one
+/// constant byte: `s ↦ M·s ^ v`, with the linear part `M` stored as the
+/// images of the 32 basis vectors.
+#[derive(Clone, Copy)]
+struct ConstTail {
+    m: [u32; 32],
+    v: u32,
+}
+
+impl ConstTail {
+    /// Compose `n` single-byte steps with value `fill`. O(n) scalar work,
+    /// done once per distinct `(fill, n)` and memoized.
+    fn build(fill: u8, n: usize) -> ConstTail {
+        let table = table();
+        let d = table[fill as usize];
+        let mut m = [0u32; 32];
+        for (i, col) in m.iter_mut().enumerate() {
+            *col = 1u32 << i;
+        }
+        let mut v = 0u32;
+        for _ in 0..n {
+            for col in m.iter_mut() {
+                *col = step_linear(*col, table);
+            }
+            v = step_linear(v, table) ^ d;
+        }
+        ConstTail { m, v }
+    }
+
+    #[inline]
+    fn apply(&self, s: u32) -> u32 {
+        let mut y = self.v;
+        for (i, &col) in self.m.iter().enumerate() {
+            y ^= col & 0u32.wrapping_sub((s >> i) & 1);
+        }
+        y
+    }
+}
+
+/// Extend `buf` with `n` copies of `fill`, then append the CRC-32 of the
+/// whole buffer — byte-identical to `resize(.., fill)` + [`append_crc`],
+/// but the constant tail advances the CRC state through a memoized affine
+/// map instead of `n` table steps. This is the frame composers' fast path:
+/// synthetic payloads are a repeated fill byte, so per-frame CRC cost
+/// stays proportional to the (small) header, not the payload.
+pub fn append_fill_and_crc(buf: &mut Vec<u8>, fill: u8, n: usize) {
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    thread_local! {
+        // cmap-analyze: allow(shared-state) — per-thread memo of a pure function of the key; never observable in artifacts
+        static TAILS: RefCell<BTreeMap<(u8, usize), ConstTail>> = RefCell::new(BTreeMap::new());
+    }
+    let s = raw_state(buf);
+    let tail = TAILS.with(|t| {
+        *t.borrow_mut()
+            .entry((fill, n))
+            .or_insert_with(|| ConstTail::build(fill, n))
+    });
+    buf.resize(buf.len() + n, fill);
+    buf.extend_from_slice(&(!tail.apply(s)).to_le_bytes());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +169,27 @@ mod tests {
     fn short_frames_rejected() {
         assert!(!verify_trailing_crc(&[]));
         assert!(!verify_trailing_crc(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn const_tail_matches_bytewise_crc() {
+        for &(fill, n) in &[
+            (0xC5u8, 0usize),
+            (0xC5, 1),
+            (0xC5, 7),
+            (0x00, 64),
+            (0xFF, 255),
+            (0xC5, 1400),
+            (0xA7, 2048),
+        ] {
+            let header: Vec<u8> = (0..37u8).map(|b| b.wrapping_mul(13) ^ 0x5A).collect();
+            let mut fast = header.clone();
+            append_fill_and_crc(&mut fast, fill, n);
+            let mut slow = header;
+            slow.resize(slow.len() + n, fill);
+            append_crc(&mut slow);
+            assert_eq!(fast, slow, "fill={fill:#x} n={n}");
+            assert!(verify_trailing_crc(&fast));
+        }
     }
 }

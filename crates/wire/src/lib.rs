@@ -21,6 +21,11 @@
 //! * [`cmap::InterfererList`] — the periodic broadcast that populates defer
 //!   tables (§3.1), annotated with bit-rates (§3.5)
 //! * [`dot11::Data`] / [`dot11::Ack`] — the 802.11 DCF baseline's frames
+//!
+//! The [`view`] module provides zero-copy typed accessors over raw frame
+//! bytes plus in-place composition into reusable buffers — the hot-path
+//! twins of [`Frame::parse`] / [`Frame::emit`], which remain the reference
+//! implementation.
 
 pub mod addr;
 pub mod cmap;
@@ -28,6 +33,8 @@ pub mod crc;
 pub mod cursor;
 pub mod dot11;
 pub mod frame;
+pub mod view;
 
 pub use addr::MacAddr;
 pub use frame::{Frame, FrameKind, WireError};
+pub use view::FrameView;

@@ -4,7 +4,8 @@
 use proptest::prelude::*;
 
 use cmap_suite::phy::Rate;
-use cmap_suite::wire::{cmap, dot11, Frame, MacAddr};
+use cmap_suite::wire::view::compose;
+use cmap_suite::wire::{cmap, dot11, Frame, FrameView, MacAddr};
 
 fn arb_mac() -> impl Strategy<Value = MacAddr> {
     any::<[u8; 6]>().prop_map(MacAddr)
@@ -130,5 +131,118 @@ proptest! {
         let bytes = frame.emit();
         let k = keep.index(bytes.len() + 1);
         let _ = Frame::parse(&bytes[..k]); // must not panic
+    }
+
+    /// The zero-copy view over emitted bytes agrees with the owned parser
+    /// on every frame kind: converting the view back to a `Frame` is the
+    /// identity, and the per-kind accessors read the same fields.
+    #[test]
+    fn view_agrees_with_frame_parse(frame in arb_frame()) {
+        let bytes = frame.emit();
+        let view = FrameView::parse_checked(&bytes).expect("view parse");
+        prop_assert_eq!(view.wire_len(), bytes.len());
+        prop_assert_eq!(view.to_frame(), frame.clone());
+        match (&frame, &view) {
+            (Frame::CmapHeader(h), FrameView::CmapHeader(v))
+            | (Frame::CmapTrailer(h), FrameView::CmapTrailer(v)) => {
+                prop_assert_eq!(&v.to_body(), h);
+            }
+            (Frame::CmapData(d), FrameView::CmapData(v)) => {
+                prop_assert_eq!(v.src(), d.src);
+                prop_assert_eq!(v.dst(), d.dst);
+                prop_assert_eq!(v.vpkt_seq(), d.vpkt_seq);
+                prop_assert_eq!(v.index(), d.index);
+                prop_assert_eq!(v.flow(), d.flow);
+                prop_assert_eq!(v.flow_seq(), d.flow_seq);
+                prop_assert_eq!(v.payload(), &d.payload[..]);
+            }
+            (Frame::CmapAck(a), FrameView::CmapAck(v)) => {
+                prop_assert_eq!(v.src(), a.src);
+                prop_assert_eq!(v.dst(), a.dst);
+                prop_assert_eq!(v.base_vpkt_seq(), a.base_vpkt_seq);
+                prop_assert_eq!(v.bitmap_count(), a.bitmaps.len());
+                for (i, &bm) in a.bitmaps.iter().enumerate() {
+                    prop_assert_eq!(v.bitmap(i), bm);
+                }
+                prop_assert_eq!(v.loss_rate(), a.loss_rate);
+                let entries: Vec<_> = v.il_entries().collect();
+                prop_assert_eq!(&entries[..], &a.il_entries[..]);
+            }
+            (Frame::CmapInterfererList(il), FrameView::CmapInterfererList(v)) => {
+                prop_assert_eq!(v.src(), il.src);
+                let entries: Vec<_> = v.entries().collect();
+                prop_assert_eq!(&entries[..], &il.entries[..]);
+            }
+            (Frame::Dot11Data(d), FrameView::Dot11Data(v)) => {
+                prop_assert_eq!(v.src(), d.src);
+                prop_assert_eq!(v.dst(), d.dst);
+                prop_assert_eq!(v.seq(), d.seq);
+                prop_assert_eq!(v.retry(), d.retry);
+                prop_assert_eq!(v.duration_ns(), d.duration_ns);
+                prop_assert_eq!(v.flow(), d.flow);
+                prop_assert_eq!(v.flow_seq(), d.flow_seq);
+                prop_assert_eq!(v.payload(), &d.payload[..]);
+            }
+            (Frame::Dot11Ack(a), FrameView::Dot11Ack(v)) => {
+                prop_assert_eq!(v.dst(), a.dst);
+            }
+            (f, v) => prop_assert!(false, "kind mismatch: {:?} vs {:?}", f, v),
+        }
+    }
+
+    /// The pool-slot composers are byte-identical to `Frame::emit` for
+    /// every frame the MACs build (payloads are a repeated fill byte, as in
+    /// the engine's synthetic traffic).
+    #[test]
+    fn compose_matches_emit(frame in arb_frame(), fill in any::<u8>(), payload_len in 0usize..2048) {
+        let mut buf = Vec::new();
+        let reference = match frame {
+            Frame::CmapHeader(h) => {
+                compose::header_trailer(
+                    &mut buf,
+                    cmap_suite::wire::FrameKind::CmapHeader,
+                    h.src, h.dst, h.tx_time_us, h.vpkt_seq, h.pkt_count, h.data_rate,
+                );
+                Frame::CmapHeader(h)
+            }
+            Frame::CmapTrailer(h) => {
+                compose::header_trailer(
+                    &mut buf,
+                    cmap_suite::wire::FrameKind::CmapTrailer,
+                    h.src, h.dst, h.tx_time_us, h.vpkt_seq, h.pkt_count, h.data_rate,
+                );
+                Frame::CmapTrailer(h)
+            }
+            Frame::CmapData(d) => {
+                compose::cmap_data(
+                    &mut buf, d.src, d.dst, d.vpkt_seq, d.index, d.flow, d.flow_seq,
+                    payload_len, fill,
+                );
+                Frame::CmapData(cmap::Data { payload: vec![fill; payload_len], ..d })
+            }
+            Frame::CmapAck(a) => {
+                compose::cmap_ack(
+                    &mut buf, a.src, a.dst, a.base_vpkt_seq, &a.bitmaps, a.loss_rate,
+                    &a.il_entries,
+                );
+                Frame::CmapAck(a)
+            }
+            Frame::CmapInterfererList(il) => {
+                compose::interferer_list(&mut buf, il.src, &il.entries);
+                Frame::CmapInterfererList(il)
+            }
+            Frame::Dot11Data(d) => {
+                compose::dot11_data(
+                    &mut buf, d.src, d.dst, d.seq, d.retry, d.duration_ns, d.flow,
+                    d.flow_seq, payload_len, fill,
+                );
+                Frame::Dot11Data(dot11::Data { payload: vec![fill; payload_len], ..d })
+            }
+            Frame::Dot11Ack(a) => {
+                compose::dot11_ack(&mut buf, a.dst);
+                Frame::Dot11Ack(a)
+            }
+        };
+        prop_assert_eq!(&buf, &reference.emit());
     }
 }
